@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"numarck/internal/checkpoint"
+	"numarck/internal/ncdf"
+	"numarck/internal/sim/climate"
+)
+
+func TestRunStoreMode(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	if err := run("rlus", 4, dir, "", "", 0.001, 8, "clustering", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	st, err := checkpoint.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := st.Restart("rlus", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec) != 12960 {
+		t.Errorf("restart returned %d points", len(rec))
+	}
+}
+
+func TestRunRawMode(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "raw")
+	if err := run("mrro", 3, "", dir, "", 0.001, 8, "clustering", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Errorf("raw dir has %d files, want 3", len(entries))
+	}
+}
+
+func TestRunNCMode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.nc")
+	if err := run("rlds", 3, "", "", path, 0.001, 8, "clustering", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ncdf.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := f.VarByName("rlds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape, err := f.Shape(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shape[0] != 3 || shape[1] != 90 || shape[2] != 144 {
+		t.Errorf("shape = %v", shape)
+	}
+	// Slab 1 must equal the generator's iteration 1.
+	slab, err := f.Slab(v, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := climate.NewGenerator("rlds", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g.Iteration(1)
+	for i := range want {
+		if slab[i] != want[i] {
+			t.Fatalf("slab differs at %d", i)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("rlus", 3, "", "", "", 0.001, 8, "clustering", 0, 1); err == nil {
+		t.Error("neither -dir nor -raw rejected")
+	}
+	if err := run("rlus", 3, "a", "b", "", 0.001, 8, "clustering", 0, 1); err == nil {
+		t.Error("both modes accepted")
+	}
+	if err := run("bogusvar", 3, t.TempDir()+"/x", "", "", 0.001, 8, "clustering", 0, 1); err == nil {
+		t.Error("unknown variable accepted")
+	}
+	if err := run("rlus", 0, t.TempDir()+"/y", "", "", 0.001, 8, "clustering", 0, 1); err == nil {
+		t.Error("zero iterations accepted")
+	}
+	if err := run("rlus", 3, t.TempDir()+"/z", "", "", 0.001, 8, "bogus", 0, 1); err == nil {
+		t.Error("bogus strategy accepted")
+	}
+}

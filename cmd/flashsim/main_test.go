@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"numarck/internal/checkpoint"
+)
+
+func TestRunStoreMode(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	if err := run(dir, "", 4, 2, 2, 0.001, 8, "clustering", 0, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	st, err := checkpoint.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars, err := st.Variables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vars) != 10 {
+		t.Errorf("store has %d variables", len(vars))
+	}
+	// Every variable restarts at the last checkpoint.
+	for _, v := range vars {
+		if _, err := st.Restart(v, 3); err != nil {
+			t.Errorf("restart %s: %v", v, err)
+		}
+	}
+}
+
+func TestRunRawMode(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "raw")
+	if err := run("", dir, 2, 1, 2, 0.001, 8, "clustering", 0, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 20 { // 10 variables x 2 checkpoints
+		t.Errorf("raw dir has %d files, want 20", len(entries))
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("", "", 2, 1, 2, 0.001, 8, "clustering", 0, 1, false); err == nil {
+		t.Error("neither -dir nor -raw rejected")
+	}
+	if err := run("a", "b", 2, 1, 2, 0.001, 8, "clustering", 0, 1, false); err == nil {
+		t.Error("both -dir and -raw accepted")
+	}
+	if err := run(t.TempDir()+"/x", "", 0, 1, 2, 0.001, 8, "clustering", 0, 1, false); err == nil {
+		t.Error("zero checkpoints accepted")
+	}
+	if err := run(t.TempDir()+"/y", "", 2, 1, 2, 0.001, 8, "bogus", 0, 1, false); err == nil {
+		t.Error("bogus strategy accepted")
+	}
+}

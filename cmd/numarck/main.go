@@ -1,0 +1,234 @@
+// Command numarck compresses, decompresses, and inspects NUMARCK
+// checkpoint files from the command line. Data files are raw
+// little-endian float64 arrays.
+//
+// Usage:
+//
+//	numarck compress   -prev prev.f64 -cur cur.f64 -out ckpt.nmk [-e 0.001] [-b 8] [-strategy clustering] [-var name] [-iter n]
+//	numarck compress   -nc data.nc -var rlus -from 4 -to 5 -out ckpt.nmk
+//	numarck decompress -prev prev.f64 -in ckpt.nmk -out rec.f64
+//	numarck inspect    -in ckpt.nmk
+//	numarck restart    -dir store -var dens -iter 12 -out rec.f64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"numarck/internal/checkpoint"
+	"numarck/internal/core"
+	"numarck/internal/ncdf"
+	"numarck/internal/rawio"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "compress":
+		err = cmdCompress(os.Args[2:])
+	case "decompress":
+		err = cmdDecompress(os.Args[2:])
+	case "inspect":
+		err = cmdInspect(os.Args[2:])
+	case "restart":
+		err = cmdRestart(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "numarck: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "numarck: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  numarck compress   -prev prev.f64 -cur cur.f64 -out ckpt.nmk [-e 0.001] [-b 8] [-strategy clustering] [-var name] [-iter n]
+  numarck decompress -prev prev.f64 -in ckpt.nmk -out rec.f64
+  numarck inspect    -in ckpt.nmk
+  numarck restart    -dir store -var name -iter n -out rec.f64
+
+data files are raw little-endian float64 arrays`)
+}
+
+func cmdCompress(args []string) error {
+	fs := flag.NewFlagSet("compress", flag.ExitOnError)
+	prevPath := fs.String("prev", "", "previous iteration values (.f64)")
+	curPath := fs.String("cur", "", "current iteration values (.f64)")
+	ncPath := fs.String("nc", "", "netCDF classic input file (use with -var/-from/-to)")
+	from := fs.Int("from", -1, "netCDF: index of the previous timestep")
+	to := fs.Int("to", -1, "netCDF: index of the current timestep")
+	outPath := fs.String("out", "", "output checkpoint file")
+	e := fs.Float64("e", 0.001, "error bound E as a fraction (0.001 = 0.1%)")
+	b := fs.Int("b", 8, "index bits B")
+	strategyName := fs.String("strategy", "clustering", "equal-width | log-scale | clustering")
+	variable := fs.String("var", "data", "variable name recorded in the header")
+	iter := fs.Int("iter", 1, "iteration number recorded in the header")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *outPath == "" {
+		return fmt.Errorf("compress requires -out")
+	}
+	strategy, err := core.ParseStrategy(*strategyName)
+	if err != nil {
+		return err
+	}
+	var prev, cur []float64
+	switch {
+	case *ncPath != "":
+		if *from < 0 || *to < 0 {
+			return fmt.Errorf("compress -nc requires -from and -to timestep indices")
+		}
+		nf, err := ncdf.ReadFile(*ncPath)
+		if err != nil {
+			return err
+		}
+		v, err := nf.VarByName(*variable)
+		if err != nil {
+			return err
+		}
+		if prev, err = nf.Slab(v, *from); err != nil {
+			return err
+		}
+		if cur, err = nf.Slab(v, *to); err != nil {
+			return err
+		}
+		if *iter == 1 {
+			*iter = *to
+		}
+	case *prevPath != "" && *curPath != "":
+		if prev, err = rawio.ReadFile(*prevPath); err != nil {
+			return err
+		}
+		if cur, err = rawio.ReadFile(*curPath); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("compress requires either -prev and -cur, or -nc with -from/-to")
+	}
+	enc, err := core.Encode(prev, cur, core.Options{ErrorBound: *e, IndexBits: *b, Strategy: strategy})
+	if err != nil {
+		return err
+	}
+	raw, err := checkpoint.MarshalDelta(*variable, *iter, enc)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*outPath, raw, 0o644); err != nil {
+		return err
+	}
+	cr, err := enc.CompressionRatio()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("compressed %d points: incompressible %.2f%%, mean err %.5f%%, max err %.5f%%, Eq.3 ratio %.2f%%, file %d bytes\n",
+		enc.N, enc.Gamma()*100, enc.MeanErrorRate()*100, enc.MaxErrorRate()*100, cr, len(raw))
+	return nil
+}
+
+func cmdDecompress(args []string) error {
+	fs := flag.NewFlagSet("decompress", flag.ExitOnError)
+	prevPath := fs.String("prev", "", "previous iteration values (.f64)")
+	inPath := fs.String("in", "", "checkpoint file")
+	outPath := fs.String("out", "", "output values (.f64)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *prevPath == "" || *inPath == "" || *outPath == "" {
+		return fmt.Errorf("decompress requires -prev, -in, and -out")
+	}
+	prev, err := rawio.ReadFile(*prevPath)
+	if err != nil {
+		return err
+	}
+	raw, err := os.ReadFile(*inPath)
+	if err != nil {
+		return err
+	}
+	variable, iter, enc, err := checkpoint.UnmarshalDelta(raw)
+	if err != nil {
+		return err
+	}
+	rec, err := enc.Decode(prev)
+	if err != nil {
+		return err
+	}
+	if err := rawio.WriteFile(*outPath, rec); err != nil {
+		return err
+	}
+	fmt.Printf("decoded %s@%d: %d points\n", variable, iter, len(rec))
+	return nil
+}
+
+func cmdInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	inPath := fs.String("in", "", "checkpoint file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *inPath == "" {
+		return fmt.Errorf("inspect requires -in")
+	}
+	raw, err := os.ReadFile(*inPath)
+	if err != nil {
+		return err
+	}
+	if variable, iter, enc, err := checkpoint.UnmarshalDelta(raw); err == nil {
+		fmt.Printf("delta checkpoint %s@%d\n", variable, iter)
+		fmt.Printf("  points:          %d\n", enc.N)
+		fmt.Printf("  error bound:     %.4f%%\n", enc.Opt.ErrorBound*100)
+		fmt.Printf("  index bits:      %d\n", enc.Opt.IndexBits)
+		fmt.Printf("  strategy:        %s\n", enc.Opt.Strategy)
+		fmt.Printf("  bins used:       %d / %d\n", len(enc.BinRatios), enc.Opt.NumBins())
+		fmt.Printf("  incompressible:  %d (%.2f%%)\n", enc.Incompressible.Count(), enc.Gamma()*100)
+		if cr, err := enc.CompressionRatio(); err == nil {
+			fmt.Printf("  Eq.3 ratio:      %.2f%%\n", cr)
+		}
+		return nil
+	}
+	if variable, iter, data, err := checkpoint.UnmarshalFull(raw); err == nil {
+		fmt.Printf("full checkpoint %s@%d\n", variable, iter)
+		fmt.Printf("  points:     %d\n", len(data))
+		fmt.Printf("  file bytes: %d (%.2f%% of raw)\n", len(raw), float64(len(raw))/float64(8*len(data))*100)
+		return nil
+	}
+	return fmt.Errorf("%s is not a NUMARCK checkpoint file", *inPath)
+}
+
+func cmdRestart(args []string) error {
+	fs := flag.NewFlagSet("restart", flag.ExitOnError)
+	dir := fs.String("dir", "", "checkpoint store directory")
+	variable := fs.String("var", "", "variable name")
+	iter := fs.Int("iter", -1, "iteration to reconstruct")
+	outPath := fs.String("out", "", "output values (.f64)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" || *variable == "" || *iter < 0 || *outPath == "" {
+		return fmt.Errorf("restart requires -dir, -var, -iter, and -out")
+	}
+	st, err := checkpoint.Open(*dir)
+	if err != nil {
+		return err
+	}
+	data, err := st.Restart(*variable, *iter)
+	if err != nil {
+		return err
+	}
+	if err := rawio.WriteFile(*outPath, data); err != nil {
+		return err
+	}
+	fmt.Printf("reconstructed %s@%d: %d points\n", *variable, *iter, len(data))
+	return nil
+}

@@ -1,0 +1,149 @@
+// Command storectl inspects and maintains NUMARCK checkpoint stores.
+//
+// Usage:
+//
+//	storectl verify -dir store          # parse every file, check CRCs and chains
+//	storectl stats  -dir store          # per-variable storage breakdown
+//	storectl latest -dir store          # latest restorable iteration per variable
+//	storectl gc     -dir store -keep 40 # drop checkpoints before the full <= 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"numarck/internal/checkpoint"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "verify":
+		err = cmdVerify(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	case "latest":
+		err = cmdLatest(os.Args[2:])
+	case "gc":
+		err = cmdGC(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "storectl: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "storectl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  storectl verify -dir store
+  storectl stats  -dir store
+  storectl latest -dir store
+  storectl gc     -dir store -keep N`)
+}
+
+func openStore(fs *flag.FlagSet, args []string) (*checkpoint.Store, *flag.FlagSet, error) {
+	dir := fs.String("dir", "", "checkpoint store directory")
+	if err := fs.Parse(args); err != nil {
+		return nil, nil, err
+	}
+	if *dir == "" {
+		return nil, nil, fmt.Errorf("%s requires -dir", fs.Name())
+	}
+	st, err := checkpoint.Open(*dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	return st, fs, nil
+}
+
+func cmdVerify(args []string) error {
+	st, _, err := openStore(flag.NewFlagSet("verify", flag.ExitOnError), args)
+	if err != nil {
+		return err
+	}
+	issues, err := st.Verify()
+	if err != nil {
+		return err
+	}
+	if len(issues) == 0 {
+		fmt.Println("store is clean")
+		return nil
+	}
+	for _, is := range issues {
+		fmt.Println(is)
+	}
+	return fmt.Errorf("%d issue(s) found", len(issues))
+}
+
+func cmdStats(args []string) error {
+	st, _, err := openStore(flag.NewFlagSet("stats", flag.ExitOnError), args)
+	if err != nil {
+		return err
+	}
+	stats, err := st.Stats()
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "variable\tfulls\tdeltas\tfull bytes\tdelta bytes\ttotal\titers")
+	var totF, totD int64
+	for _, s := range stats {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t[%d,%d]\n",
+			s.Variable, s.Fulls, s.Deltas, s.FullBytes, s.DeltaBytes, s.TotalBytes(), s.FirstIter, s.LastIter)
+		totF += s.FullBytes
+		totD += s.DeltaBytes
+	}
+	fmt.Fprintf(tw, "total\t\t\t%d\t%d\t%d\t\n", totF, totD, totF+totD)
+	return tw.Flush()
+}
+
+func cmdLatest(args []string) error {
+	st, _, err := openStore(flag.NewFlagSet("latest", flag.ExitOnError), args)
+	if err != nil {
+		return err
+	}
+	vars, err := st.Variables()
+	if err != nil {
+		return err
+	}
+	for _, v := range vars {
+		latest, err := st.LatestRestorable(v)
+		if err != nil {
+			fmt.Printf("%s: %v\n", v, err)
+			continue
+		}
+		fmt.Printf("%s: %d\n", v, latest)
+	}
+	return nil
+}
+
+func cmdGC(args []string) error {
+	fs := flag.NewFlagSet("gc", flag.ExitOnError)
+	keep := fs.Int("keep", -1, "keep restartability from this iteration onward")
+	st, _, err := openStore(fs, args)
+	if err != nil {
+		return err
+	}
+	if *keep < 0 {
+		return fmt.Errorf("gc requires -keep >= 0")
+	}
+	removed, err := st.GC(*keep)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("removed %d file(s)\n", removed)
+	return nil
+}

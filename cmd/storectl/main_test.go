@@ -1,0 +1,69 @@
+package main
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"numarck/internal/checkpoint"
+	"numarck/internal/core"
+)
+
+func buildStore(t *testing.T) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "ck")
+	st, err := checkpoint.Create(dir, core.Options{ErrorBound: 0.001, IndexBits: 8, Strategy: core.Clustering})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	data := make([]float64, 500)
+	for i := range data {
+		data[i] = 10 + rng.Float64()
+	}
+	w := checkpoint.NewWriter(st, 3)
+	for it := 0; it < 6; it++ {
+		if it > 0 {
+			for i := range data {
+				data[i] *= 1 + rng.NormFloat64()*0.001
+			}
+		}
+		if _, err := w.Append(it, map[string][]float64{"v": data}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestVerifyStatsLatestGC(t *testing.T) {
+	dir := buildStore(t)
+	if err := cmdVerify([]string{"-dir", dir}); err != nil {
+		t.Errorf("verify: %v", err)
+	}
+	if err := cmdStats([]string{"-dir", dir}); err != nil {
+		t.Errorf("stats: %v", err)
+	}
+	if err := cmdLatest([]string{"-dir", dir}); err != nil {
+		t.Errorf("latest: %v", err)
+	}
+	if err := cmdGC([]string{"-dir", dir, "-keep", "5"}); err != nil {
+		t.Errorf("gc: %v", err)
+	}
+	// Still verifies clean after GC.
+	if err := cmdVerify([]string{"-dir", dir}); err != nil {
+		t.Errorf("verify after gc: %v", err)
+	}
+}
+
+func TestMissingFlags(t *testing.T) {
+	if err := cmdVerify([]string{}); err == nil {
+		t.Error("verify without -dir accepted")
+	}
+	dir := buildStore(t)
+	if err := cmdGC([]string{"-dir", dir}); err == nil {
+		t.Error("gc without -keep accepted")
+	}
+	if err := cmdVerify([]string{"-dir", filepath.Join(dir, "missing")}); err == nil {
+		t.Error("missing store accepted")
+	}
+}

@@ -1,0 +1,110 @@
+package numarck_test
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"numarck"
+)
+
+// ExampleEncode compresses one checkpoint transition and shows the
+// point-wise error guarantee.
+func ExampleEncode() {
+	// Previous and current checkpoint of a toy simulation: every point
+	// grows by exactly 1 %.
+	prev := make([]float64, 1000)
+	cur := make([]float64, 1000)
+	for i := range prev {
+		prev[i] = 100 + float64(i)
+		cur[i] = prev[i] * 1.01
+	}
+
+	enc, err := numarck.Encode(prev, cur, numarck.Options{
+		ErrorBound: 0.001, // 0.1 %
+		IndexBits:  8,
+		Strategy:   numarck.Clustering,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	rec, err := enc.Decode(prev)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	worst := 0.0
+	for i := range cur {
+		trueRatio := (cur[i] - prev[i]) / prev[i]
+		recRatio := (rec[i] - prev[i]) / prev[i]
+		if d := math.Abs(recRatio - trueRatio); d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("incompressible: %.0f%%\n", enc.Gamma()*100)
+	fmt.Printf("bound holds: %v\n", worst <= 0.001)
+	// Output:
+	// incompressible: 0%
+	// bound holds: true
+}
+
+// ExampleCreateStore writes a chained checkpoint store and restarts
+// from it.
+func ExampleCreateStore() {
+	dir, err := os.MkdirTemp("", "numarck-example-")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer os.RemoveAll(dir)
+
+	st, err := numarck.CreateStore(filepath.Join(dir, "ck"), numarck.Options{
+		ErrorBound: 0.001,
+		IndexBits:  8,
+		Strategy:   numarck.Clustering,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	// Three iterations: the first is stored losslessly, the rest as
+	// NUMARCK deltas.
+	w := numarck.NewWriter(st, 0)
+	data := []float64{10, 20, 30, 40}
+	for iter := 0; iter < 3; iter++ {
+		if iter > 0 {
+			for i := range data {
+				data[i] *= 1.005
+			}
+		}
+		if _, err := w.Append(iter, map[string][]float64{"temp": data}); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+
+	rec, err := st.Restart("temp", 2)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("restarted %d points, first = %.2f\n", len(rec), rec[0])
+	// Output:
+	// restarted 4 points, first = 10.10
+}
+
+// ExampleParseStrategy converts CLI strings to strategies.
+func ExampleParseStrategy() {
+	s, err := numarck.ParseStrategy("log-scale")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(s)
+	// Output:
+	// log-scale
+}

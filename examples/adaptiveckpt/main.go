@@ -1,0 +1,98 @@
+// adaptiveckpt demonstrates the paper's §V extension of dynamic
+// checkpoint frequency: the scheduler watches the evolving change
+// distributions and writes full checkpoints only when the delta chain's
+// estimated restart error approaches the budget or deltas stop paying.
+//
+// The workload switches between a quiet phase and a turbulent phase, so
+// a fixed full-checkpoint period would be wrong in one of them.
+//
+// Run with: go run ./examples/adaptiveckpt
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+
+	"numarck"
+	"numarck/internal/adaptive"
+	"numarck/internal/checkpoint"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "numarck-adaptive-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	st, err := checkpoint.Create(dir, numarck.Options{
+		ErrorBound: 0.001,
+		IndexBits:  8,
+		Strategy:   numarck.Clustering,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := adaptive.NewWriter(st, adaptive.Config{ErrorBudget: 0.005, GammaThreshold: 0.5})
+
+	// 30 iterations: quiet (0-9), turbulent (10-14), quiet again.
+	rng := rand.New(rand.NewSource(7))
+	n := 5000
+	data := make([]float64, n)
+	for j := range data {
+		data[j] = 100 + rng.Float64()*20
+	}
+	series := make([][]float64, 0, 30)
+	for i := 0; i < 30; i++ {
+		next := make([]float64, n)
+		turbulent := i >= 10 && i < 15
+		for j := range next {
+			if turbulent {
+				next[j] = data[j] * math.Exp(rng.NormFloat64()*0.5)
+			} else {
+				next[j] = data[j] * (1 + rng.NormFloat64()*0.0005)
+			}
+		}
+		data = next
+		series = append(series, next)
+	}
+
+	fmt.Println("iter  phase      decision  reason")
+	for i, d := range series {
+		decs, err := w.Append(i, map[string][]float64{"v": d})
+		if err != nil {
+			log.Fatal(err)
+		}
+		phase := "quiet"
+		if i >= 10 && i < 15 {
+			phase = "turbulent"
+		}
+		kind := "delta"
+		if decs["v"].Full {
+			kind = "FULL"
+		}
+		fmt.Printf("%-5d %-10s %-9s %s\n", i, phase, kind, decs["v"].Reason)
+	}
+
+	stats := w.Stats()
+	fmt.Printf("\n%d fulls, %d deltas; full reasons: %v\n", stats.Fulls, stats.Deltas, stats.FullReasons)
+
+	// Every iteration remains restartable within the budget.
+	worst := 0.0
+	for i, want := range series {
+		rec, err := st.Restart("v", i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for j := range rec {
+			rel := math.Abs(rec[j]-want[j]) / math.Abs(want[j])
+			if rel > worst {
+				worst = rel
+			}
+		}
+	}
+	fmt.Printf("worst restart error across all 30 iterations: %.4f%% (budget 0.5%%)\n", worst*100)
+}

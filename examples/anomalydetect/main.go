@@ -1,0 +1,63 @@
+// anomalydetect demonstrates the paper's §V extension: using the
+// learned change-ratio distributions to catch silent data corruption.
+// It runs the FLASH-like simulation, injects single bit flips of
+// varying severity into one checkpoint, and shows which the
+// distribution monitor catches.
+//
+// Run with: go run ./examples/anomalydetect
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"numarck/internal/anomaly"
+	"numarck/internal/sim/flash"
+)
+
+func main() {
+	sim, err := flash.New(flash.Config{BlocksX: 4, BlocksY: 4, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim.StepN(30) // let the blast transient relax
+	var snaps [][]float64
+	for c := 0; c < 10; c++ {
+		sim.StepN(3)
+		snaps = append(snaps, sim.Checkpoint().Vars["dens"])
+	}
+
+	// Inject bit flips of decreasing severity into the last
+	// checkpoint and test each against a detector warmed on the clean
+	// history.
+	rng := rand.New(rand.NewSource(1))
+	fmt.Println("bit  flipped value change        detected")
+	for _, bit := range []uint{63, 62, 60, 55, 51, 40, 20, 2} {
+		data := append([]float64(nil), snaps[9]...)
+		idx := rng.Intn(len(data))
+		orig, err := anomaly.InjectBitFlip(data, idx, bit)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// A fresh detector with the same history for each trial.
+		trial := anomaly.New(anomaly.Config{TailFactor: 4})
+		for i := 1; i < 9; i++ {
+			if _, err := trial.Observe(snaps[i-1], snaps[i]); err != nil {
+				log.Fatal(err)
+			}
+		}
+		rep, err := trial.Observe(snaps[8], data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		caught := false
+		for _, j := range rep.Flagged {
+			if j == idx {
+				caught = true
+			}
+		}
+		fmt.Printf("%-4d %-12.4g -> %-12.4g %v\n", bit, orig, data[idx], caught)
+	}
+	fmt.Println("\nhigh exponent/sign flips are flagged; low mantissa flips are below physics noise (and harmless)")
+}

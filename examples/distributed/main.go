@@ -1,0 +1,56 @@
+// distributed demonstrates rank-parallel NUMARCK encoding and the
+// data-movement trade-off the paper's exascale motivation is about:
+// learning one global table costs a few reductions per k-means
+// iteration, while per-rank local tables cost nothing on the wire but
+// store R tables.
+//
+// Run with: go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"numarck"
+	"numarck/internal/dist"
+	"numarck/internal/sim/climate"
+)
+
+func main() {
+	gen, err := climate.NewGenerator("mc", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prev := gen.Iteration(5)
+	cur := gen.Iteration(6)
+	raw := 8 * len(cur)
+	fmt.Printf("variable mc: %d points (%d raw bytes) partitioned across ranks\n\n", len(cur), raw)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "ranks\tmode\tbytes moved\ttable entries\tincompressible\tsaved")
+	for _, ranks := range []int{1, 4, 16} {
+		for _, mode := range []dist.TableMode{dist.LocalTables, dist.GlobalTable} {
+			res, err := dist.Encode(prev, cur, dist.Config{
+				Ranks: ranks,
+				Mode:  mode,
+				Opt: numarck.Options{
+					ErrorBound: 0.001,
+					IndexBits:  8,
+					Strategy:   numarck.Clustering,
+				},
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%.2f%%\t%.2f%%\n",
+				ranks, mode, res.BytesMoved, res.TableEntries,
+				res.Gamma()*100, res.CompressionRatio())
+		}
+	}
+	tw.Flush()
+	fmt.Println("\nglobal-table traffic is O(k · iterations · log ranks), independent of the data size:")
+	fmt.Println("negligible at production scale (GBs per rank), while local tables move nothing and")
+	fmt.Println("instead store one table per rank — cheaper here, costlier as ranks grow")
+}

@@ -1,0 +1,71 @@
+// Quickstart: compress one checkpoint transition with NUMARCK and show
+// the guaranteed point-wise error bound.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"numarck"
+)
+
+func main() {
+	// Two consecutive "checkpoints" of a fake simulation: 100k points
+	// whose values drift by small relative changes, with a few percent
+	// of points changing sharply (the hard tail).
+	rng := rand.New(rand.NewSource(42))
+	n := 100_000
+	prev := make([]float64, n)
+	cur := make([]float64, n)
+	for i := range prev {
+		prev[i] = 50 + 100*rng.Float64()
+		change := rng.NormFloat64() * 0.002 // most points: ~0.2 %
+		if rng.Float64() < 0.03 {
+			change = rng.NormFloat64() * 0.3 // a few: up to tens of %
+		}
+		cur[i] = prev[i] * (1 + change)
+	}
+
+	// Compress the transition with a 0.1 % point-wise error bound and
+	// 8-bit indices (255 learned bins), using the paper's best
+	// strategy: k-means clustering of the change ratios.
+	enc, err := numarck.Encode(prev, cur, numarck.Options{
+		ErrorBound: 0.001,
+		IndexBits:  8,
+		Strategy:   numarck.Clustering,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ratio, err := enc.CompressionRatio()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("points:               %d\n", enc.N)
+	fmt.Printf("incompressible:       %.2f%% (stored exactly)\n", enc.Gamma()*100)
+	fmt.Printf("mean ratio error:     %.5f%%\n", enc.MeanErrorRate()*100)
+	fmt.Printf("max ratio error:      %.5f%% (bound: 0.1%%)\n", enc.MaxErrorRate()*100)
+	fmt.Printf("compression (Eq. 3):  %.2f%% saved\n", ratio)
+	fmt.Printf("payload:              %d bytes (raw: %d)\n", enc.EncodedSizeBytes(), 8*n)
+
+	// Decompress and verify the guarantee ourselves: every point's
+	// reconstructed change ratio is within the bound of the true one.
+	rec, err := enc.Decode(prev)
+	if err != nil {
+		log.Fatal(err)
+	}
+	worst := 0.0
+	for i := range cur {
+		trueRatio := (cur[i] - prev[i]) / prev[i]
+		recRatio := (rec[i] - prev[i]) / prev[i]
+		if d := math.Abs(recRatio - trueRatio); d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("verified max error:   %.5f%% <= 0.1%%\n", worst*100)
+}

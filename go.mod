@@ -1,0 +1,3 @@
+module numarck
+
+go 1.22

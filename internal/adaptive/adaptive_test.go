@@ -1,0 +1,275 @@
+package adaptive
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"numarck/internal/checkpoint"
+	"numarck/internal/core"
+)
+
+func opts() core.Options {
+	return core.Options{ErrorBound: 0.001, IndexBits: 8, Strategy: core.Clustering}
+}
+
+func newStore(t *testing.T) *checkpoint.Store {
+	t.Helper()
+	st, err := checkpoint.Create(filepath.Join(t.TempDir(), "ck"), opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// quietSeries changes by ~0.02 % per step: deltas should dominate.
+func quietSeries(n, iters int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, iters)
+	out[0] = make([]float64, n)
+	for j := range out[0] {
+		out[0][j] = 100 + rng.Float64()*10
+	}
+	for i := 1; i < iters; i++ {
+		out[i] = make([]float64, n)
+		for j := range out[i] {
+			out[i][j] = out[i-1][j] * (1 + rng.NormFloat64()*0.0002)
+		}
+	}
+	return out
+}
+
+// turbulentSeries has most points jumping wildly: deltas barely pay.
+func turbulentSeries(n, iters int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, iters)
+	out[0] = make([]float64, n)
+	for j := range out[0] {
+		out[0][j] = 100 + rng.Float64()*10
+	}
+	for i := 1; i < iters; i++ {
+		out[i] = make([]float64, n)
+		for j := range out[i] {
+			out[i][j] = out[i-1][j] * math.Exp(rng.NormFloat64()*0.8)
+		}
+	}
+	return out
+}
+
+func TestSchedulerFirstIsFull(t *testing.T) {
+	s := NewScheduler(Config{})
+	d := s.Decide(0, 0)
+	if !d.Full || d.Reason != ReasonFirst {
+		t.Errorf("first decision: %+v", d)
+	}
+	d = s.Decide(0.01, 0.0001)
+	if d.Full {
+		t.Errorf("second decision full: %+v", d)
+	}
+}
+
+func TestSchedulerErrorBudget(t *testing.T) {
+	s := NewScheduler(Config{ErrorBudget: 0.005})
+	s.Decide(0, 0) // first full
+	// Each delta contributes max error 0.001: after 5 the budget (0.005)
+	// is exceeded on the 6th.
+	fullAt := -1
+	for i := 1; i <= 10; i++ {
+		d := s.Decide(0.01, 0.001)
+		if d.Full {
+			fullAt = i
+			if d.Reason != ReasonBudget {
+				t.Errorf("reason = %v", d.Reason)
+			}
+			break
+		}
+	}
+	if fullAt != 6 {
+		t.Errorf("budget full at delta %d, want 6 (5x0.001 <= 0.005 < 6x0.001)", fullAt)
+	}
+	// After the reset the chain error starts over.
+	if s.AccumulatedError() != 0 || s.ChainLength() != 0 {
+		t.Errorf("state not reset: %v, %d", s.AccumulatedError(), s.ChainLength())
+	}
+}
+
+func TestSchedulerGammaThreshold(t *testing.T) {
+	s := NewScheduler(Config{GammaThreshold: 0.4})
+	s.Decide(0, 0)
+	d := s.Decide(0.45, 0.0001)
+	if !d.Full || d.Reason != ReasonGamma {
+		t.Errorf("gamma decision: %+v", d)
+	}
+}
+
+func TestSchedulerMaxChain(t *testing.T) {
+	s := NewScheduler(Config{MaxChain: 3, ErrorBudget: 100, GammaThreshold: 1.1})
+	s.Decide(0, 0)
+	var full int
+	for i := 1; i <= 10; i++ {
+		if d := s.Decide(0, 0); d.Full {
+			full = i
+			if d.Reason != ReasonChain {
+				t.Errorf("reason = %v", d.Reason)
+			}
+			break
+		}
+	}
+	if full != 4 {
+		t.Errorf("chain cap hit at %d, want 4 (3 deltas then full)", full)
+	}
+}
+
+func TestWriterQuietSeriesMostlyDeltas(t *testing.T) {
+	st := newStore(t)
+	w := NewWriter(st, Config{ErrorBudget: 0.01})
+	series := quietSeries(2000, 20, 1)
+	for i, data := range series {
+		if _, err := w.Append(i, map[string][]float64{"v": data}); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	stats := w.Stats()
+	if stats.Fulls > 3 {
+		t.Errorf("quiet series wrote %d fulls", stats.Fulls)
+	}
+	if stats.Deltas < 17 {
+		t.Errorf("quiet series wrote only %d deltas", stats.Deltas)
+	}
+	// Everything restarts within the budget.
+	for i := range series {
+		rec, err := st.Restart("v", i)
+		if err != nil {
+			t.Fatalf("restart %d: %v", i, err)
+		}
+		for j := range rec {
+			rel := math.Abs(rec[j]-series[i][j]) / math.Abs(series[i][j])
+			if rel > 0.011 {
+				t.Fatalf("iteration %d point %d error %v exceeds budget", i, j, rel)
+			}
+		}
+	}
+}
+
+func TestWriterTurbulentSeriesWritesFulls(t *testing.T) {
+	st := newStore(t)
+	w := NewWriter(st, Config{GammaThreshold: 0.5})
+	series := turbulentSeries(2000, 8, 2)
+	for i, data := range series {
+		if _, err := w.Append(i, map[string][]float64{"v": data}); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	stats := w.Stats()
+	if stats.Fulls < 6 {
+		t.Errorf("turbulent series wrote only %d fulls (deltas %d)", stats.Fulls, stats.Deltas)
+	}
+	if stats.FullReasons[ReasonGamma] == 0 {
+		t.Errorf("no gamma-forced fulls: %+v", stats.FullReasons)
+	}
+}
+
+func TestWriterBudgetBoundsActualRestartError(t *testing.T) {
+	// The core guarantee of the scheduler: for every iteration, the
+	// true restart error is below the configured budget (first-order;
+	// allow the quadratic slack).
+	st := newStore(t)
+	budget := 0.004
+	w := NewWriter(st, Config{ErrorBudget: budget})
+	rng := rand.New(rand.NewSource(3))
+	series := make([][]float64, 24)
+	series[0] = make([]float64, 1500)
+	for j := range series[0] {
+		series[0][j] = 50 + rng.Float64()*10
+	}
+	for i := 1; i < len(series); i++ {
+		series[i] = make([]float64, 1500)
+		for j := range series[i] {
+			series[i][j] = series[i-1][j] * (1 + rng.NormFloat64()*0.002)
+		}
+	}
+	for i, data := range series {
+		if _, err := w.Append(i, map[string][]float64{"v": data}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Stats().Fulls < 2 {
+		t.Fatalf("expected budget-forced fulls, got %+v", w.Stats())
+	}
+	for i := range series {
+		rec, err := st.Restart("v", i)
+		if err != nil {
+			t.Fatalf("restart %d: %v", i, err)
+		}
+		for j := range rec {
+			rel := math.Abs(rec[j]-series[i][j]) / math.Abs(series[i][j])
+			if rel > budget*1.2 {
+				t.Fatalf("iteration %d point %d error %v exceeds budget %v", i, j, rel, budget)
+			}
+		}
+	}
+}
+
+func TestWriterMultiVariableIndependentDecisions(t *testing.T) {
+	st := newStore(t)
+	w := NewWriter(st, Config{GammaThreshold: 0.5})
+	quiet := quietSeries(1000, 6, 4)
+	rough := turbulentSeries(1000, 6, 5)
+	for i := 0; i < 6; i++ {
+		decs, err := w.Append(i, map[string][]float64{
+			"quiet": quiet[i],
+			"rough": rough[i],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 {
+			if decs["quiet"].Full {
+				t.Errorf("iteration %d: quiet variable got a full (%v)", i, decs["quiet"].Reason)
+			}
+			if !decs["rough"].Full {
+				t.Errorf("iteration %d: rough variable got a delta", i)
+			}
+		}
+	}
+}
+
+func TestWriterSequenceValidation(t *testing.T) {
+	st := newStore(t)
+	w := NewWriter(st, Config{})
+	series := quietSeries(100, 3, 6)
+	if _, err := w.Append(0, map[string][]float64{"v": series[0]}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(2, map[string][]float64{"v": series[2]}); !errors.Is(err, ErrSequence) {
+		t.Errorf("gap accepted: %v", err)
+	}
+}
+
+func TestWriterNewVariableMidRunGetsFull(t *testing.T) {
+	st := newStore(t)
+	w := NewWriter(st, Config{})
+	series := quietSeries(100, 4, 7)
+	if _, err := w.Append(0, map[string][]float64{"a": series[0]}); err != nil {
+		t.Fatal(err)
+	}
+	decs, err := w.Append(1, map[string][]float64{"a": series[1], "b": series[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !decs["b"].Full || decs["b"].Reason != ReasonFirst {
+		t.Errorf("new variable decision: %+v", decs["b"])
+	}
+	if decs["a"].Full {
+		t.Errorf("existing variable got full: %+v", decs["a"])
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.ErrorBudget != 0.01 || c.GammaThreshold != 0.5 || c.MaxChain != 64 {
+		t.Errorf("defaults: %+v", c)
+	}
+}

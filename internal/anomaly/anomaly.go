@@ -1,0 +1,305 @@
+// Package anomaly detects silent data corruption (SDC) in iterative
+// simulation data by monitoring the distribution of change ratios — the
+// same statistic NUMARCK compresses. The paper's conclusion (§V) points
+// out that "learning the evolving data distributions can also enable
+// understanding anomalies at scale, thereby potentially identifying
+// erroneous calculations due to soft errors or hardware errors"; this
+// package is that extension.
+//
+// The detector maintains a sliding window of per-iteration change-ratio
+// statistics and flags two kinds of anomalies:
+//
+//   - point anomalies: individual values whose change ratio is far
+//     outside the tail of the recently observed distribution (a bit
+//     flip in an exponent or high mantissa bit typically changes a
+//     value by orders of magnitude, while physics moves it by well
+//     under a percent per step);
+//
+//   - distribution anomalies: iterations whose whole change-ratio
+//     histogram diverges sharply from the window average
+//     (Jensen–Shannon divergence), the signature of a systematic
+//     error such as a corrupted block or a wrong-answer kernel.
+package anomaly
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Config tunes the detector.
+type Config struct {
+	// Window is the number of past iterations whose statistics form
+	// the baseline. Default 8.
+	Window int
+	// MinHistory is how many iterations must be observed before the
+	// detector raises alarms. Default 3.
+	MinHistory int
+	// TailFactor flags a point when |ratio| exceeds TailFactor times
+	// the baseline's high quantile. Default 8.
+	TailFactor float64
+	// TailQuantile is the baseline quantile used as the tail scale.
+	// Default 0.999.
+	TailQuantile float64
+	// DivergenceThreshold raises a distribution alarm when the
+	// Jensen–Shannon divergence (nats) between the iteration's ratio
+	// histogram and the window average exceeds it. Default 0.15.
+	DivergenceThreshold float64
+	// Bins is the histogram resolution for divergence tracking.
+	// Default 64.
+	Bins int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = 8
+	}
+	if c.MinHistory <= 0 {
+		c.MinHistory = 3
+	}
+	if c.MinHistory > c.Window {
+		c.MinHistory = c.Window
+	}
+	if c.TailFactor <= 0 {
+		c.TailFactor = 8
+	}
+	if c.TailQuantile <= 0 || c.TailQuantile >= 1 {
+		c.TailQuantile = 0.999
+	}
+	if c.DivergenceThreshold <= 0 {
+		c.DivergenceThreshold = 0.15
+	}
+	if c.Bins <= 1 {
+		c.Bins = 64
+	}
+	return c
+}
+
+// iterStats is one iteration's summary retained in the window.
+type iterStats struct {
+	tail  float64   // TailQuantile of |ratio|
+	histo []float64 // normalized log-|ratio| histogram
+}
+
+// Detector monitors one variable. Not safe for concurrent use.
+type Detector struct {
+	cfg     Config
+	history []iterStats
+	seen    int
+}
+
+// Report is the outcome of one Observe call.
+type Report struct {
+	// Iteration is the 1-based index of this observation.
+	Iteration int
+	// Flagged lists indices of points whose change ratio is anomalous
+	// (empty until MinHistory iterations have been observed).
+	Flagged []int
+	// TailThreshold is the |ratio| above which points were flagged
+	// (0 while warming up).
+	TailThreshold float64
+	// Divergence is the Jensen–Shannon divergence (nats) from the
+	// window-average histogram (0 while warming up).
+	Divergence float64
+	// DistributionAlarm reports Divergence > DivergenceThreshold.
+	DistributionAlarm bool
+	// Warmup reports that the detector is still accumulating history
+	// and raised no alarms.
+	Warmup bool
+}
+
+// ErrInput reports invalid observation data.
+var ErrInput = errors.New("anomaly: invalid input")
+
+// New creates a detector.
+func New(cfg Config) *Detector {
+	return &Detector{cfg: cfg.withDefaults()}
+}
+
+// logAbsBounds is the histogram domain for log10 |ratio|: 1e-12 .. 1e4.
+const (
+	logLo = -12.0
+	logHi = 4.0
+)
+
+// ratioKind classifies one point's transition.
+type ratioKind uint8
+
+const (
+	ratioOK       ratioKind = iota // finite ratio computed
+	ratioNoBase                    // prev is zero: no ratio exists
+	ratioBadValue                  // NaN/Inf value or overflowed ratio
+)
+
+// Observe ingests the transition prev → cur, returns the anomaly report
+// for it, and absorbs its statistics into the window (anomalous
+// iterations are NOT absorbed, so a corrupted step does not poison the
+// baseline). Unlike the compressor, the detector accepts NaN and Inf
+// values — they are precisely what an exponent bit flip produces — and
+// flags them.
+func (d *Detector) Observe(prev, cur []float64) (*Report, error) {
+	if len(prev) != len(cur) {
+		return nil, fmt.Errorf("%w: prev %d points, cur %d", ErrInput, len(prev), len(cur))
+	}
+	d.seen++
+	rep := &Report{Iteration: d.seen}
+
+	deltas := make([]float64, len(cur))
+	kinds := make([]ratioKind, len(cur))
+	abs := make([]float64, 0, len(cur))
+	for j := range cur {
+		p, c := prev[j], cur[j]
+		switch {
+		case math.IsNaN(p) || math.IsInf(p, 0) || math.IsNaN(c) || math.IsInf(c, 0):
+			kinds[j] = ratioBadValue
+		case p == 0:
+			kinds[j] = ratioNoBase
+		default:
+			r := (c - p) / p
+			if math.IsNaN(r) || math.IsInf(r, 0) {
+				kinds[j] = ratioBadValue
+				break
+			}
+			deltas[j] = r
+			abs = append(abs, math.Abs(r))
+		}
+	}
+	stats := iterStats{
+		tail:  quantile(abs, d.cfg.TailQuantile),
+		histo: d.histogram(abs),
+	}
+
+	if len(d.history) >= d.cfg.MinHistory {
+		// Point anomalies: non-finite values always; finite ratios
+		// against the baseline tail.
+		base := d.baselineTail()
+		rep.TailThreshold = d.cfg.TailFactor * base
+		for j := range cur {
+			anomalous := kinds[j] == ratioBadValue
+			if kinds[j] == ratioOK && rep.TailThreshold > 0 {
+				anomalous = math.Abs(deltas[j]) > rep.TailThreshold
+			}
+			if anomalous {
+				rep.Flagged = append(rep.Flagged, j)
+			}
+		}
+		// Distribution anomaly against the window-average histogram.
+		rep.Divergence = jensenShannon(stats.histo, d.baselineHisto())
+		rep.DistributionAlarm = rep.Divergence > d.cfg.DivergenceThreshold
+	} else {
+		rep.Warmup = true
+	}
+
+	// Absorb clean iterations only.
+	if !rep.DistributionAlarm && len(rep.Flagged) == 0 {
+		d.history = append(d.history, stats)
+		if len(d.history) > d.cfg.Window {
+			d.history = d.history[1:]
+		}
+	}
+	return rep, nil
+}
+
+// baselineTail averages the window's tail quantiles.
+func (d *Detector) baselineTail() float64 {
+	var sum float64
+	for _, s := range d.history {
+		sum += s.tail
+	}
+	return sum / float64(len(d.history))
+}
+
+// baselineHisto averages the window's histograms.
+func (d *Detector) baselineHisto() []float64 {
+	out := make([]float64, d.cfg.Bins)
+	for _, s := range d.history {
+		for i, v := range s.histo {
+			out[i] += v
+		}
+	}
+	n := float64(len(d.history))
+	for i := range out {
+		out[i] /= n
+	}
+	return out
+}
+
+// histogram builds a normalized histogram of log10 |ratio| with one
+// extra underflow disposition: zeros land in bin 0.
+func (d *Detector) histogram(abs []float64) []float64 {
+	h := make([]float64, d.cfg.Bins)
+	if len(abs) == 0 {
+		return h
+	}
+	scale := float64(d.cfg.Bins) / (logHi - logLo)
+	for _, a := range abs {
+		var i int
+		if a > 0 {
+			i = int((math.Log10(a) - logLo) * scale)
+		}
+		if i < 0 {
+			i = 0
+		}
+		if i >= d.cfg.Bins {
+			i = d.cfg.Bins - 1
+		}
+		h[i]++
+	}
+	inv := 1 / float64(len(abs))
+	for i := range h {
+		h[i] *= inv
+	}
+	return h
+}
+
+// jensenShannon returns the Jensen–Shannon divergence between two
+// discrete distributions of equal length, in nats. Symmetric, zero for
+// identical inputs, bounded by ln 2.
+func jensenShannon(p, q []float64) float64 {
+	var js float64
+	for i := range p {
+		m := (p[i] + q[i]) / 2
+		if p[i] > 0 && m > 0 {
+			js += 0.5 * p[i] * math.Log(p[i]/m)
+		}
+		if q[i] > 0 && m > 0 {
+			js += 0.5 * q[i] * math.Log(q[i]/m)
+		}
+	}
+	if js < 0 {
+		js = 0 // guard against rounding
+	}
+	return js
+}
+
+// quantile returns the q-quantile of xs (xs is not modified).
+func quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	if lo >= len(s)-1 {
+		return s[len(s)-1]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// InjectBitFlip flips the given bit (0 = least significant of the
+// mantissa, 63 = sign) of data[idx] in place and returns the original
+// value. It is the fault-injection tool for SDC experiments and tests.
+func InjectBitFlip(data []float64, idx int, bit uint) (orig float64, err error) {
+	if idx < 0 || idx >= len(data) {
+		return 0, fmt.Errorf("%w: index %d out of range [0,%d)", ErrInput, idx, len(data))
+	}
+	if bit > 63 {
+		return 0, fmt.Errorf("%w: bit %d out of range [0,63]", ErrInput, bit)
+	}
+	orig = data[idx]
+	data[idx] = math.Float64frombits(math.Float64bits(orig) ^ (1 << bit))
+	return orig, nil
+}

@@ -1,0 +1,317 @@
+package anomaly
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// series returns iters+1 checkpoints of a smooth synthetic field.
+func series(n, iters int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, iters+1)
+	out[0] = make([]float64, n)
+	for j := range out[0] {
+		out[0][j] = 50 + rng.Float64()*100
+	}
+	for i := 1; i <= iters; i++ {
+		out[i] = make([]float64, n)
+		for j := range out[i] {
+			out[i][j] = out[i-1][j] * (1 + rng.NormFloat64()*0.002)
+		}
+	}
+	return out
+}
+
+func feed(t *testing.T, d *Detector, s [][]float64, upTo int) *Report {
+	t.Helper()
+	var rep *Report
+	for i := 1; i <= upTo; i++ {
+		var err error
+		rep, err = d.Observe(s[i-1], s[i])
+		if err != nil {
+			t.Fatalf("observe %d: %v", i, err)
+		}
+	}
+	return rep
+}
+
+func TestCleanSeriesNoAlarms(t *testing.T) {
+	s := series(5000, 12, 1)
+	d := New(Config{})
+	for i := 1; i <= 12; i++ {
+		rep, err := d.Observe(s[i-1], s[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.DistributionAlarm {
+			t.Errorf("iteration %d: spurious distribution alarm (JS %v)", i, rep.Divergence)
+		}
+		if len(rep.Flagged) > 5000/200 {
+			t.Errorf("iteration %d: %d false-positive points", i, len(rep.Flagged))
+		}
+	}
+}
+
+func TestWarmupRaisesNothing(t *testing.T) {
+	s := series(100, 3, 2)
+	d := New(Config{MinHistory: 3})
+	for i := 1; i <= 3; i++ {
+		rep, err := d.Observe(s[i-1], s[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Warmup {
+			t.Errorf("iteration %d not marked warmup", i)
+		}
+		if len(rep.Flagged) != 0 || rep.DistributionAlarm {
+			t.Errorf("iteration %d raised alarms during warmup", i)
+		}
+	}
+}
+
+func TestDetectsExponentBitFlip(t *testing.T) {
+	s := series(5000, 8, 3)
+	d := New(Config{})
+	feed(t, d, s, 7)
+
+	corrupted := append([]float64(nil), s[8]...)
+	// Flip a high exponent bit: value changes by many orders of
+	// magnitude.
+	orig, err := InjectBitFlip(corrupted, 1234, 62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrupted[1234] == orig {
+		t.Fatal("bit flip did not change the value")
+	}
+	rep, err := d.Observe(s[7], corrupted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, j := range rep.Flagged {
+		if j == 1234 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("exponent bit flip at 1234 not flagged (flagged: %v, threshold %v)", rep.Flagged, rep.TailThreshold)
+	}
+}
+
+func TestDetectsNaNProducingFlip(t *testing.T) {
+	s := series(2000, 8, 4)
+	d := New(Config{})
+	feed(t, d, s, 7)
+	corrupted := append([]float64(nil), s[8]...)
+	corrupted[77] = math.NaN()
+	corrupted[78] = math.Inf(1)
+	rep, err := d.Observe(s[7], corrupted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flagged := map[int]bool{}
+	for _, j := range rep.Flagged {
+		flagged[j] = true
+	}
+	if !flagged[77] || !flagged[78] {
+		t.Errorf("NaN/Inf not flagged: %v", rep.Flagged)
+	}
+}
+
+func TestLowMantissaBitFlipIsInvisible(t *testing.T) {
+	// Flipping bit 0 changes the value by ~1e-16 relative — far below
+	// physics noise. The detector must NOT flag it (it is also
+	// harmless).
+	s := series(2000, 8, 5)
+	d := New(Config{})
+	feed(t, d, s, 7)
+	corrupted := append([]float64(nil), s[8]...)
+	if _, err := InjectBitFlip(corrupted, 500, 0); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Observe(s[7], corrupted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range rep.Flagged {
+		if j == 500 {
+			t.Error("low mantissa flip flagged — threshold too tight")
+		}
+	}
+}
+
+func TestDetectsDistributionShift(t *testing.T) {
+	// A systematic error: every point suddenly changes 50x more than
+	// history — the histogram shifts wholesale.
+	s := series(5000, 8, 6)
+	d := New(Config{})
+	feed(t, d, s, 7)
+	rng := rand.New(rand.NewSource(60))
+	corrupted := make([]float64, len(s[7]))
+	for j := range corrupted {
+		corrupted[j] = s[7][j] * (1 + rng.NormFloat64()*0.1)
+	}
+	rep, err := d.Observe(s[7], corrupted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.DistributionAlarm {
+		t.Errorf("distribution shift not detected (JS %v)", rep.Divergence)
+	}
+}
+
+func TestCorruptIterationNotAbsorbed(t *testing.T) {
+	// After a detected corruption, the baseline must still reflect
+	// clean history: a subsequent clean iteration raises no alarm and
+	// a repeat of the corruption is still detected.
+	s := series(3000, 12, 7)
+	d := New(Config{})
+	feed(t, d, s, 7)
+
+	corrupted := append([]float64(nil), s[8]...)
+	if _, err := InjectBitFlip(corrupted, 10, 60); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Observe(s[7], corrupted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Flagged) == 0 {
+		t.Fatal("corruption not detected")
+	}
+	histLen := len(d.history)
+
+	rep, err = d.Observe(s[8], s[9])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DistributionAlarm {
+		t.Error("clean follow-up iteration alarmed")
+	}
+	if len(d.history) != histLen+1 && len(d.history) != d.cfg.Window {
+		t.Errorf("clean iteration not absorbed (history %d)", len(d.history))
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	d := New(Config{})
+	if _, err := d.Observe([]float64{1, 2}, []float64{1}); !errors.Is(err, ErrInput) {
+		t.Errorf("length mismatch: %v", err)
+	}
+}
+
+func TestInjectBitFlip(t *testing.T) {
+	data := []float64{1.5, -2.25}
+	orig, err := InjectBitFlip(data, 0, 63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig != 1.5 || data[0] != -1.5 {
+		t.Errorf("sign flip: orig %v now %v", orig, data[0])
+	}
+	// Round trip: flipping again restores.
+	if _, err := InjectBitFlip(data, 0, 63); err != nil {
+		t.Fatal(err)
+	}
+	if data[0] != 1.5 {
+		t.Errorf("double flip = %v", data[0])
+	}
+	if _, err := InjectBitFlip(data, 5, 3); !errors.Is(err, ErrInput) {
+		t.Errorf("out of range index: %v", err)
+	}
+	if _, err := InjectBitFlip(data, 0, 64); !errors.Is(err, ErrInput) {
+		t.Errorf("out of range bit: %v", err)
+	}
+}
+
+func TestJensenShannonProperties(t *testing.T) {
+	p := []float64{0.5, 0.5, 0}
+	q := []float64{0, 0.5, 0.5}
+	if js := jensenShannon(p, p); js != 0 {
+		t.Errorf("JS(p,p) = %v", js)
+	}
+	ab := jensenShannon(p, q)
+	ba := jensenShannon(q, p)
+	if math.Abs(ab-ba) > 1e-15 {
+		t.Errorf("JS not symmetric: %v vs %v", ab, ba)
+	}
+	if ab <= 0 || ab > math.Ln2+1e-12 {
+		t.Errorf("JS(p,q) = %v out of (0, ln2]", ab)
+	}
+	// Disjoint supports reach the ln 2 maximum.
+	disjoint := jensenShannon([]float64{1, 0}, []float64{0, 1})
+	if math.Abs(disjoint-math.Ln2) > 1e-12 {
+		t.Errorf("disjoint JS = %v, want ln2", disjoint)
+	}
+}
+
+func TestQuantileHelper(t *testing.T) {
+	if q := quantile(nil, 0.5); q != 0 {
+		t.Errorf("empty quantile = %v", q)
+	}
+	xs := []float64{3, 1, 2}
+	if q := quantile(xs, 1); q != 3 {
+		t.Errorf("q1 = %v", q)
+	}
+	if q := quantile(xs, 0); q != 1 {
+		t.Errorf("q0 = %v", q)
+	}
+	if xs[0] != 3 {
+		t.Error("quantile mutated input")
+	}
+}
+
+func TestDetectionRateAcrossBitPositions(t *testing.T) {
+	// SDC experiment: inject flips at representative bit positions and
+	// report which are caught. High exponent bits must be caught
+	// essentially always; low mantissa bits are invisible by design.
+	s := series(4000, 8, 8)
+	rng := rand.New(rand.NewSource(99))
+	mustCatch := []uint{62, 61, 60, 58} // high exponent
+	for _, bit := range mustCatch {
+		caught := 0
+		const trials = 10
+		for trial := 0; trial < trials; trial++ {
+			d := New(Config{})
+			feed(t, d, s, 7)
+			corrupted := append([]float64(nil), s[8]...)
+			idx := rng.Intn(len(corrupted))
+			if _, err := InjectBitFlip(corrupted, idx, bit); err != nil {
+				t.Fatal(err)
+			}
+			rep, err := d.Observe(s[7], corrupted)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, j := range rep.Flagged {
+				if j == idx {
+					caught++
+					break
+				}
+			}
+		}
+		if caught < trials-1 {
+			t.Errorf("bit %d: caught only %d/%d flips", bit, caught, trials)
+		}
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	s := series(1<<16, 9, 1)
+	d := New(Config{})
+	for i := 1; i <= 8; i++ {
+		if _, err := d.Observe(s[i-1], s[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(8 * len(s[0])))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Observe(s[8], s[9]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Package bsplines implements the "B-Splines" lossy compression
+// baseline of the NUMARCK paper (Chou & Piegl, ref [7]): the data
+// vector of one iteration is least-squares fitted by a cubic B-spline
+// curve with P_S control points, and only the control points are
+// stored. The paper sets P_S = 0.8·n, which pins the compression ratio
+// at 20 % for every dataset in Table I.
+package bsplines
+
+import (
+	"errors"
+	"fmt"
+
+	"numarck/internal/bspline"
+)
+
+// DefaultControlFraction is the paper's P_S/n = 0.8.
+const DefaultControlFraction = 0.8
+
+// ErrInput reports an invalid compression request.
+var ErrInput = errors.New("bsplines: invalid input")
+
+// Compressed is a B-spline-compressed data vector.
+type Compressed struct {
+	// N is the original number of samples.
+	N int
+	// Curve holds the fitted control points.
+	Curve *bspline.Curve
+}
+
+// Compress fits data with round(frac·len(data)) control points
+// (minimum 4). frac must be in (0, 1].
+func Compress(data []float64, frac float64) (*Compressed, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("%w: empty data", ErrInput)
+	}
+	if !(frac > 0 && frac <= 1) {
+		return nil, fmt.Errorf("%w: control fraction %v out of (0,1]", ErrInput, frac)
+	}
+	p := int(frac * float64(len(data)))
+	if p < bspline.Degree+1 {
+		p = bspline.Degree + 1
+	}
+	if p > len(data) {
+		p = len(data)
+	}
+	curve, err := bspline.Fit(data, p)
+	if err != nil {
+		return nil, err
+	}
+	return &Compressed{N: len(data), Curve: curve}, nil
+}
+
+// Decompress reconstructs the data vector by sampling the curve.
+func (c *Compressed) Decompress() []float64 {
+	return c.Curve.EvalSamples(c.N)
+}
+
+// SizeBits returns the storage cost the paper charges the baseline:
+// P_S 64-bit control points.
+func (c *Compressed) SizeBits() int {
+	return 64 * len(c.Curve.Ctrl)
+}
+
+// CompressionRatio returns the storage saving in percent relative to
+// storing N raw float64 values.
+func (c *Compressed) CompressionRatio() float64 {
+	raw := 64 * c.N
+	return float64(raw-c.SizeBits()) / float64(raw) * 100
+}

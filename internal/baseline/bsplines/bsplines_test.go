@@ -1,0 +1,118 @@
+package bsplines
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestPaperRatioIsTwentyPercent(t *testing.T) {
+	// With P_S = 0.8 n, Table I pins B-Splines at 20±0.000.
+	data := make([]float64, 12960)
+	for i := range data {
+		data[i] = math.Sin(float64(i) * 0.01)
+	}
+	c, err := Compress(data, DefaultControlFraction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := c.CompressionRatio(); math.Abs(r-20) > 0.01 {
+		t.Errorf("ratio = %v, want 20", r)
+	}
+}
+
+func TestRoundTripAccuracy(t *testing.T) {
+	n := 2000
+	data := make([]float64, n)
+	for i := range data {
+		x := float64(i) / float64(n-1)
+		data[i] = 3*math.Sin(5*x) + x*x
+	}
+	c, err := Compress(data, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := c.Decompress()
+	if len(rec) != n {
+		t.Fatalf("len = %d", len(rec))
+	}
+	for i := range data {
+		if math.Abs(rec[i]-data[i]) > 1e-6 {
+			t.Fatalf("sample %d: %v vs %v", i, rec[i], data[i])
+		}
+	}
+}
+
+func TestSmallFraction(t *testing.T) {
+	data := make([]float64, 100)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	c, err := Compress(data, 0.05) // 5 control points
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Curve.Ctrl) != 5 {
+		t.Errorf("ctrl points = %d", len(c.Curve.Ctrl))
+	}
+	// Linear data is still exact with any P >= 4.
+	rec := c.Decompress()
+	for i := range data {
+		if math.Abs(rec[i]-data[i]) > 1e-8*100 {
+			t.Fatalf("linear data sample %d: %v vs %v", i, rec[i], data[i])
+		}
+	}
+}
+
+func TestFractionFloorsAtDegreePlusOne(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6}
+	c, err := Compress(data, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Curve.Ctrl) != 4 {
+		t.Errorf("ctrl points = %d, want 4", len(c.Curve.Ctrl))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Compress(nil, 0.8); !errors.Is(err, ErrInput) {
+		t.Errorf("empty: %v", err)
+	}
+	if _, err := Compress([]float64{1, 2, 3, 4, 5}, 0); !errors.Is(err, ErrInput) {
+		t.Errorf("frac=0: %v", err)
+	}
+	if _, err := Compress([]float64{1, 2, 3, 4, 5}, 1.5); !errors.Is(err, ErrInput) {
+		t.Errorf("frac>1: %v", err)
+	}
+	if _, err := Compress([]float64{1, 2, 3, 4, 5}, math.NaN()); !errors.Is(err, ErrInput) {
+		t.Errorf("frac NaN: %v", err)
+	}
+}
+
+func TestTinyInput(t *testing.T) {
+	c, err := Compress([]float64{1, 2, 3, 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := c.Decompress()
+	for i, v := range []float64{1, 2, 3, 4} {
+		if math.Abs(rec[i]-v) > 1e-9 {
+			t.Errorf("tiny input sample %d: %v vs %v", i, rec[i], v)
+		}
+	}
+}
+
+func TestSizeBits(t *testing.T) {
+	data := make([]float64, 100)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	c, err := Compress(data, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SizeBits() != 80*64 {
+		t.Errorf("SizeBits = %d, want %d", c.SizeBits(), 80*64)
+	}
+}

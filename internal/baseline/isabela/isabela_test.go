@@ -1,0 +1,200 @@
+package isabela
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPaperRatios(t *testing.T) {
+	// Table I: W₀=512, P_I=30 gives 80.078 %; W₀=256 gives 75.781 %
+	// (for data whose length is a multiple of the window).
+	data := make([]float64, 512*10)
+	rng := rand.New(rand.NewSource(1))
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	c, err := Compress(data, 512, DefaultCoefficients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := c.CompressionRatio(); math.Abs(r-80.078125) > 1e-9 {
+		t.Errorf("W=512 ratio = %v, want 80.078125", r)
+	}
+	c, err = Compress(data, 256, DefaultCoefficients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := c.CompressionRatio(); math.Abs(r-75.78125) > 1e-9 {
+		t.Errorf("W=256 ratio = %v, want 75.78125", r)
+	}
+}
+
+func TestRoundTripHighCorrelation(t *testing.T) {
+	// ISABELA's selling point: >= 0.99 correlation on hard data.
+	rng := rand.New(rand.NewSource(2))
+	data := make([]float64, 2048)
+	for i := range data {
+		data[i] = rng.NormFloat64() * 100
+	}
+	c, err := Compress(data, 512, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := c.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec) != len(data) {
+		t.Fatalf("len = %d", len(rec))
+	}
+	// Pearson by hand to avoid importing stats (keeps the baseline
+	// dependency-light).
+	var md, mr float64
+	for i := range data {
+		md += data[i]
+		mr += rec[i]
+	}
+	md /= float64(len(data))
+	mr /= float64(len(data))
+	var num, dd, rr float64
+	for i := range data {
+		a, b := data[i]-md, rec[i]-mr
+		num += a * b
+		dd += a * a
+		rr += b * b
+	}
+	rho := num / math.Sqrt(dd*rr)
+	if rho < 0.99 {
+		t.Errorf("correlation = %v, want >= 0.99", rho)
+	}
+}
+
+func TestPermutationRestoresOrder(t *testing.T) {
+	// A strictly increasing sequence sorts to itself; a reversed one
+	// must be un-permuted exactly.
+	n := 512
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = float64(n - i)
+	}
+	c, err := Compress(data, 512, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := c.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruction must be monotone decreasing like the input.
+	for i := 1; i < n; i++ {
+		if rec[i] > rec[i-1]+1e-6 {
+			t.Fatalf("order not restored at %d: %v > %v", i, rec[i], rec[i-1])
+		}
+	}
+	// And close in value: the sorted curve is linear, hence exact.
+	for i := range data {
+		if math.Abs(rec[i]-data[i]) > 1e-6*float64(n) {
+			t.Fatalf("value %d: %v vs %v", i, rec[i], data[i])
+		}
+	}
+}
+
+func TestPartialTailWindow(t *testing.T) {
+	data := make([]float64, 512+100)
+	rng := rand.New(rand.NewSource(3))
+	for i := range data {
+		data[i] = rng.Float64()
+	}
+	c, err := Compress(data, 512, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := c.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec) != len(data) {
+		t.Fatalf("len = %d, want %d", len(rec), len(data))
+	}
+}
+
+func TestTinyTailWindow(t *testing.T) {
+	// Tail smaller than degree+1 stores values verbatim.
+	data := make([]float64, 512+2)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	c, err := Compress(data, 512, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := c.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec[512] != 512 || rec[513] != 513 {
+		t.Errorf("tail = %v, %v", rec[512], rec[513])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Compress(nil, 512, 30); !errors.Is(err, ErrInput) {
+		t.Errorf("empty: %v", err)
+	}
+	if _, err := Compress([]float64{1}, 100, 30); !errors.Is(err, ErrInput) {
+		t.Errorf("non-power-of-two window: %v", err)
+	}
+	if _, err := Compress([]float64{1}, 4, 30); !errors.Is(err, ErrInput) {
+		t.Errorf("window too small: %v", err)
+	}
+	if _, err := Compress([]float64{1}, 512, 2); !errors.Is(err, ErrInput) {
+		t.Errorf("coeffs too small: %v", err)
+	}
+}
+
+func TestPermBits(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{1, 1}, {2, 1}, {3, 2}, {4, 2}, {255, 8}, {256, 8}, {257, 9}, {512, 9},
+	}
+	for _, c := range cases {
+		if got := permBits(c.n); got != c.want {
+			t.Errorf("permBits(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestConstantWindow(t *testing.T) {
+	data := make([]float64, 512)
+	for i := range data {
+		data[i] = 5.5
+	}
+	c, err := Compress(data, 512, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := c.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range rec {
+		if math.Abs(v-5.5) > 1e-9 {
+			t.Fatalf("constant window value %d = %v", i, v)
+		}
+	}
+}
+
+func BenchmarkCompress512(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]float64, 12960)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(data, 512, 30); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+// Package bspline implements clamped uniform cubic B-spline curves and
+// their least-squares fit to sampled data. It is the numerical substrate
+// shared by the two lossy baselines the NUMARCK paper compares against:
+// the B-Splines compressor of Chou & Piegl (ref [7]) and ISABELA
+// (ref [15]), which fits a B-spline to the sorted values of each window.
+//
+// A fit treats the data vector y as samples of a function over the unit
+// parameter interval, taken at t_i = i/(n-1), and solves the banded
+// normal equations NᵀN c = Nᵀy with a banded Cholesky factorization.
+// Cubic basis functions have 4-wide support, so the Gram matrix has
+// bandwidth 3 and the whole fit runs in O(n + P) time and memory.
+package bspline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Degree is the polynomial degree of all curves in this package.
+const Degree = 3
+
+// ErrFit reports an invalid fitting request.
+var ErrFit = errors.New("bspline: invalid fit")
+
+// Curve is a clamped uniform cubic B-spline on [0, 1].
+type Curve struct {
+	// Ctrl are the control point ordinates. len(Ctrl) >= Degree+1.
+	Ctrl []float64
+}
+
+// NumKnots returns the length of the implied clamped uniform knot
+// vector (P + Degree + 1).
+func (c *Curve) NumKnots() int { return len(c.Ctrl) + Degree + 1 }
+
+// knot returns knot i of the clamped uniform vector: Degree+1 zeros,
+// uniformly spaced interior knots, Degree+1 ones.
+func knot(i, numCtrl int) float64 {
+	switch {
+	case i <= Degree:
+		return 0
+	case i >= numCtrl:
+		return 1
+	default:
+		return float64(i-Degree) / float64(numCtrl-Degree)
+	}
+}
+
+// findSpan returns the knot span index k such that knot(k) <= t <
+// knot(k+1), with the conventional clamp of t=1 into the last non-empty
+// span (The NURBS Book A2.1, specialized to clamped uniform knots).
+func findSpan(t float64, numCtrl int) int {
+	if t >= 1 {
+		return numCtrl - 1
+	}
+	if t <= 0 {
+		return Degree
+	}
+	spans := numCtrl - Degree // number of interior spans
+	k := Degree + int(t*float64(spans))
+	if k > numCtrl-1 {
+		k = numCtrl - 1
+	}
+	// Guard against floating-point edge cases at span boundaries.
+	for k > Degree && t < knot(k, numCtrl) {
+		k--
+	}
+	for k < numCtrl-1 && t >= knot(k+1, numCtrl) {
+		k++
+	}
+	return k
+}
+
+// basisFuns computes the Degree+1 non-vanishing basis functions at t in
+// span k (The NURBS Book A2.2). out[j] is N_{k-Degree+j}(t).
+func basisFuns(k int, t float64, numCtrl int, out *[Degree + 1]float64) {
+	var left, right [Degree + 1]float64
+	out[0] = 1
+	for j := 1; j <= Degree; j++ {
+		left[j] = t - knot(k+1-j, numCtrl)
+		right[j] = knot(k+j, numCtrl) - t
+		saved := 0.0
+		for r := 0; r < j; r++ {
+			den := right[r+1] + left[j-r]
+			var temp float64
+			if den != 0 {
+				temp = out[r] / den
+			}
+			out[r] = saved + right[r+1]*temp
+			saved = left[j-r] * temp
+		}
+		out[j] = saved
+	}
+}
+
+// Eval evaluates the curve at parameter t in [0, 1] (clamped outside).
+func (c *Curve) Eval(t float64) float64 {
+	numCtrl := len(c.Ctrl)
+	k := findSpan(t, numCtrl)
+	var b [Degree + 1]float64
+	basisFuns(k, t, numCtrl, &b)
+	var v float64
+	for j := 0; j <= Degree; j++ {
+		v += b[j] * c.Ctrl[k-Degree+j]
+	}
+	return v
+}
+
+// EvalSamples evaluates the curve at the n sample parameters
+// t_i = i/(n-1) (t_0 = 0 when n == 1).
+func (c *Curve) EvalSamples(n int) []float64 {
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	if n == 1 {
+		out[0] = c.Eval(0)
+		return out
+	}
+	for i := range out {
+		out[i] = c.Eval(float64(i) / float64(n-1))
+	}
+	return out
+}
+
+// Fit least-squares fits a curve with numCtrl control points to y,
+// sampled at t_i = i/(n-1). It requires numCtrl >= Degree+1 and
+// len(y) >= numCtrl. A tiny ridge term keeps the normal equations
+// positive definite when some basis functions see few samples.
+func Fit(y []float64, numCtrl int) (*Curve, error) {
+	n := len(y)
+	if numCtrl < Degree+1 {
+		return nil, fmt.Errorf("%w: need at least %d control points, got %d", ErrFit, Degree+1, numCtrl)
+	}
+	if n < numCtrl {
+		return nil, fmt.Errorf("%w: %d samples cannot determine %d control points", ErrFit, n, numCtrl)
+	}
+	for i, v := range y {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("%w: non-finite sample %v at %d", ErrFit, v, i)
+		}
+	}
+
+	const bw = Degree // Gram matrix bandwidth
+	// Banded upper storage: a[i][d] = A[i][i+d], d = 0..bw.
+	a := make([][bw + 1]float64, numCtrl)
+	rhs := make([]float64, numCtrl)
+
+	var basis [Degree + 1]float64
+	denom := float64(n - 1)
+	if n == 1 {
+		denom = 1
+	}
+	maxDiag := 0.0
+	for i := 0; i < n; i++ {
+		t := float64(i) / denom
+		k := findSpan(t, numCtrl)
+		basisFuns(k, t, numCtrl, &basis)
+		base := k - Degree
+		for r := 0; r <= Degree; r++ {
+			rowIdx := base + r
+			rhs[rowIdx] += basis[r] * y[i]
+			for cIdx := r; cIdx <= Degree; cIdx++ {
+				a[rowIdx][cIdx-r] += basis[r] * basis[cIdx]
+			}
+		}
+	}
+	for i := range a {
+		if a[i][0] > maxDiag {
+			maxDiag = a[i][0]
+		}
+	}
+	// Ridge: keeps empty-support columns solvable and conditions
+	// near-singular Gram matrices without visibly biasing the fit.
+	ridge := 1e-12 * maxDiag
+	if ridge == 0 {
+		ridge = 1e-300
+	}
+	for i := range a {
+		a[i][0] += ridge
+	}
+
+	ctrl, err := solveBandedSPD(a, rhs, bw)
+	if err != nil {
+		return nil, err
+	}
+	return &Curve{Ctrl: ctrl}, nil
+}
+
+// solveBandedSPD solves A x = b for a symmetric positive definite
+// banded matrix given in upper-banded storage a[i][d] = A[i][i+d],
+// using a banded Cholesky factorization A = LLᵀ.
+func solveBandedSPD(a [][Degree + 1]float64, b []float64, bw int) ([]float64, error) {
+	n := len(a)
+	// Lower-banded storage for L: l[i][d] = L[i][i-d], d = 0..bw.
+	l := make([][Degree + 1]float64, n)
+	for i := 0; i < n; i++ {
+		// Diagonal entry.
+		sum := a[i][0]
+		for d := 1; d <= bw && d <= i; d++ {
+			sum -= l[i][d] * l[i][d]
+		}
+		if sum <= 0 {
+			return nil, fmt.Errorf("bspline: normal equations not positive definite at row %d", i)
+		}
+		l[i][0] = math.Sqrt(sum)
+		// Sub-diagonal entries of column i: L[j][i] for j = i+1..i+bw.
+		for j := i + 1; j <= i+bw && j < n; j++ {
+			s := a[i][j-i] // A[j][i] == A[i][j]
+			for d := 1; d <= bw; d++ {
+				// L[j][m] * L[i][m] with m = j-dj = i-di.
+				m := j - d
+				if m < 0 || m >= i {
+					continue
+				}
+				di := i - m
+				if di > bw {
+					continue
+				}
+				s -= l[j][d] * l[i][di]
+			}
+			l[j][j-i] = s / l[i][0]
+		}
+	}
+	// Forward solve L y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for d := 1; d <= bw && d <= i; d++ {
+			s -= l[i][d] * y[i-d]
+		}
+		y[i] = s / l[i][0]
+	}
+	// Backward solve Lᵀ x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for d := 1; d <= bw && i+d < n; d++ {
+			s -= l[i+d][d] * x[i+d]
+		}
+		x[i] = s / l[i][0]
+	}
+	return x, nil
+}

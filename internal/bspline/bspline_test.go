@@ -1,0 +1,296 @@
+package bspline
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKnotVectorClamped(t *testing.T) {
+	P := 8
+	for i := 0; i <= Degree; i++ {
+		if knot(i, P) != 0 {
+			t.Errorf("knot(%d) = %v, want 0", i, knot(i, P))
+		}
+	}
+	for i := P; i < P+Degree+1; i++ {
+		if knot(i, P) != 1 {
+			t.Errorf("knot(%d) = %v, want 1", i, knot(i, P))
+		}
+	}
+	// Interior knots strictly increasing.
+	for i := Degree; i < P; i++ {
+		if knot(i+1, P) <= knot(i, P) && i+1 < P {
+			t.Errorf("knots not increasing at %d: %v, %v", i, knot(i, P), knot(i+1, P))
+		}
+	}
+}
+
+func TestFindSpanBounds(t *testing.T) {
+	P := 10
+	if findSpan(0, P) != Degree {
+		t.Errorf("findSpan(0) = %d", findSpan(0, P))
+	}
+	if findSpan(1, P) != P-1 {
+		t.Errorf("findSpan(1) = %d", findSpan(1, P))
+	}
+	if findSpan(-5, P) != Degree {
+		t.Errorf("findSpan(-5) = %d", findSpan(-5, P))
+	}
+	if findSpan(7, P) != P-1 {
+		t.Errorf("findSpan(7) = %d", findSpan(7, P))
+	}
+	// Every t maps to a span whose knot interval contains it.
+	for i := 0; i <= 1000; i++ {
+		tt := float64(i) / 1000
+		k := findSpan(tt, P)
+		if k < Degree || k > P-1 {
+			t.Fatalf("span %d out of range at t=%v", k, tt)
+		}
+		if tt < 1 && !(knot(k, P) <= tt && tt < knot(k+1, P)) {
+			t.Fatalf("t=%v not in span %d: [%v, %v)", tt, k, knot(k, P), knot(k+1, P))
+		}
+	}
+}
+
+func TestBasisPartitionOfUnity(t *testing.T) {
+	// B-spline basis functions sum to 1 everywhere, and are >= 0.
+	for _, P := range []int{4, 5, 9, 30} {
+		for i := 0; i <= 500; i++ {
+			tt := float64(i) / 500
+			k := findSpan(tt, P)
+			var b [Degree + 1]float64
+			basisFuns(k, tt, P, &b)
+			sum := 0.0
+			for _, v := range b {
+				if v < -1e-12 {
+					t.Fatalf("P=%d t=%v: negative basis %v", P, tt, v)
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-12 {
+				t.Fatalf("P=%d t=%v: basis sum %v", P, tt, sum)
+			}
+		}
+	}
+}
+
+func TestCurveEndpointInterpolation(t *testing.T) {
+	// Clamped curves interpolate their first and last control points.
+	c := &Curve{Ctrl: []float64{2, -1, 4, 7, 3, 9}}
+	if got := c.Eval(0); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Eval(0) = %v, want 2", got)
+	}
+	if got := c.Eval(1); math.Abs(got-9) > 1e-12 {
+		t.Errorf("Eval(1) = %v, want 9", got)
+	}
+}
+
+func TestCurveConvexHull(t *testing.T) {
+	// The curve stays within [min ctrl, max ctrl].
+	c := &Curve{Ctrl: []float64{0, 5, -2, 3, 1, 4, 2}}
+	for i := 0; i <= 200; i++ {
+		v := c.Eval(float64(i) / 200)
+		if v < -2-1e-9 || v > 5+1e-9 {
+			t.Fatalf("Eval escaped convex hull: %v", v)
+		}
+	}
+}
+
+func TestFitReproducesCubicExactly(t *testing.T) {
+	// A cubic polynomial lies in the spline space, so the LS fit must
+	// reproduce it to machine precision regardless of P.
+	n := 200
+	y := make([]float64, n)
+	for i := range y {
+		x := float64(i) / float64(n-1)
+		y[i] = 2 + 3*x - 4*x*x + 0.5*x*x*x
+	}
+	for _, P := range []int{4, 8, 20, 100} {
+		c, err := Fit(y, P)
+		if err != nil {
+			t.Fatalf("P=%d: %v", P, err)
+		}
+		rec := c.EvalSamples(n)
+		for i := range y {
+			if math.Abs(rec[i]-y[i]) > 1e-8 {
+				t.Fatalf("P=%d sample %d: %v vs %v", P, i, rec[i], y[i])
+			}
+		}
+	}
+}
+
+func TestFitConstantData(t *testing.T) {
+	y := make([]float64, 50)
+	for i := range y {
+		y[i] = 7.25
+	}
+	c, err := Fit(y, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range c.EvalSamples(50) {
+		if math.Abs(v-7.25) > 1e-9 {
+			t.Fatalf("constant fit evaluated to %v", v)
+		}
+	}
+}
+
+func TestFitSmoothDataAccuracy(t *testing.T) {
+	n := 1000
+	y := make([]float64, n)
+	for i := range y {
+		x := float64(i) / float64(n-1)
+		y[i] = math.Sin(2*math.Pi*x) + 0.3*math.Cos(6*math.Pi*x)
+	}
+	c, err := Fit(y, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := c.EvalSamples(n)
+	var maxErr float64
+	for i := range y {
+		if e := math.Abs(rec[i] - y[i]); e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 1e-3 {
+		t.Errorf("max fit error %v on smooth data with 50 ctrl points", maxErr)
+	}
+}
+
+func TestFitHighRatioLikeBaseline(t *testing.T) {
+	// The B-Splines baseline uses P = 0.8 n; exercise that regime.
+	n := 500
+	rng := rand.New(rand.NewSource(1))
+	y := make([]float64, n)
+	for i := range y {
+		y[i] = math.Sin(float64(i)*0.05) + rng.NormFloat64()*0.01
+	}
+	c, err := Fit(y, n*8/10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := c.EvalSamples(n)
+	rmse := 0.0
+	for i := range y {
+		d := rec[i] - y[i]
+		rmse += d * d
+	}
+	rmse = math.Sqrt(rmse / float64(n))
+	if rmse > 0.05 {
+		t.Errorf("P=0.8n RMSE = %v", rmse)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit([]float64{1, 2, 3}, 2); !errors.Is(err, ErrFit) {
+		t.Errorf("too few ctrl: %v", err)
+	}
+	if _, err := Fit([]float64{1, 2, 3}, 5); !errors.Is(err, ErrFit) {
+		t.Errorf("too few samples: %v", err)
+	}
+	if _, err := Fit([]float64{1, math.NaN(), 3, 4, 5}, 4); !errors.Is(err, ErrFit) {
+		t.Errorf("NaN accepted: %v", err)
+	}
+	if _, err := Fit([]float64{1, 2, math.Inf(1), 4, 5}, 4); !errors.Is(err, ErrFit) {
+		t.Errorf("Inf accepted: %v", err)
+	}
+}
+
+func TestEvalSamplesEdgeCases(t *testing.T) {
+	c := &Curve{Ctrl: []float64{1, 2, 3, 4}}
+	if out := c.EvalSamples(0); len(out) != 0 {
+		t.Errorf("n=0: %v", out)
+	}
+	out := c.EvalSamples(1)
+	if len(out) != 1 || math.Abs(out[0]-1) > 1e-12 {
+		t.Errorf("n=1: %v", out)
+	}
+}
+
+func TestFitMonotoneDataStaysClose(t *testing.T) {
+	// ISABELA's use case: fitting a sorted (monotone) vector with few
+	// coefficients should already be very accurate.
+	rng := rand.New(rand.NewSource(2))
+	n := 512
+	y := make([]float64, n)
+	v := 0.0
+	for i := range y {
+		v += rng.ExpFloat64()
+		y[i] = v
+	}
+	c, err := Fit(y, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := c.EvalSamples(n)
+	rng2 := y[n-1] - y[0]
+	for i := range y {
+		if math.Abs(rec[i]-y[i]) > 0.05*rng2 {
+			t.Fatalf("sorted-fit error at %d: %v vs %v (range %v)", i, rec[i], y[i], rng2)
+		}
+	}
+}
+
+func TestQuickFitLinearExact(t *testing.T) {
+	// Any affine function is reproduced exactly (it lies in the spline
+	// space), for arbitrary slope/intercept.
+	f := func(slope, icept float64) bool {
+		if math.IsNaN(slope) || math.IsInf(slope, 0) || math.Abs(slope) > 1e6 {
+			return true
+		}
+		if math.IsNaN(icept) || math.IsInf(icept, 0) || math.Abs(icept) > 1e6 {
+			return true
+		}
+		n := 64
+		y := make([]float64, n)
+		for i := range y {
+			y[i] = icept + slope*float64(i)/float64(n-1)
+		}
+		c, err := Fit(y, 12)
+		if err != nil {
+			return false
+		}
+		rec := c.EvalSamples(n)
+		scale := 1 + math.Abs(slope) + math.Abs(icept)
+		for i := range y {
+			if math.Abs(rec[i]-y[i]) > 1e-8*scale {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkFit512x30(b *testing.B) {
+	y := make([]float64, 512)
+	for i := range y {
+		y[i] = math.Sin(float64(i) * 0.01)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(y, 30); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitHighRatio(b *testing.B) {
+	n := 12960
+	y := make([]float64, n)
+	for i := range y {
+		y[i] = math.Sin(float64(i) * 0.001)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(y, n*8/10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

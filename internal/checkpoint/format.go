@@ -1,0 +1,243 @@
+// Package checkpoint implements NUMARCK's on-disk checkpoint store
+// (§II-D): a directory of per-variable checkpoint files where the first
+// (and periodically recurring) checkpoints are stored losslessly with
+// FPC, intermediate checkpoints store only the NUMARCK-encoded change
+// ratios, and restart replays the delta chain on top of the latest full
+// checkpoint at or before the requested iteration.
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"numarck/internal/bitpack"
+	"numarck/internal/core"
+	"numarck/internal/lossless/fpc"
+)
+
+// File magics. Each file starts with 6 magic bytes, a 4-byte
+// little-endian header length, the JSON header, then the payload.
+var (
+	magicFull  = []byte("NMRKF1")
+	magicDelta = []byte("NMRKD1")
+)
+
+// ErrCorrupt reports an unreadable checkpoint file.
+var ErrCorrupt = errors.New("checkpoint: corrupt file")
+
+// fileHeader is the JSON header of both file kinds.
+type fileHeader struct {
+	Variable  string `json:"variable"`
+	Iteration int    `json:"iteration"`
+	N         int    `json:"n"`
+	CRC       uint32 `json:"crc"` // of the payload bytes
+	// Delta-only fields:
+	IndexBits  int     `json:"index_bits,omitempty"`
+	ErrorBound float64 `json:"error_bound,omitempty"`
+	Strategy   string  `json:"strategy,omitempty"`
+	BinCount   int     `json:"bin_count,omitempty"`
+	ExactCount int     `json:"exact_count,omitempty"`
+}
+
+// writeFile assembles magic | len | header | payload.
+func writeFile(w io.Writer, magic []byte, hdr fileHeader, payload []byte) error {
+	hdr.CRC = crc32.ChecksumIEEE(payload)
+	hj, err := json.Marshal(hdr)
+	if err != nil {
+		return fmt.Errorf("checkpoint: marshal header: %w", err)
+	}
+	if _, err := w.Write(magic); err != nil {
+		return err
+	}
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(hj)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(hj); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// readFile parses magic | len | header | payload and verifies the CRC.
+func readFile(data, magic []byte) (fileHeader, []byte, error) {
+	var hdr fileHeader
+	if len(data) < len(magic)+4 {
+		return hdr, nil, fmt.Errorf("%w: shorter than header", ErrCorrupt)
+	}
+	if !bytes.Equal(data[:len(magic)], magic) {
+		return hdr, nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[:len(magic)])
+	}
+	off := len(magic)
+	hlen := int(binary.LittleEndian.Uint32(data[off : off+4]))
+	off += 4
+	if hlen < 2 || off+hlen > len(data) {
+		return hdr, nil, fmt.Errorf("%w: header length %d", ErrCorrupt, hlen)
+	}
+	if err := json.Unmarshal(data[off:off+hlen], &hdr); err != nil {
+		return hdr, nil, fmt.Errorf("%w: header: %v", ErrCorrupt, err)
+	}
+	payload := data[off+hlen:]
+	if crc := crc32.ChecksumIEEE(payload); crc != hdr.CRC {
+		return hdr, nil, fmt.Errorf("%w: payload CRC %08x, header says %08x", ErrCorrupt, crc, hdr.CRC)
+	}
+	return hdr, payload, nil
+}
+
+// MarshalFull serializes a full (lossless) checkpoint of one variable.
+func MarshalFull(variable string, iteration int, data []float64) ([]byte, error) {
+	payload := fpc.Compress(data)
+	var buf bytes.Buffer
+	err := writeFile(&buf, magicFull, fileHeader{
+		Variable:  variable,
+		Iteration: iteration,
+		N:         len(data),
+	}, payload)
+	if err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalFull parses a full checkpoint file.
+func UnmarshalFull(raw []byte) (variable string, iteration int, data []float64, err error) {
+	hdr, payload, err := readFile(raw, magicFull)
+	if err != nil {
+		return "", 0, nil, err
+	}
+	data, err = fpc.Decompress(payload)
+	if err != nil {
+		return "", 0, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if len(data) != hdr.N {
+		return "", 0, nil, fmt.Errorf("%w: %d values, header says %d", ErrCorrupt, len(data), hdr.N)
+	}
+	return hdr.Variable, hdr.Iteration, data, nil
+}
+
+// MarshalDelta serializes a NUMARCK-encoded checkpoint. Layout of the
+// payload: bin table (BinCount float64 LE) | packed indices | bitmap |
+// exact values (ExactCount float64 LE).
+func MarshalDelta(variable string, iteration int, enc *core.Encoded) ([]byte, error) {
+	packed, err := enc.PackedIndices()
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: pack indices: %w", err)
+	}
+	payload := make([]byte, 0,
+		8*len(enc.BinRatios)+len(packed)+len(enc.Incompressible.Bytes())+8*len(enc.Exact))
+	payload = appendFloats(payload, enc.BinRatios)
+	payload = append(payload, packed...)
+	payload = append(payload, enc.Incompressible.Bytes()...)
+	payload = appendFloats(payload, enc.Exact)
+
+	var buf bytes.Buffer
+	err = writeFile(&buf, magicDelta, fileHeader{
+		Variable:   variable,
+		Iteration:  iteration,
+		N:          enc.N,
+		IndexBits:  enc.Opt.IndexBits,
+		ErrorBound: enc.Opt.ErrorBound,
+		Strategy:   enc.Opt.Strategy.String(),
+		BinCount:   len(enc.BinRatios),
+		ExactCount: len(enc.Exact),
+	}, payload)
+	if err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalDelta parses a delta checkpoint file back into a decodable
+// core.Encoded. The TrueRatios field is not stored on disk, so the
+// returned value supports Decode but not error-rate accounting.
+func UnmarshalDelta(raw []byte) (variable string, iteration int, enc *core.Encoded, err error) {
+	hdr, payload, err := readFile(raw, magicDelta)
+	if err != nil {
+		return "", 0, nil, err
+	}
+	if hdr.N < 0 || hdr.BinCount < 0 || hdr.ExactCount < 0 || hdr.ExactCount > hdr.N {
+		return "", 0, nil, fmt.Errorf("%w: implausible counts n=%d bins=%d exact=%d", ErrCorrupt, hdr.N, hdr.BinCount, hdr.ExactCount)
+	}
+	if hdr.IndexBits < 1 || hdr.IndexBits > core.MaxIndexBits {
+		return "", 0, nil, fmt.Errorf("%w: index bits %d", ErrCorrupt, hdr.IndexBits)
+	}
+	strategy, err := core.ParseStrategy(hdr.Strategy)
+	if err != nil {
+		return "", 0, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+
+	binBytes := 8 * hdr.BinCount
+	idxBytes := bitpack.PackedLen(hdr.N, hdr.IndexBits)
+	mapBytes := (hdr.N + 7) / 8
+	exactBytes := 8 * hdr.ExactCount
+	if len(payload) != binBytes+idxBytes+mapBytes+exactBytes {
+		return "", 0, nil, fmt.Errorf("%w: payload %d bytes, want %d", ErrCorrupt,
+			len(payload), binBytes+idxBytes+mapBytes+exactBytes)
+	}
+	bins := readFloats(payload[:binBytes], hdr.BinCount)
+	indices, err := bitpack.Unpack(payload[binBytes:binBytes+idxBytes], hdr.N, hdr.IndexBits)
+	if err != nil {
+		return "", 0, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	bitmap, err := bitpack.BitmapFromBytes(payload[binBytes+idxBytes:binBytes+idxBytes+mapBytes], hdr.N)
+	if err != nil {
+		return "", 0, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	exact := readFloats(payload[binBytes+idxBytes+mapBytes:], hdr.ExactCount)
+
+	// Cross-validate: every index must reference an existing bin, and
+	// the bitmap population must match the exact-value count.
+	if bitmap.Count() != hdr.ExactCount {
+		return "", 0, nil, fmt.Errorf("%w: bitmap flags %d points, %d exact values stored", ErrCorrupt, bitmap.Count(), hdr.ExactCount)
+	}
+	for j, idx := range indices {
+		if int(idx) > hdr.BinCount {
+			return "", 0, nil, fmt.Errorf("%w: index %d at point %d exceeds bin count %d", ErrCorrupt, idx, j, hdr.BinCount)
+		}
+	}
+
+	opt := core.Options{
+		ErrorBound: hdr.ErrorBound,
+		IndexBits:  hdr.IndexBits,
+		Strategy:   strategy,
+	}
+	if v, err := opt.Validate(); err == nil {
+		opt = v
+	} else {
+		return "", 0, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	enc = &core.Encoded{
+		Opt:            opt,
+		N:              hdr.N,
+		BinRatios:      bins,
+		Indices:        indices,
+		Incompressible: bitmap,
+		Exact:          exact,
+	}
+	return hdr.Variable, hdr.Iteration, enc, nil
+}
+
+func appendFloats(dst []byte, vals []float64) []byte {
+	var b [8]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		dst = append(dst, b[:]...)
+	}
+	return dst
+}
+
+func readFloats(src []byte, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:]))
+	}
+	return out
+}

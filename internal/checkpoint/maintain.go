@@ -1,0 +1,191 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// VerifyIssue describes one problem Verify found.
+type VerifyIssue struct {
+	Variable  string
+	Kind      string
+	Iteration int
+	Err       error
+}
+
+func (v VerifyIssue) String() string {
+	return fmt.Sprintf("%s.%s.%06d: %v", v.Variable, v.Kind, v.Iteration, v.Err)
+}
+
+// Verify walks every checkpoint file in the store, parses it, and
+// checks its CRC and header identity. It returns all issues found (nil
+// means the store is clean). Chain gaps are reported per variable: a
+// delta with no reachable full checkpoint makes its iteration
+// unrestorable.
+func (st *Store) Verify() ([]VerifyIssue, error) {
+	vars, err := st.Variables()
+	if err != nil {
+		return nil, err
+	}
+	var issues []VerifyIssue
+	for _, v := range vars {
+		entries, err := st.List(v)
+		if err != nil {
+			return nil, err
+		}
+		lastFull := -1
+		expected := -1
+		for _, e := range entries {
+			switch e.Kind {
+			case "full":
+				if _, err := st.ReadFull(v, e.Iteration); err != nil {
+					issues = append(issues, VerifyIssue{v, e.Kind, e.Iteration, err})
+					continue
+				}
+				lastFull = e.Iteration
+				expected = e.Iteration + 1
+			case "delta":
+				if _, err := st.ReadDelta(v, e.Iteration); err != nil {
+					issues = append(issues, VerifyIssue{v, e.Kind, e.Iteration, err})
+					continue
+				}
+				switch {
+				case lastFull < 0:
+					issues = append(issues, VerifyIssue{v, e.Kind, e.Iteration,
+						fmt.Errorf("%w: no full checkpoint precedes it", ErrChain)})
+				case e.Iteration != expected:
+					issues = append(issues, VerifyIssue{v, e.Kind, e.Iteration,
+						fmt.Errorf("%w: expected iteration %d next", ErrChain, expected)})
+					expected = e.Iteration + 1 // keep scanning from here
+				default:
+					expected = e.Iteration + 1
+				}
+			}
+		}
+	}
+	return issues, nil
+}
+
+// VariableStats summarizes one variable's storage in the store.
+type VariableStats struct {
+	Variable   string
+	Fulls      int
+	Deltas     int
+	FullBytes  int64
+	DeltaBytes int64
+	FirstIter  int
+	LastIter   int
+}
+
+// TotalBytes returns the variable's total on-disk size.
+func (s VariableStats) TotalBytes() int64 { return s.FullBytes + s.DeltaBytes }
+
+// Stats returns per-variable storage statistics, sorted by variable
+// name.
+func (st *Store) Stats() ([]VariableStats, error) {
+	vars, err := st.Variables()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]VariableStats, 0, len(vars))
+	for _, v := range vars {
+		entries, err := st.List(v)
+		if err != nil {
+			return nil, err
+		}
+		s := VariableStats{Variable: v, FirstIter: -1}
+		for _, e := range entries {
+			info, err := os.Stat(st.path(v, e.Kind, e.Iteration))
+			if err != nil {
+				return nil, err
+			}
+			if s.FirstIter < 0 || e.Iteration < s.FirstIter {
+				s.FirstIter = e.Iteration
+			}
+			if e.Iteration > s.LastIter {
+				s.LastIter = e.Iteration
+			}
+			if e.Kind == "full" {
+				s.Fulls++
+				s.FullBytes += info.Size()
+			} else {
+				s.Deltas++
+				s.DeltaBytes += info.Size()
+			}
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Variable < out[b].Variable })
+	return out, nil
+}
+
+// LatestRestorable returns the highest iteration of a variable that can
+// be reconstructed: the end of the unbroken delta chain rooted at the
+// latest full checkpoint. ErrNotFound means no full checkpoint exists.
+func (st *Store) LatestRestorable(variable string) (int, error) {
+	entries, err := st.List(variable)
+	if err != nil {
+		return 0, err
+	}
+	restorable := -1
+	chainNext := -1
+	for _, e := range entries {
+		switch {
+		case e.Kind == "full":
+			if e.Iteration > restorable {
+				restorable = e.Iteration
+			}
+			chainNext = e.Iteration + 1
+		case e.Kind == "delta" && e.Iteration == chainNext:
+			restorable = e.Iteration
+			chainNext++
+		default:
+			chainNext = -1 // chain broken until the next full
+		}
+	}
+	if restorable < 0 {
+		return 0, fmt.Errorf("%w: variable %s has no full checkpoint", ErrNotFound, variable)
+	}
+	return restorable, nil
+}
+
+// ErrNothingToGC reports a GC request that would delete everything.
+var ErrNothingToGC = errors.New("checkpoint: no full checkpoint to retain")
+
+// GC deletes, for every variable, all checkpoints strictly before the
+// last full checkpoint at or before keepFrom, preserving the ability to
+// restart at any iteration >= that full. It returns the number of
+// files removed. Typical use: after a simulation confirms progress
+// beyond iteration i, GC(i) drops the now-unneeded prefix.
+func (st *Store) GC(keepFrom int) (removed int, err error) {
+	vars, err := st.Variables()
+	if err != nil {
+		return 0, err
+	}
+	for _, v := range vars {
+		entries, err := st.List(v)
+		if err != nil {
+			return removed, err
+		}
+		baseFull := -1
+		for _, e := range entries {
+			if e.Kind == "full" && e.Iteration <= keepFrom {
+				baseFull = e.Iteration
+			}
+		}
+		if baseFull < 0 {
+			return removed, fmt.Errorf("%w: variable %s has no full checkpoint at or before %d", ErrNothingToGC, v, keepFrom)
+		}
+		for _, e := range entries {
+			if e.Iteration < baseFull {
+				if err := os.Remove(st.path(v, e.Kind, e.Iteration)); err != nil {
+					return removed, err
+				}
+				removed++
+			}
+		}
+	}
+	return removed, nil
+}

@@ -1,0 +1,359 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"numarck/internal/core"
+)
+
+// Store is a directory-backed checkpoint store. Files are named
+// <variable>.<kind>.<iteration>.nmk with kind "full" or "delta", plus a
+// manifest.json recording the encoding options.
+type Store struct {
+	dir string
+	opt core.Options
+}
+
+// manifest is the store-level metadata file.
+type manifest struct {
+	Version    int     `json:"version"`
+	ErrorBound float64 `json:"error_bound"`
+	IndexBits  int     `json:"index_bits"`
+	Strategy   string  `json:"strategy"`
+}
+
+const manifestName = "manifest.json"
+
+// ErrNotFound reports a missing checkpoint or store.
+var ErrNotFound = errors.New("checkpoint: not found")
+
+// ErrChain reports a broken restart chain (a gap between the full
+// checkpoint and the requested iteration).
+var ErrChain = errors.New("checkpoint: broken restart chain")
+
+// Create initializes a store in dir (created if absent; an existing
+// manifest is an error to avoid silently mixing encodings).
+func Create(dir string, opt core.Options) (*Store, error) {
+	opt, err := opt.Validate()
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: create store: %w", err)
+	}
+	mpath := filepath.Join(dir, manifestName)
+	if _, err := os.Stat(mpath); err == nil {
+		return nil, fmt.Errorf("checkpoint: store already exists at %s", dir)
+	}
+	m := manifest{
+		Version:    1,
+		ErrorBound: opt.ErrorBound,
+		IndexBits:  opt.IndexBits,
+		Strategy:   opt.Strategy.String(),
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(mpath, data, 0o644); err != nil {
+		return nil, fmt.Errorf("checkpoint: write manifest: %w", err)
+	}
+	return &Store{dir: dir, opt: opt}, nil
+}
+
+// Open opens an existing store.
+func Open(dir string) (*Store, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: no store at %s", ErrNotFound, dir)
+		}
+		return nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%w: manifest: %v", ErrCorrupt, err)
+	}
+	strategy, err := core.ParseStrategy(m.Strategy)
+	if err != nil {
+		return nil, fmt.Errorf("%w: manifest: %v", ErrCorrupt, err)
+	}
+	opt, err := core.Options{
+		ErrorBound: m.ErrorBound,
+		IndexBits:  m.IndexBits,
+		Strategy:   strategy,
+	}.Validate()
+	if err != nil {
+		return nil, fmt.Errorf("%w: manifest options: %v", ErrCorrupt, err)
+	}
+	return &Store{dir: dir, opt: opt}, nil
+}
+
+// Options returns the store's encoding options.
+func (st *Store) Options() core.Options { return st.opt }
+
+// Dir returns the store directory.
+func (st *Store) Dir() string { return st.dir }
+
+func (st *Store) path(variable, kind string, iteration int) string {
+	return filepath.Join(st.dir, fmt.Sprintf("%s.%s.%06d.nmk", variable, kind, iteration))
+}
+
+// WriteFull stores data as a lossless full checkpoint.
+func (st *Store) WriteFull(variable string, iteration int, data []float64) error {
+	raw, err := MarshalFull(variable, iteration, data)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(st.path(variable, "full", iteration), raw, 0o644)
+}
+
+// WriteDelta encodes the transition prev → cur with the store's options
+// and writes the delta checkpoint. It returns the encoding so callers
+// can record its metrics (γ, error rates, compression ratio).
+func (st *Store) WriteDelta(variable string, iteration int, prev, cur []float64) (*core.Encoded, error) {
+	enc, err := core.Encode(prev, cur, st.opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := st.WriteEncodedDelta(variable, iteration, enc); err != nil {
+		return nil, err
+	}
+	return enc, nil
+}
+
+// WriteEncodedDelta writes an already-encoded delta checkpoint. Used by
+// callers that inspect the encoding before committing to a delta (the
+// adaptive scheduler encodes tentatively and may write a full
+// checkpoint instead).
+func (st *Store) WriteEncodedDelta(variable string, iteration int, enc *core.Encoded) error {
+	raw, err := MarshalDelta(variable, iteration, enc)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(st.path(variable, "delta", iteration), raw, 0o644)
+}
+
+// Entry describes one stored checkpoint file.
+type Entry struct {
+	Variable  string
+	Kind      string // "full" or "delta"
+	Iteration int
+}
+
+// List returns all entries for a variable, sorted by iteration.
+func (st *Store) List(variable string) ([]Entry, error) {
+	names, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []Entry
+	for _, de := range names {
+		e, ok := parseName(de.Name())
+		if ok && e.Variable == variable {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Iteration < out[b].Iteration })
+	return out, nil
+}
+
+// Variables returns the distinct variable names present in the store.
+func (st *Store) Variables() ([]string, error) {
+	names, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	for _, de := range names {
+		if e, ok := parseName(de.Name()); ok {
+			seen[e.Variable] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func parseName(name string) (Entry, bool) {
+	if !strings.HasSuffix(name, ".nmk") {
+		return Entry{}, false
+	}
+	parts := strings.Split(strings.TrimSuffix(name, ".nmk"), ".")
+	if len(parts) < 3 {
+		return Entry{}, false
+	}
+	kind := parts[len(parts)-2]
+	if kind != "full" && kind != "delta" {
+		return Entry{}, false
+	}
+	iter, err := strconv.Atoi(parts[len(parts)-1])
+	if err != nil {
+		return Entry{}, false
+	}
+	return Entry{
+		Variable:  strings.Join(parts[:len(parts)-2], "."),
+		Kind:      kind,
+		Iteration: iter,
+	}, true
+}
+
+// ReadFull loads a full checkpoint.
+func (st *Store) ReadFull(variable string, iteration int) ([]float64, error) {
+	raw, err := os.ReadFile(st.path(variable, "full", iteration))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: full checkpoint %s@%d", ErrNotFound, variable, iteration)
+		}
+		return nil, err
+	}
+	v, it, data, err := UnmarshalFull(raw)
+	if err != nil {
+		return nil, err
+	}
+	if v != variable || it != iteration {
+		return nil, fmt.Errorf("%w: file claims %s@%d, expected %s@%d", ErrCorrupt, v, it, variable, iteration)
+	}
+	return data, nil
+}
+
+// ReadDelta loads a delta checkpoint's encoding.
+func (st *Store) ReadDelta(variable string, iteration int) (*core.Encoded, error) {
+	raw, err := os.ReadFile(st.path(variable, "delta", iteration))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: delta checkpoint %s@%d", ErrNotFound, variable, iteration)
+		}
+		return nil, err
+	}
+	v, it, enc, err := UnmarshalDelta(raw)
+	if err != nil {
+		return nil, err
+	}
+	if v != variable || it != iteration {
+		return nil, fmt.Errorf("%w: file claims %s@%d, expected %s@%d", ErrCorrupt, v, it, variable, iteration)
+	}
+	return enc, nil
+}
+
+// Restart reconstructs a variable at the requested iteration: it loads
+// the latest full checkpoint at or before it and replays every delta in
+// between (§II-D). Missing intermediate deltas are an ErrChain.
+func (st *Store) Restart(variable string, iteration int) ([]float64, error) {
+	entries, err := st.List(variable)
+	if err != nil {
+		return nil, err
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("%w: variable %s", ErrNotFound, variable)
+	}
+	// Latest full checkpoint at or before the target.
+	fullIter := -1
+	for _, e := range entries {
+		if e.Kind == "full" && e.Iteration <= iteration {
+			fullIter = e.Iteration
+		}
+	}
+	if fullIter < 0 {
+		return nil, fmt.Errorf("%w: no full checkpoint at or before iteration %d for %s", ErrNotFound, iteration, variable)
+	}
+	data, err := st.ReadFull(variable, fullIter)
+	if err != nil {
+		return nil, err
+	}
+	// Replay deltas (fullIter, iteration]. Every present delta in that
+	// range must chain from the previous one without gaps.
+	expected := fullIter + 1
+	for _, e := range entries {
+		if e.Kind != "delta" || e.Iteration <= fullIter || e.Iteration > iteration {
+			continue
+		}
+		if e.Iteration != expected {
+			return nil, fmt.Errorf("%w: expected delta %d for %s, found %d", ErrChain, expected, variable, e.Iteration)
+		}
+		enc, err := st.ReadDelta(variable, e.Iteration)
+		if err != nil {
+			return nil, err
+		}
+		data, err = enc.Decode(data)
+		if err != nil {
+			return nil, err
+		}
+		expected++
+	}
+	if expected != iteration+1 {
+		return nil, fmt.Errorf("%w: chain for %s ends at %d, wanted %d", ErrChain, variable, expected-1, iteration)
+	}
+	return data, nil
+}
+
+// Writer appends iterations of a multi-variable simulation to a store,
+// writing a full checkpoint every FullEvery iterations (the first
+// write is always full) and NUMARCK deltas in between, computed against
+// the true previous iteration as in in-situ checkpointing.
+type Writer struct {
+	st        *Store
+	fullEvery int
+	last      map[string][]float64
+	lastIter  int
+	started   bool
+}
+
+// NewWriter creates a Writer. fullEvery <= 0 means only the first
+// checkpoint is full.
+func NewWriter(st *Store, fullEvery int) *Writer {
+	return &Writer{st: st, fullEvery: fullEvery, last: map[string][]float64{}}
+}
+
+// NewWriterAt creates a Writer primed to continue an existing store:
+// lastIter is the last iteration already present and lastState its
+// (possibly reconstructed) per-variable values. The next Append must
+// use iteration lastIter+1 and may be a delta against lastState.
+func NewWriterAt(st *Store, fullEvery, lastIter int, lastState map[string][]float64) *Writer {
+	w := &Writer{st: st, fullEvery: fullEvery, last: map[string][]float64{}, lastIter: lastIter, started: true}
+	for v, data := range lastState {
+		w.last[v] = append([]float64(nil), data...)
+	}
+	return w
+}
+
+// Append writes iteration data for every variable in vars. Iterations
+// must be appended in consecutive increasing order.
+func (w *Writer) Append(iteration int, vars map[string][]float64) (map[string]*core.Encoded, error) {
+	if w.started && iteration != w.lastIter+1 {
+		return nil, fmt.Errorf("checkpoint: non-consecutive iteration %d after %d", iteration, w.lastIter)
+	}
+	full := !w.started || (w.fullEvery > 0 && (iteration%w.fullEvery) == 0)
+	encs := map[string]*core.Encoded{}
+	for v, data := range vars {
+		if full {
+			if err := w.st.WriteFull(v, iteration, data); err != nil {
+				return nil, err
+			}
+		} else {
+			prev, ok := w.last[v]
+			if !ok {
+				return nil, fmt.Errorf("checkpoint: variable %q appeared mid-run at iteration %d", v, iteration)
+			}
+			enc, err := w.st.WriteDelta(v, iteration, prev, data)
+			if err != nil {
+				return nil, err
+			}
+			encs[v] = enc
+		}
+		w.last[v] = append([]float64(nil), data...)
+	}
+	w.lastIter = iteration
+	w.started = true
+	return encs, nil
+}

@@ -1,0 +1,360 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"numarck/internal/kmeans"
+)
+
+// binner is a learned partition of the large change ratios into at most
+// k groups, each approximated by a representative ratio.
+type binner interface {
+	// Representatives returns one representative ratio per group. Its
+	// length is at most 2^B - 1; group g is stored as index g+1 (index
+	// 0 being reserved for "unchanged").
+	Representatives() []float64
+	// Lookup returns the group for ratio d (an index into
+	// Representatives).
+	Lookup(d float64) int
+}
+
+// fitBinner learns a partition of data (the ratios with |Δ| >= E) using
+// the configured strategy. data must be non-empty.
+func fitBinner(data []float64, opt Options) (binner, error) {
+	k := opt.NumBins()
+	switch opt.Strategy {
+	case EqualWidth:
+		return fitEqualWidth(data, k), nil
+	case LogScale:
+		return fitLogScale(data, k), nil
+	case Clustering:
+		return fitClustering(data, k, opt)
+	case EqualFrequency:
+		return fitEqualFrequency(data, k), nil
+	default:
+		return nil, fmt.Errorf("%w: unknown strategy %d", ErrBadOptions, int(opt.Strategy))
+	}
+}
+
+// fitEqualFrequency builds quantile bins: sort the ratios, cut into k
+// equal-population groups, and represent each by its mean. Lookup is a
+// nearest-representative search, so the learned table behaves exactly
+// like a fixed table (EncodeWithTable) built from quantile statistics.
+func fitEqualFrequency(data []float64, k int) *tableBinner {
+	sorted := append([]float64(nil), data...)
+	sort.Float64s(sorted)
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	reps := make([]float64, 0, k)
+	for g := 0; g < k; g++ {
+		lo := g * len(sorted) / k
+		hi := (g + 1) * len(sorted) / k
+		if lo >= hi {
+			continue
+		}
+		var sum float64
+		for _, v := range sorted[lo:hi] {
+			sum += v
+		}
+		reps = append(reps, sum/float64(hi-lo))
+	}
+	// Means of sorted, disjoint groups are non-decreasing; dedupe so
+	// the nearest-rep index sees strictly ordered values.
+	dedup := reps[:0]
+	for i, r := range reps {
+		if i == 0 || r != dedup[len(dedup)-1] {
+			dedup = append(dedup, r)
+		}
+	}
+	return newTableBinner(dedup)
+}
+
+// equalWidthBinner partitions [lo, hi] into k equal bins; each ratio is
+// represented by its bin center (§II-C1). When the bin width exceeds
+// 2E, points near bin edges fail the error check and become
+// incompressible — the weakness the paper calls out.
+type equalWidthBinner struct {
+	lo, width float64
+	reps      []float64
+}
+
+func fitEqualWidth(data []float64, k int) *equalWidthBinner {
+	lo, hi := minMax(data)
+	if lo == hi {
+		return &equalWidthBinner{lo: lo, width: 0, reps: []float64{lo}}
+	}
+	b := &equalWidthBinner{lo: lo, width: (hi - lo) / float64(k), reps: make([]float64, k)}
+	for i := range b.reps {
+		b.reps[i] = lo + (float64(i)+0.5)*b.width
+	}
+	return b
+}
+
+func (b *equalWidthBinner) Representatives() []float64 { return b.reps }
+
+func (b *equalWidthBinner) Lookup(d float64) int {
+	if b.width == 0 {
+		return 0
+	}
+	i := int((d - b.lo) / b.width)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(b.reps) {
+		i = len(b.reps) - 1
+	}
+	return i
+}
+
+// logScaleBinner assigns ratios to bins by the e-based logarithm of
+// their magnitude (§II-C2), with separate bin ranges for negative and
+// positive ratios sized proportionally to each side's population. Small
+// changes get narrow bins, large changes wide ones, so a large dynamic
+// range is covered with the same 2^B - 1 bins.
+type logScaleBinner struct {
+	neg, pos logSide
+	reps     []float64 // negative side first, then positive
+}
+
+// logSide is one sign's log-spaced binning over [minAbs, maxAbs].
+type logSide struct {
+	k          int // number of bins (0 if the side is empty)
+	base       int // offset of this side's first rep in reps
+	logLo, spn float64
+}
+
+func fitLogScale(data []float64, k int) *logScaleBinner {
+	var nNeg, nPos int
+	negMin, negMax := math.Inf(1), math.Inf(-1) // over |d|
+	posMin, posMax := math.Inf(1), math.Inf(-1)
+	for _, d := range data {
+		a := math.Abs(d)
+		if a == 0 {
+			continue // handled by nearest-rep fallback in Lookup
+		}
+		if d < 0 {
+			nNeg++
+			if a < negMin {
+				negMin = a
+			}
+			if a > negMax {
+				negMax = a
+			}
+		} else {
+			nPos++
+			if a < posMin {
+				posMin = a
+			}
+			if a > posMax {
+				posMax = a
+			}
+		}
+	}
+	b := &logScaleBinner{}
+	kNeg, kPos := splitBins(k, nNeg, nPos)
+	if kNeg > 0 {
+		b.neg = makeLogSide(kNeg, 0, negMin, negMax)
+	}
+	if kPos > 0 {
+		b.pos = makeLogSide(kPos, kNeg, posMin, posMax)
+	}
+	b.reps = make([]float64, 0, kNeg+kPos)
+	for i := 0; i < kNeg; i++ {
+		b.reps = append(b.reps, -math.Exp(b.neg.logLo+(float64(i)+0.5)*b.neg.spn/float64(b.neg.k)))
+	}
+	for i := 0; i < kPos; i++ {
+		b.reps = append(b.reps, math.Exp(b.pos.logLo+(float64(i)+0.5)*b.pos.spn/float64(b.pos.k)))
+	}
+	if len(b.reps) == 0 {
+		// Degenerate input (all zeros); one zero representative.
+		b.reps = []float64{0}
+	}
+	return b
+}
+
+// splitBins divides k bins between the negative and positive sides in
+// proportion to their populations, guaranteeing each non-empty side at
+// least one bin.
+func splitBins(k, nNeg, nPos int) (kNeg, kPos int) {
+	switch {
+	case nNeg == 0 && nPos == 0:
+		return 0, 0
+	case nNeg == 0:
+		return 0, k
+	case nPos == 0:
+		return k, 0
+	}
+	kNeg = int(math.Round(float64(k) * float64(nNeg) / float64(nNeg+nPos)))
+	if kNeg < 1 {
+		kNeg = 1
+	}
+	if kNeg > k-1 {
+		kNeg = k - 1
+	}
+	return kNeg, k - kNeg
+}
+
+func makeLogSide(k, base int, minAbs, maxAbs float64) logSide {
+	logLo := math.Log(minAbs)
+	spn := math.Log(maxAbs) - logLo
+	if spn <= 0 {
+		spn = 0
+	}
+	return logSide{k: k, base: base, logLo: logLo, spn: spn}
+}
+
+func (s *logSide) lookup(absD float64) int {
+	if s.k == 0 {
+		return -1
+	}
+	if s.spn == 0 {
+		return s.base
+	}
+	i := int(float64(s.k) * (math.Log(absD) - s.logLo) / s.spn)
+	if i < 0 {
+		i = 0
+	}
+	if i >= s.k {
+		i = s.k - 1
+	}
+	return s.base + i
+}
+
+func (b *logScaleBinner) Representatives() []float64 { return b.reps }
+
+func (b *logScaleBinner) Lookup(d float64) int {
+	var i int
+	switch {
+	case d < 0:
+		i = b.neg.lookup(-d)
+	case d > 0:
+		i = b.pos.lookup(d)
+	default:
+		i = -1
+	}
+	if i >= 0 {
+		return i
+	}
+	// Zero ratio or a sign with no bins (possible only in the
+	// DisableZeroIndex ablation): fall back to the nearest
+	// representative.
+	best, bestDist := 0, math.Inf(1)
+	for j, r := range b.reps {
+		if dist := math.Abs(r - d); dist < bestDist {
+			best, bestDist = j, dist
+		}
+	}
+	return best
+}
+
+// clusterBinner approximates each ratio by its k-means centroid
+// (§II-C3). Centroids are seeded from the equal-width histogram as in
+// the paper (or uniformly, for the seeding ablation).
+type clusterBinner struct {
+	cents []float64
+	ix    *kmeans.Index
+}
+
+func fitClustering(data []float64, k int, opt Options) (*clusterBinner, error) {
+	if k > len(data) {
+		k = len(data) // never more clusters than points
+	}
+	cfg := kmeans.Config{
+		K:       k,
+		MaxIter: opt.KMeansMaxIter,
+		Workers: opt.Workers,
+	}
+	if opt.UniformSeeding {
+		cfg.Seeds = kmeans.SeedUniform(data, k)
+	}
+	res, err := kmeans.Run(data, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: clustering strategy: %w", err)
+	}
+	return &clusterBinner{cents: res.Centroids, ix: kmeans.NewIndex(res.Centroids)}, nil
+}
+
+func (b *clusterBinner) Representatives() []float64 { return b.cents }
+
+func (b *clusterBinner) Lookup(d float64) int {
+	return b.ix.Nearest(d)
+}
+
+// tableBinner assigns each ratio to the nearest entry of a fixed,
+// externally supplied table (EncodeWithTable).
+type tableBinner struct {
+	reps []float64 // sorted ascending
+	ix   *kmeans.Index
+}
+
+func newTableBinner(table []float64) *tableBinner {
+	reps := append([]float64(nil), table...)
+	sort.Float64s(reps)
+	return &tableBinner{reps: reps, ix: kmeans.NewIndex(reps)}
+}
+
+func (b *tableBinner) Representatives() []float64 { return b.reps }
+
+func (b *tableBinner) Lookup(d float64) int {
+	return b.ix.Nearest(d)
+}
+
+// EqualWidthTable returns the representative table the equal-width
+// strategy would learn for ratios spanning [lo, hi]: the centers of k
+// uniform bins. Exported for global (cross-rank) table construction.
+func EqualWidthTable(lo, hi float64, k int) []float64 {
+	if k < 1 {
+		return nil
+	}
+	if lo == hi {
+		return []float64{lo}
+	}
+	w := (hi - lo) / float64(k)
+	reps := make([]float64, k)
+	for i := range reps {
+		reps[i] = lo + (float64(i)+0.5)*w
+	}
+	return reps
+}
+
+// LogScaleTable returns the representative table the log-scale strategy
+// would learn for ratios whose negative side spans magnitudes
+// [negMin, negMax] with nNeg points and positive side [posMin, posMax]
+// with nPos points. Sides with zero points get no bins. Exported for
+// global (cross-rank) table construction.
+func LogScaleTable(negMin, negMax float64, nNeg int, posMin, posMax float64, nPos int, k int) []float64 {
+	kNeg, kPos := splitBins(k, nNeg, nPos)
+	reps := make([]float64, 0, kNeg+kPos)
+	if kNeg > 0 {
+		side := makeLogSide(kNeg, 0, negMin, negMax)
+		for i := 0; i < kNeg; i++ {
+			reps = append(reps, -math.Exp(side.logLo+(float64(i)+0.5)*side.spn/float64(side.k)))
+		}
+	}
+	if kPos > 0 {
+		side := makeLogSide(kPos, kNeg, posMin, posMax)
+		for i := 0; i < kPos; i++ {
+			reps = append(reps, math.Exp(side.logLo+(float64(i)+0.5)*side.spn/float64(side.k)))
+		}
+	}
+	if len(reps) == 0 {
+		reps = []float64{0}
+	}
+	return reps
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}

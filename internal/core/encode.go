@@ -1,0 +1,310 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"numarck/internal/bitpack"
+	"numarck/internal/stats"
+)
+
+// Encoded is one NUMARCK-compressed checkpoint iteration: the learned
+// bin table, a B-bit index per point, and exact values for the points
+// the error bound forced to be stored raw.
+type Encoded struct {
+	// Opt is the normalized options the encode ran with.
+	Opt Options
+	// N is the number of data points.
+	N int
+	// BinRatios[g] is the representative change ratio of group g.
+	// Index value g+1 in the index stream refers to BinRatios[g];
+	// index value 0 means "change within tolerance of zero".
+	// len(BinRatios) <= 2^B - 1.
+	BinRatios []float64
+	// Indices[j] is point j's index value in [0, 2^B).
+	Indices []uint32
+	// Incompressible flags the points stored exactly.
+	Incompressible *bitpack.Bitmap
+	// Exact holds the exact current values of the incompressible
+	// points, in increasing point order.
+	Exact []float64
+
+	// TrueRatios[j] is the actual change ratio of point j (0 where no
+	// ratio exists). Kept for error accounting; it is NOT part of the
+	// serialized format.
+	TrueRatios []float64
+}
+
+// Encode compresses the transition prev → cur under opt. Both slices
+// must have the same length and contain only finite values; prev is the
+// (possibly reconstructed) previous checkpoint and cur the current one.
+func Encode(prev, cur []float64, opt Options) (*Encoded, error) {
+	return encodeWith(prev, cur, opt, func(large []float64) (binner, error) {
+		return fitBinner(large, opt)
+	})
+}
+
+// EncodeWithTable compresses prev → cur against a fixed table of
+// representative ratios instead of learning one from this data. Each
+// large ratio is assigned to the nearest table entry; the error bound
+// is enforced exactly as in Encode. This is how distributed encoding
+// shares one globally learned table across ranks (internal/dist), and
+// how a table learned on iteration i can be reused for iteration i+1.
+// len(table) must be in (0, 2^B-1]; entries must be finite.
+func EncodeWithTable(prev, cur []float64, table []float64, opt Options) (*Encoded, error) {
+	vopt, err := opt.Validate()
+	if err != nil {
+		return nil, err
+	}
+	if len(table) == 0 {
+		return nil, fmt.Errorf("%w: empty representative table", ErrBadOptions)
+	}
+	if len(table) > vopt.NumBins() {
+		return nil, fmt.Errorf("%w: table of %d entries exceeds 2^%d-1 bins", ErrBadOptions, len(table), vopt.IndexBits)
+	}
+	for i, r := range table {
+		if math.IsNaN(r) || math.IsInf(r, 0) {
+			return nil, fmt.Errorf("%w: non-finite table entry %v at %d", ErrBadOptions, r, i)
+		}
+	}
+	tb := newTableBinner(table)
+	return encodeWith(prev, cur, opt, func([]float64) (binner, error) {
+		return tb, nil
+	})
+}
+
+// encodeWith is the shared encode pipeline; fit supplies the learned
+// (or fixed) partition of the large ratios.
+func encodeWith(prev, cur []float64, opt Options, fit func([]float64) (binner, error)) (*Encoded, error) {
+	opt, err := opt.Validate()
+	if err != nil {
+		return nil, err
+	}
+	ratios, err := ComputeRatios(prev, cur, opt.Workers)
+	if err != nil {
+		return nil, err
+	}
+	n := len(cur)
+	e := &Encoded{
+		Opt:            opt,
+		N:              n,
+		Indices:        make([]uint32, n),
+		Incompressible: bitpack.NewBitmap(n),
+		TrueRatios:     ratios.Delta,
+	}
+
+	// Gather the ratios that need a learned group. With the reserved
+	// zero index enabled (paper behaviour), those are |Δ| >= E; the
+	// ablation routes every finite ratio through binning.
+	var large []float64
+	if opt.DisableZeroIndex {
+		large = ratios.All()
+	} else {
+		large = ratios.Large(opt.ErrorBound)
+	}
+
+	var bins binner
+	if len(large) > 0 {
+		bins, err = fit(large)
+		if err != nil {
+			return nil, err
+		}
+		e.BinRatios = bins.Representatives()
+		if len(e.BinRatios) > opt.NumBins() {
+			return nil, fmt.Errorf("core: internal error: %d representatives exceed %d bins", len(e.BinRatios), opt.NumBins())
+		}
+	}
+
+	// Assignment pass, parallel over point ranges: every binner's
+	// Lookup is read-only after fitting. Incompressibility is recorded
+	// as a flag here and gathered serially below so the exact-value
+	// array keeps its point order.
+	incompressible := make([]bool, n)
+	assign := func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			if ratios.Kind[j] != RatioOK {
+				incompressible[j] = true
+				continue
+			}
+			d := ratios.Delta[j]
+			if !opt.DisableZeroIndex && math.Abs(d) < opt.ErrorBound {
+				e.Indices[j] = 0 // within tolerance of "unchanged"
+				continue
+			}
+			g := bins.Lookup(d)
+			rep := e.BinRatios[g]
+			if math.Abs(rep-d) > opt.ErrorBound {
+				// The learned distribution cannot represent this point
+				// within the bound: store it exactly. This is the
+				// mechanism that makes the bound a guarantee (§II-C).
+				incompressible[j] = true
+				continue
+			}
+			e.Indices[j] = uint32(g + 1)
+		}
+	}
+	parallelRanges(n, opt.Workers, assign)
+	for j := 0; j < n; j++ {
+		if incompressible[j] {
+			e.markIncompressible(j, cur[j])
+		}
+	}
+	return e, nil
+}
+
+// parallelRanges splits [0, n) into contiguous chunks across up to
+// `workers` goroutines (<= 0 means GOMAXPROCS) and runs fn on each.
+func parallelRanges(n, workers int, fn func(lo, hi int)) {
+	if n == 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func (e *Encoded) markIncompressible(j int, v float64) {
+	e.Indices[j] = 0
+	e.Incompressible.Set(j, true)
+	e.Exact = append(e.Exact, v)
+}
+
+// Decode reconstructs the checkpoint from prev, which may itself be a
+// reconstruction (restart replays a chain of Encoded on top of the last
+// full checkpoint, accumulating error, §II-D).
+func (e *Encoded) Decode(prev []float64) ([]float64, error) {
+	if len(prev) != e.N {
+		return nil, fmt.Errorf("%w: prev has %d points, encoded has %d", ErrLength, len(prev), e.N)
+	}
+	out := make([]float64, e.N)
+	exactIdx := 0
+	for j := 0; j < e.N; j++ {
+		if e.Incompressible.Get(j) {
+			if exactIdx >= len(e.Exact) {
+				return nil, fmt.Errorf("core: corrupt encoding: bitmap flags more exact values than stored (%d)", len(e.Exact))
+			}
+			out[j] = e.Exact[exactIdx]
+			exactIdx++
+			continue
+		}
+		idx := e.Indices[j]
+		if idx == 0 {
+			out[j] = prev[j] // unchanged within tolerance
+			continue
+		}
+		g := int(idx) - 1
+		if g >= len(e.BinRatios) {
+			return nil, fmt.Errorf("core: corrupt encoding: index %d exceeds bin table size %d at point %d", idx, len(e.BinRatios), j)
+		}
+		out[j] = prev[j] * (1 + e.BinRatios[g])
+	}
+	if exactIdx != len(e.Exact) {
+		return nil, fmt.Errorf("core: corrupt encoding: %d exact values stored, %d consumed", len(e.Exact), exactIdx)
+	}
+	return out, nil
+}
+
+// ApproxRatio returns the change ratio the decoder will apply at point
+// j: the group representative, 0 for the reserved index, or the true
+// ratio for incompressible points (their reconstruction is exact).
+func (e *Encoded) ApproxRatio(j int) float64 {
+	if e.Incompressible.Get(j) {
+		return e.TrueRatios[j]
+	}
+	idx := e.Indices[j]
+	if idx == 0 {
+		return 0
+	}
+	return e.BinRatios[idx-1]
+}
+
+// Gamma returns the incompressible ratio γ: the fraction of points
+// stored as exact values (§III-B).
+func (e *Encoded) Gamma() float64 {
+	if e.N == 0 {
+		return 0
+	}
+	return float64(e.Incompressible.Count()) / float64(e.N)
+}
+
+// MeanErrorRate returns the average |approximated ratio − true ratio|
+// across all points, as a fraction (multiply by 100 for the paper's
+// percent figures). Incompressible points contribute zero error.
+func (e *Encoded) MeanErrorRate() float64 {
+	if e.N == 0 {
+		return 0
+	}
+	var sum float64
+	for j := 0; j < e.N; j++ {
+		sum += math.Abs(e.ApproxRatio(j) - e.TrueRatios[j])
+	}
+	return sum / float64(e.N)
+}
+
+// MaxErrorRate returns the maximum |approximated ratio − true ratio|
+// across all points, as a fraction.
+func (e *Encoded) MaxErrorRate() float64 {
+	var m float64
+	for j := 0; j < e.N; j++ {
+		if d := math.Abs(e.ApproxRatio(j) - e.TrueRatios[j]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// CompressionRatio returns the paper's Eq. 3 storage-saving percentage
+// for this encoding.
+func (e *Encoded) CompressionRatio() (float64, error) {
+	return stats.CompressionRatio(e.N, e.Gamma(), e.Opt.IndexBits)
+}
+
+// CompressionRatioWithBitmap additionally charges the one-bit-per-point
+// compressibility bitmap the self-contained format needs.
+func (e *Encoded) CompressionRatioWithBitmap() (float64, error) {
+	return stats.CompressionRatioWithBitmap(e.N, e.Gamma(), e.Opt.IndexBits)
+}
+
+// PackedIndices returns the B-bit-packed index stream.
+func (e *Encoded) PackedIndices() ([]byte, error) {
+	return bitpack.Pack(e.Indices, e.Opt.IndexBits)
+}
+
+// EncodedSizeBytes returns the serialized payload size implied by the
+// paper's storage model: packed indices + bitmap + exact values + bin
+// table. (The on-disk format in internal/checkpoint adds a small
+// header.)
+func (e *Encoded) EncodedSizeBytes() int {
+	idx := bitpack.PackedLen(e.N, e.Opt.IndexBits)
+	bitmap := (e.N + 7) / 8
+	exact := 8 * len(e.Exact)
+	table := 8 * e.Opt.NumBins()
+	return idx + bitmap + exact + table
+}

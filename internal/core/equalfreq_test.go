@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEqualFrequencyBinner(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	b := fitEqualFrequency(data, 4)
+	reps := b.Representatives()
+	want := []float64{1.5, 3.5, 5.5, 7.5}
+	if len(reps) != 4 {
+		t.Fatalf("reps = %v", reps)
+	}
+	for i := range want {
+		if math.Abs(reps[i]-want[i]) > 1e-12 {
+			t.Errorf("rep %d = %v, want %v", i, reps[i], want[i])
+		}
+	}
+	if g := b.Lookup(1.9); reps[g] != 1.5 {
+		t.Errorf("Lookup(1.9) -> %v", reps[g])
+	}
+	if g := b.Lookup(100); reps[g] != 7.5 {
+		t.Errorf("Lookup(100) -> %v", reps[g])
+	}
+}
+
+func TestEqualFrequencyDegenerate(t *testing.T) {
+	// Constant data collapses to one representative.
+	b := fitEqualFrequency([]float64{5, 5, 5, 5}, 3)
+	if len(b.Representatives()) != 1 || b.Representatives()[0] != 5 {
+		t.Errorf("constant reps = %v", b.Representatives())
+	}
+	// Fewer points than bins.
+	b = fitEqualFrequency([]float64{1, 9}, 10)
+	if len(b.Representatives()) != 2 {
+		t.Errorf("tiny data reps = %v", b.Representatives())
+	}
+}
+
+func TestEqualFrequencyErrorBound(t *testing.T) {
+	prev, cur := genData(20000, 41)
+	enc, err := Encode(prev, cur, Options{ErrorBound: 0.001, IndexBits: 8, Strategy: EqualFrequency})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := enc.MaxErrorRate(); m > 0.001+1e-12 {
+		t.Errorf("max err %v exceeds bound", m)
+	}
+	rec, err := enc.Decode(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range cur {
+		trueR := (cur[j] - prev[j]) / prev[j]
+		recR := (rec[j] - prev[j]) / prev[j]
+		if math.Abs(recR-trueR) > 0.001+1e-12 {
+			t.Fatalf("bound violated at %d", j)
+		}
+	}
+}
+
+func TestEqualFrequencyBeatsEqualWidthOnSkew(t *testing.T) {
+	// Dense core + sparse wide tail: quantile bins concentrate where
+	// the mass is, like clustering.
+	prev := make([]float64, 20000)
+	cur := make([]float64, 20000)
+	for i := range prev {
+		prev[i] = 100
+		var ratio float64
+		if i%100 == 0 {
+			ratio = 5 + float64(i%7) // sparse huge tail
+		} else {
+			ratio = 0.002 + float64(i%997)*1e-6
+		}
+		cur[i] = prev[i] * (1 + ratio)
+	}
+	ef, err := Encode(prev, cur, Options{ErrorBound: 0.001, IndexBits: 8, Strategy: EqualFrequency})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ew, err := Encode(prev, cur, Options{ErrorBound: 0.001, IndexBits: 8, Strategy: EqualWidth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ef.Gamma() >= ew.Gamma() {
+		t.Errorf("equal-frequency gamma %v not below equal-width %v on skewed data", ef.Gamma(), ew.Gamma())
+	}
+}
+
+func TestEqualFrequencyParse(t *testing.T) {
+	for _, s := range []string{"equal-frequency", "quantile", "ef"} {
+		got, err := ParseStrategy(s)
+		if err != nil || got != EqualFrequency {
+			t.Errorf("ParseStrategy(%q) = %v, %v", s, got, err)
+		}
+	}
+	if EqualFrequency.String() != "equal-frequency" {
+		t.Error("String() mismatch")
+	}
+	// The paper-faithful sweep list stays at three.
+	if len(Strategies) != 3 {
+		t.Errorf("Strategies has %d entries", len(Strategies))
+	}
+}

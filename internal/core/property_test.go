@@ -1,0 +1,229 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyErrorBoundHolds is the central invariant of the paper: for
+// arbitrary finite inputs, every reconstructed point's change ratio is
+// within E of the true ratio (or the point is stored exactly). Checked
+// with testing/quick across all three strategies.
+func TestPropertyErrorBoundHolds(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, s := range Strategies {
+		s := s
+		f := func(seed int64, eChoice uint8, bChoice uint8) bool {
+			e := []float64{0.0001, 0.001, 0.005, 0.02}[int(eChoice)%4]
+			b := []int{2, 4, 8, 9}[int(bChoice)%4]
+			r := rand.New(rand.NewSource(seed))
+			n := 50 + r.Intn(500)
+			prev := make([]float64, n)
+			cur := make([]float64, n)
+			for i := range prev {
+				// Mix of magnitudes, signs, zeros.
+				switch r.Intn(6) {
+				case 0:
+					prev[i] = 0
+				case 1:
+					prev[i] = -math.Exp(r.Float64()*20 - 10)
+				default:
+					prev[i] = math.Exp(r.Float64()*20 - 10)
+				}
+				cur[i] = prev[i]*(1+r.NormFloat64()*0.1) + float64(r.Intn(2))*r.NormFloat64()*0.001
+			}
+			enc, err := Encode(prev, cur, Options{ErrorBound: e, IndexBits: b, Strategy: s, KMeansMaxIter: 20})
+			if err != nil {
+				t.Logf("encode error: %v", err)
+				return false
+			}
+			rec, err := enc.Decode(prev)
+			if err != nil {
+				t.Logf("decode error: %v", err)
+				return false
+			}
+			for j := range cur {
+				if prev[j] == 0 {
+					if rec[j] != cur[j] {
+						t.Logf("zero-prev point %d not exact", j)
+						return false
+					}
+					continue
+				}
+				trueR := (cur[j] - prev[j]) / prev[j]
+				if math.IsInf(trueR, 0) || math.IsNaN(trueR) {
+					if rec[j] != cur[j] {
+						t.Logf("overflow point %d not exact", j)
+						return false
+					}
+					continue
+				}
+				recR := (rec[j] - prev[j]) / prev[j]
+				if math.Abs(recR-trueR) > e*(1+1e-9)+1e-12 {
+					t.Logf("strategy %v point %d: |%v - %v| > %v", s, j, recR, trueR, e)
+					return false
+				}
+			}
+			return true
+		}
+		cfg := &quick.Config{MaxCount: 25, Rand: rng}
+		if err := quick.Check(f, cfg); err != nil {
+			t.Errorf("%v: %v", s, err)
+		}
+	}
+}
+
+// TestPropertyGammaMonotoneInE: loosening the error bound can only help
+// (weakly) the incompressible ratio, holding everything else fixed.
+func TestPropertyGammaMonotoneInE(t *testing.T) {
+	prev, cur := genData(8000, 21)
+	for _, s := range []Strategy{EqualWidth, LogScale} {
+		prevGamma := math.Inf(1)
+		for _, e := range []float64{0.001, 0.002, 0.003, 0.004, 0.005} {
+			enc, err := Encode(prev, cur, Options{ErrorBound: e, IndexBits: 8, Strategy: s})
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := enc.Gamma()
+			// Binning layouts shift with E (the "large ratio" set
+			// changes), so allow a tiny non-monotonicity margin.
+			if g > prevGamma+0.02 {
+				t.Errorf("%v: gamma jumped %v -> %v at E=%v", s, prevGamma, g, e)
+			}
+			prevGamma = g
+		}
+	}
+}
+
+// TestPropertyGammaImprovesWithBits: more index bits means more bins and
+// (weakly) fewer incompressible points — Fig. 6's driving effect.
+func TestPropertyGammaImprovesWithBits(t *testing.T) {
+	prev, cur := genData(8000, 22)
+	for _, s := range Strategies {
+		prevGamma := math.Inf(1)
+		for _, b := range []int{4, 6, 8, 10} {
+			enc, err := Encode(prev, cur, Options{ErrorBound: 0.001, IndexBits: b, Strategy: s, KMeansMaxIter: 25})
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := enc.Gamma()
+			if g > prevGamma+0.02 {
+				t.Errorf("%v: gamma worsened %v -> %v at B=%d", s, prevGamma, g, b)
+			}
+			prevGamma = g
+		}
+	}
+}
+
+// TestPropertyDecodeIsDeterministic: decoding twice gives bit-identical
+// output.
+func TestPropertyDecodeIsDeterministic(t *testing.T) {
+	prev, cur := genData(3000, 23)
+	enc, err := Encode(prev, cur, defaultOpts(Clustering))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := enc.Decode(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := enc.Decode(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range a {
+		if a[j] != b[j] {
+			t.Fatalf("decode differs at %d", j)
+		}
+	}
+}
+
+// TestPropertyChainedDecodeEqualsIterated: decoding a chain of
+// encodings step by step equals applying each Encoded to the previous
+// reconstruction — the restart replay semantics of §II-D.
+func TestPropertyChainedDecodeEqualsIterated(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	n := 2000
+	iters := 6
+	data := make([][]float64, iters)
+	data[0] = make([]float64, n)
+	for j := range data[0] {
+		data[0][j] = 10 + rng.Float64()*10
+	}
+	for i := 1; i < iters; i++ {
+		data[i] = make([]float64, n)
+		for j := range data[i] {
+			data[i][j] = data[i-1][j] * (1 + rng.NormFloat64()*0.002)
+		}
+	}
+	encs := make([]*Encoded, iters)
+	// Encode as in-situ checkpointing: ratio against the TRUE previous
+	// iteration.
+	for i := 1; i < iters; i++ {
+		var err error
+		encs[i], err = Encode(data[i-1], data[i], defaultOpts(Clustering))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Replay on top of the full checkpoint.
+	rec := append([]float64(nil), data[0]...)
+	for i := 1; i < iters; i++ {
+		var err error
+		rec, err = encs[i].Decode(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Accumulated error at step i is bounded by roughly (1+E)^i - 1
+	// relative; assert a generous envelope.
+	maxRel := 0.0
+	for j := range rec {
+		rel := math.Abs(rec[j]-data[iters-1][j]) / math.Abs(data[iters-1][j])
+		if rel > maxRel {
+			maxRel = rel
+		}
+	}
+	bound := math.Pow(1+0.001, float64(iters-1)) - 1
+	if maxRel > bound*1.5 {
+		t.Errorf("accumulated relative error %v exceeds envelope %v", maxRel, bound*1.5)
+	}
+}
+
+// TestPropertyExactValuesBitIdentical: incompressible points round-trip
+// bit-identically even for adversarial values.
+func TestPropertyExactValuesBitIdentical(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		prev := make([]float64, len(vals))
+		cur := make([]float64, len(vals))
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 1
+			}
+			prev[i] = 0 // forces every point incompressible
+			cur[i] = v
+		}
+		enc, err := Encode(prev, cur, defaultOpts(EqualWidth))
+		if err != nil {
+			return false
+		}
+		rec, err := enc.Decode(prev)
+		if err != nil {
+			return false
+		}
+		for i := range cur {
+			if math.Float64bits(rec[i]) != math.Float64bits(cur[i]) {
+				return false
+			}
+		}
+		return enc.Gamma() == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// ErrLength reports mismatched prev/cur lengths.
+var ErrLength = errors.New("core: prev and cur must have the same length")
+
+// ErrNonFinite reports NaN or Inf in the input data.
+var ErrNonFinite = errors.New("core: input contains NaN or Inf")
+
+// RatioKind classifies a point's change ratio.
+type RatioKind uint8
+
+const (
+	// RatioOK means a finite ratio was computed.
+	RatioOK RatioKind = iota
+	// RatioNoBase means prev was zero, so no ratio exists (Eq. 1's
+	// "D_{i-1,j} cannot be zero"); the point is stored exactly.
+	RatioNoBase
+	// RatioOverflow means the ratio overflowed to ±Inf (prev is
+	// denormal-tiny relative to cur); the point is stored exactly.
+	RatioOverflow
+)
+
+// Ratios holds the forward-predictive-coding transform of one iteration.
+type Ratios struct {
+	// Delta[j] is the change ratio of point j, or 0 when Kind[j] is
+	// not RatioOK.
+	Delta []float64
+	// Kind[j] classifies point j.
+	Kind []RatioKind
+}
+
+// ComputeRatios computes ΔD = (cur - prev) / prev element-wise (paper
+// Eq. 1) using up to `workers` goroutines (<=0 means GOMAXPROCS). Inputs
+// must be finite; zero prev values yield RatioNoBase.
+func ComputeRatios(prev, cur []float64, workers int) (*Ratios, error) {
+	if len(prev) != len(cur) {
+		return nil, fmt.Errorf("%w: %d vs %d", ErrLength, len(prev), len(cur))
+	}
+	n := len(prev)
+	r := &Ratios{Delta: make([]float64, n), Kind: make([]RatioKind, n)}
+	if n == 0 {
+		return r, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for j := lo; j < hi; j++ {
+				p, c := prev[j], cur[j]
+				if math.IsNaN(p) || math.IsInf(p, 0) || math.IsNaN(c) || math.IsInf(c, 0) {
+					errs[w] = fmt.Errorf("%w: point %d (prev=%v cur=%v)", ErrNonFinite, j, p, c)
+					return
+				}
+				if p == 0 {
+					r.Kind[j] = RatioNoBase
+					continue
+				}
+				d := (c - p) / p
+				if math.IsInf(d, 0) || math.IsNaN(d) {
+					r.Kind[j] = RatioOverflow
+					continue
+				}
+				r.Delta[j] = d
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// Large returns the ratios with |Δ| >= bound and RatioOK kind — the
+// points that must go through a binning strategy. The returned slice is
+// freshly allocated.
+func (r *Ratios) Large(bound float64) []float64 {
+	out := make([]float64, 0, len(r.Delta)/4)
+	for j, d := range r.Delta {
+		if r.Kind[j] == RatioOK && math.Abs(d) >= bound {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// All returns every finite ratio (RatioOK points), freshly allocated.
+func (r *Ratios) All() []float64 {
+	out := make([]float64, 0, len(r.Delta))
+	for j, d := range r.Delta {
+		if r.Kind[j] == RatioOK {
+			out = append(out, d)
+		}
+	}
+	return out
+}

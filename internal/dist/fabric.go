@@ -1,0 +1,169 @@
+// Package dist implements rank-parallel NUMARCK encoding in the style
+// of the paper's MPI deployment: the data of one checkpoint is
+// partitioned across ranks, each rank computes its change ratios
+// locally, and the distribution of changes is learned either per rank
+// (zero communication, R bin tables) or globally (one shared table,
+// learned with an MPI-style parallel k-means whose reductions are the
+// only inter-rank traffic).
+//
+// The paper's exascale motivation is minimizing data movement ("more
+// computations locally for learning patterns of change", §I), so the
+// fabric meters every byte a rank sends; the local-vs-global table
+// trade-off is an ablation the experiments harness reports.
+//
+// Ranks are goroutines and the fabric is built on shared-memory
+// synchronization — the in-process equivalent of MPI processes with
+// the same communication pattern and the classic recursive-doubling
+// cost model for accounting.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Op is a reduction operator for AllReduce.
+type Op int
+
+const (
+	// OpSum adds element-wise.
+	OpSum Op = iota
+	// OpMin takes the element-wise minimum.
+	OpMin
+	// OpMax takes the element-wise maximum.
+	OpMax
+)
+
+func (o Op) apply(dst, src []float64) {
+	switch o {
+	case OpSum:
+		for i, v := range src {
+			dst[i] += v
+		}
+	case OpMin:
+		for i, v := range src {
+			if v < dst[i] {
+				dst[i] = v
+			}
+		}
+	case OpMax:
+		for i, v := range src {
+			if v > dst[i] {
+				dst[i] = v
+			}
+		}
+	}
+}
+
+// Fabric is a byte-metered collective-communication layer for a fixed
+// set of ranks.
+type Fabric struct {
+	ranks     int
+	bytesSent atomic.Int64
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	genNum  int
+	arrived int
+	op      Op
+	acc     []float64
+	out     []float64
+	failed  error
+}
+
+// NewFabric creates a fabric for the given number of ranks (>= 1).
+func NewFabric(ranks int) (*Fabric, error) {
+	if ranks < 1 {
+		return nil, fmt.Errorf("dist: need >= 1 rank, got %d", ranks)
+	}
+	f := &Fabric{ranks: ranks}
+	f.cond = sync.NewCond(&f.mu)
+	return f, nil
+}
+
+// Ranks returns the number of ranks.
+func (f *Fabric) Ranks() int { return f.ranks }
+
+// BytesSent returns the total bytes ranks have sent through collectives
+// so far. A single-rank fabric moves no bytes.
+func (f *Fabric) BytesSent() int64 { return f.bytesSent.Load() }
+
+// AllReduce combines vec element-wise across all ranks with op and
+// returns the result to every caller. Every rank must call with the
+// same vector length and operator; the call blocks until all ranks
+// contribute. The byte meter charges each rank ceil(log2 R) vector
+// sends, the recursive-doubling cost.
+func (f *Fabric) AllReduce(rank int, vec []float64, op Op) ([]float64, error) {
+	if rank < 0 || rank >= f.ranks {
+		return nil, fmt.Errorf("dist: rank %d out of range [0,%d)", rank, f.ranks)
+	}
+	if f.ranks == 1 {
+		return append([]float64(nil), vec...), nil
+	}
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+
+	if f.arrived == 0 {
+		f.acc = append([]float64(nil), vec...)
+		f.op = op
+		f.failed = nil
+	} else {
+		if len(vec) != len(f.acc) || op != f.op {
+			// Caller bug: poison the collective so every rank fails
+			// loudly instead of deadlocking.
+			f.failed = fmt.Errorf("dist: rank %d joined collective with len %d/op %d, leader used len %d/op %d",
+				rank, len(vec), op, len(f.acc), f.op)
+		} else {
+			f.op.apply(f.acc, vec)
+		}
+	}
+	f.arrived++
+	gen := f.genNum
+
+	if f.arrived == f.ranks {
+		f.out = f.acc
+		f.acc = nil
+		f.arrived = 0
+		f.genNum++
+		f.cond.Broadcast()
+	} else {
+		for gen == f.genNum {
+			f.cond.Wait()
+		}
+	}
+	if f.failed != nil {
+		return nil, f.failed
+	}
+	f.bytesSent.Add(int64(8 * len(vec) * log2ceil(f.ranks)))
+	return append([]float64(nil), f.out...), nil
+}
+
+// AllReduceScalar reduces a single value.
+func (f *Fabric) AllReduceScalar(rank int, v float64, op Op) (float64, error) {
+	out, err := f.AllReduce(rank, []float64{v}, op)
+	if err != nil {
+		return 0, err
+	}
+	return out[0], nil
+}
+
+func log2ceil(n int) int {
+	b := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		b++
+	}
+	if b == 0 {
+		return 1
+	}
+	return b
+}
+
+// negInf and posInf are reduction identities for min/max collectives
+// over possibly-empty local sets.
+var (
+	negInf = math.Inf(-1)
+	posInf = math.Inf(1)
+)

@@ -1,0 +1,106 @@
+// Package experiments contains the drivers that regenerate every table
+// and figure of the NUMARCK paper's evaluation (§III) on the synthetic
+// FLASH and CMIP5 substitutes. Each experiment has a Run function
+// returning a structured result and a text formatter used by
+// cmd/experiments and the top-level benchmark suite; EXPERIMENTS.md
+// records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"numarck/internal/sim/climate"
+	"numarck/internal/sim/flash"
+)
+
+// DefaultSeed fixes the workload RNG so experiment output is
+// reproducible run to run.
+const DefaultSeed = 20140101
+
+// CMIP5Series returns iterations [0, iters) of one synthetic CMIP5
+// variable (12960 points each).
+func CMIP5Series(variable string, iters int, seed int64) ([][]float64, error) {
+	g, err := climate.NewGenerator(variable, seed)
+	if err != nil {
+		return nil, err
+	}
+	return g.Iterations(0, iters), nil
+}
+
+// FLASHRun advances the FLASH-like simulator and captures `checkpoints`
+// snapshots taken every stepsPer steps (the first snapshot is the
+// initial condition after stepsPer warm-up steps, so the blast has
+// started to evolve).
+func FLASHRun(checkpoints, stepsPer int, seed int64) ([]*flash.Snapshot, error) {
+	if checkpoints < 1 || stepsPer < 1 {
+		return nil, fmt.Errorf("experiments: need checkpoints>=1 and stepsPer>=1, got %d, %d", checkpoints, stepsPer)
+	}
+	sim, err := flash.New(flash.Config{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	snaps := make([]*flash.Snapshot, 0, checkpoints)
+	for c := 0; c < checkpoints; c++ {
+		sim.StepN(stepsPer)
+		snaps = append(snaps, sim.Checkpoint())
+	}
+	return snaps, nil
+}
+
+// FLASHSeries extracts one variable across snapshots as a per-iteration
+// series.
+func FLASHSeries(snaps []*flash.Snapshot, variable string) ([][]float64, error) {
+	out := make([][]float64, len(snaps))
+	for i, s := range snaps {
+		arr, ok := s.Vars[variable]
+		if !ok {
+			return nil, fmt.Errorf("experiments: snapshot %d missing variable %q", i, variable)
+		}
+		out[i] = arr
+	}
+	return out, nil
+}
+
+// flashCache memoizes FLASH runs: several experiments need the same
+// simulation and the solver is the most expensive workload generator.
+var flashCache sync.Map // key string -> []*flash.Snapshot
+
+// FLASHRunCached is FLASHRun with memoization on (checkpoints,
+// stepsPer, seed).
+func FLASHRunCached(checkpoints, stepsPer int, seed int64) ([]*flash.Snapshot, error) {
+	key := fmt.Sprintf("%d/%d/%d", checkpoints, stepsPer, seed)
+	if v, ok := flashCache.Load(key); ok {
+		return v.([]*flash.Snapshot), nil
+	}
+	snaps, err := FLASHRun(checkpoints, stepsPer, seed)
+	if err != nil {
+		return nil, err
+	}
+	flashCache.Store(key, snaps)
+	return snaps, nil
+}
+
+// CMIP5Variables lists the paper's CMIP5 selection in its order.
+func CMIP5Variables() []string { return climate.VariableNames() }
+
+// FLASHVariables lists the 10 FLASH checkpoint variables.
+func FLASHVariables() []string { return flash.Variables }
+
+// TableDatasets lists the 10 datasets of Tables I and II in paper
+// order: five CMIP5 variables then five FLASH variables.
+var TableDatasets = []struct {
+	Name  string
+	CMIP5 bool
+}{
+	{"rlus", true},
+	{"mrsos", true},
+	{"mrro", true},
+	{"rlds", true},
+	{"mc", true},
+	{"dens", false},
+	{"pres", false},
+	{"temp", false},
+	{"ener", false},
+	{"eint", false},
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"numarck/internal/core"
+	"numarck/internal/dist"
+)
+
+// DistRow is one (ranks, mode) configuration's outcome.
+type DistRow struct {
+	Ranks        int
+	Mode         dist.TableMode
+	BytesMoved   int64
+	TableEntries int
+	Gamma        float64
+	CompRatio    float64
+}
+
+// DistResult is the distributed local-vs-global table ablation: the
+// data-movement/storage trade-off the paper's exascale motivation (§I)
+// raises but does not quantify.
+type DistResult struct {
+	Variable string
+	RawBytes int
+	Rows     []DistRow
+}
+
+// RunDistributedAblation encodes one mc transition across 1/4/16/64
+// ranks in both table modes.
+func RunDistributedAblation(seed int64) (*DistResult, error) {
+	series, err := CMIP5Series("mc", 7, seed)
+	if err != nil {
+		return nil, err
+	}
+	prev, cur := series[5], series[6]
+	res := &DistResult{Variable: "mc", RawBytes: 8 * len(cur)}
+	for _, ranks := range []int{1, 4, 16, 64} {
+		for _, mode := range []dist.TableMode{dist.LocalTables, dist.GlobalTable} {
+			r, err := dist.Encode(prev, cur, dist.Config{
+				Ranks: ranks,
+				Mode:  mode,
+				Opt:   core.Options{ErrorBound: 0.001, IndexBits: 8, Strategy: core.Clustering},
+			})
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, DistRow{
+				Ranks:        ranks,
+				Mode:         mode,
+				BytesMoved:   r.BytesMoved,
+				TableEntries: r.TableEntries,
+				Gamma:        r.Gamma(),
+				CompRatio:    r.CompressionRatio(),
+			})
+		}
+	}
+	return res, nil
+}
+
+// WriteText renders the ablation.
+func (r *DistResult) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "Ablation: distributed table learning on %s (%d raw bytes/iter)\n", r.Variable, r.RawBytes)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  ranks\tmode\tbytes moved\ttable entries\tincompressible\tsaved")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "  %d\t%s\t%d\t%d\t%.2f%%\t%.2f%%\n",
+			row.Ranks, row.Mode, row.BytesMoved, row.TableEntries, row.Gamma*100, row.CompRatio)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,352 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"numarck/internal/core"
+	"numarck/internal/stats"
+)
+
+// ---------------------------------------------------------------------
+// Fig. 1 — the motivating observation: individual snapshots look random
+// but the distribution of relative changes is heavily concentrated near
+// zero.
+
+// Fig1Result summarizes two consecutive rlus iterations and the
+// distribution of their change ratios.
+type Fig1Result struct {
+	Variable   string
+	Iter1      stats.Summary // value distribution at iteration 1
+	Iter2      stats.Summary // value distribution at iteration 2
+	Ratios     stats.Summary // change-ratio distribution
+	FracBelow  map[string]float64
+	RatioHisto *stats.Histogram // 40-bin histogram of ratios (Fig 1D)
+}
+
+// RunFig1 reproduces Fig. 1 on the synthetic rlus data.
+func RunFig1(seed int64) (*Fig1Result, error) {
+	series, err := CMIP5Series("rlus", 3, seed)
+	if err != nil {
+		return nil, err
+	}
+	prev, cur := series[1], series[2]
+	ratios := make([]float64, 0, len(prev))
+	for i := range prev {
+		if prev[i] != 0 {
+			ratios = append(ratios, (cur[i]-prev[i])/prev[i])
+		}
+	}
+	s1, err := stats.Summarize(prev)
+	if err != nil {
+		return nil, err
+	}
+	s2, err := stats.Summarize(cur)
+	if err != nil {
+		return nil, err
+	}
+	sr, err := stats.Summarize(ratios)
+	if err != nil {
+		return nil, err
+	}
+	histo, err := stats.NewHistogram(ratios, 40)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig1Result{
+		Variable: "rlus",
+		Iter1:    s1,
+		Iter2:    s2,
+		Ratios:   sr,
+		FracBelow: map[string]float64{
+			"0.1%": stats.FractionWithin(ratios, 0.001),
+			"0.5%": stats.FractionWithin(ratios, 0.005),
+			"1.0%": stats.FractionWithin(ratios, 0.01),
+		},
+		RatioHisto: histo,
+	}, nil
+}
+
+// WriteText renders the result.
+func (r *Fig1Result) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "Fig 1: %s slices and change distribution\n", r.Variable)
+	fmt.Fprintf(w, "  iteration 1 values: mean=%.3f std=%.3f range=[%.3f, %.3f]\n", r.Iter1.Mean, r.Iter1.Std, r.Iter1.Min, r.Iter1.Max)
+	fmt.Fprintf(w, "  iteration 2 values: mean=%.3f std=%.3f range=[%.3f, %.3f]\n", r.Iter2.Mean, r.Iter2.Std, r.Iter2.Min, r.Iter2.Max)
+	fmt.Fprintf(w, "  change ratios: mean=%.5f%% std=%.5f%% range=[%.4f%%, %.4f%%]\n",
+		r.Ratios.Mean*100, r.Ratios.Std*100, r.Ratios.Min*100, r.Ratios.Max*100)
+	for _, k := range []string{"0.1%", "0.5%", "1.0%"} {
+		fmt.Fprintf(w, "  |change| < %s: %.1f%% of points\n", k, r.FracBelow[k]*100)
+	}
+	fmt.Fprintf(w, "  paper: >75%% of rlus points change by < 0.5%% per step\n")
+}
+
+// ---------------------------------------------------------------------
+// Fig. 3 — occupancy of the 255 bins for FLASH dens between iterations
+// 32 and 33, per strategy.
+
+// Fig3Strategy is the per-strategy part of Fig. 3.
+type Fig3Strategy struct {
+	Strategy     core.Strategy
+	OccupiedBins int     // bins holding at least one point
+	TotalBins    int     // 2^B - 1
+	TopBinShare  float64 // fraction of binned points in the largest bin
+	ZeroIndex    int     // points on the reserved index 0
+	Gamma        float64
+	BinCounts    []int // occupancy per bin (index 1..2^B-1)
+}
+
+// Fig3Result reproduces Fig. 3.
+type Fig3Result struct {
+	Variable   string
+	FromIter   int
+	Strategies []Fig3Strategy
+}
+
+// RunFig3 encodes dens between FLASH checkpoints 32 and 33 (E=0.1 %,
+// B=8) under each strategy and reports the bin histograms.
+func RunFig3(seed int64) (*Fig3Result, error) {
+	snaps, err := FLASHRunCached(34, 3, seed)
+	if err != nil {
+		return nil, err
+	}
+	series, err := FLASHSeries(snaps, "dens")
+	if err != nil {
+		return nil, err
+	}
+	prev, cur := series[32], series[33]
+	res := &Fig3Result{Variable: "dens", FromIter: 32}
+	for _, s := range core.Strategies {
+		opt := core.Options{ErrorBound: 0.001, IndexBits: 8, Strategy: s}
+		enc, err := core.Encode(prev, cur, opt)
+		if err != nil {
+			return nil, err
+		}
+		fs := Fig3Strategy{
+			Strategy:  s,
+			TotalBins: opt.NumBins(),
+			BinCounts: make([]int, opt.NumBins()),
+			Gamma:     enc.Gamma(),
+		}
+		binned := 0
+		for j, idx := range enc.Indices {
+			if enc.Incompressible.Get(j) {
+				continue
+			}
+			if idx == 0 {
+				fs.ZeroIndex++
+				continue
+			}
+			fs.BinCounts[idx-1]++
+			binned++
+		}
+		top := 0
+		for _, c := range fs.BinCounts {
+			if c > 0 {
+				fs.OccupiedBins++
+			}
+			if c > top {
+				top = c
+			}
+		}
+		if binned > 0 {
+			fs.TopBinShare = float64(top) / float64(binned)
+		}
+		res.Strategies = append(res.Strategies, fs)
+	}
+	return res, nil
+}
+
+// WriteText renders the result.
+func (r *Fig3Result) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "Fig 3: bin histograms for FLASH %s, iteration %d->%d (E=0.1%%, B=8)\n", r.Variable, r.FromIter, r.FromIter+1)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  strategy\toccupied bins\tzero-index pts\ttop-bin share\tincompressible")
+	for _, s := range r.Strategies {
+		fmt.Fprintf(tw, "  %s\t%d/%d\t%d\t%.1f%%\t%.2f%%\n",
+			s.Strategy, s.OccupiedBins, s.TotalBins, s.ZeroIndex, s.TopBinShare*100, s.Gamma*100)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "  paper: clustering spreads mass over bins matching the dense areas; equal-width concentrates it\n")
+}
+
+// ---------------------------------------------------------------------
+// Figs. 4 and 5 — incompressible ratio and mean error rate per
+// iteration for every variable and strategy (E=0.1 %, B=8).
+
+// FigSeriesResult holds Fig. 4 (CMIP5) or Fig. 5 (FLASH).
+type FigSeriesResult struct {
+	Title   string
+	Results []*SeriesResult // one per (variable, strategy)
+}
+
+// RunFig4 reproduces Fig. 4 on all six CMIP5 variables.
+func RunFig4(iters int, seed int64) (*FigSeriesResult, error) {
+	if iters < 2 {
+		return nil, fmt.Errorf("experiments: fig4 needs >= 2 iterations")
+	}
+	out := &FigSeriesResult{Title: "Fig 4: NUMARCK on CMIP5 (E=0.1%, B=8)"}
+	for _, v := range CMIP5Variables() {
+		series, err := CMIP5Series(v, iters, seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range core.Strategies {
+			r, err := RunSeries(v, series, core.Options{ErrorBound: 0.001, IndexBits: 8, Strategy: s})
+			if err != nil {
+				return nil, err
+			}
+			out.Results = append(out.Results, r)
+		}
+	}
+	return out, nil
+}
+
+// RunFig5 reproduces Fig. 5 on all ten FLASH variables.
+func RunFig5(checkpoints int, seed int64) (*FigSeriesResult, error) {
+	if checkpoints < 2 {
+		return nil, fmt.Errorf("experiments: fig5 needs >= 2 checkpoints")
+	}
+	snaps, err := FLASHRunCached(checkpoints, 3, seed)
+	if err != nil {
+		return nil, err
+	}
+	out := &FigSeriesResult{Title: "Fig 5: NUMARCK on FLASH (E=0.1%, B=8)"}
+	for _, v := range FLASHVariables() {
+		series, err := FLASHSeries(snaps, v)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range core.Strategies {
+			r, err := RunSeries(v, series, core.Options{ErrorBound: 0.001, IndexBits: 8, Strategy: s})
+			if err != nil {
+				return nil, err
+			}
+			out.Results = append(out.Results, r)
+		}
+	}
+	return out, nil
+}
+
+// WriteText renders average incompressible ratio and mean error per
+// (variable, strategy).
+func (r *FigSeriesResult) WriteText(w io.Writer) {
+	fmt.Fprintln(w, r.Title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  variable\tstrategy\tavg incompressible\tavg mean err\tworst max err\tavg comp ratio")
+	for _, res := range r.Results {
+		fmt.Fprintf(tw, "  %s\t%s\t%.2f%%\t%.5f%%\t%.5f%%\t%.2f%%\n",
+			res.Variable, res.Opt.Strategy, res.AvgGamma()*100,
+			res.AvgMeanErr()*100, res.MaxMaxErr()*100, res.AvgCompRatio())
+	}
+	tw.Flush()
+}
+
+// ---------------------------------------------------------------------
+// Fig. 6 — effect of the approximation precision B (equal-width, rlds,
+// E=0.1 %).
+
+// Fig6Row is one precision setting.
+type Fig6Row struct {
+	IndexBits    int
+	AvgGamma     float64
+	AvgMeanErr   float64
+	AvgCompRatio float64
+	Series       *SeriesResult
+}
+
+// Fig6Result reproduces Fig. 6.
+type Fig6Result struct {
+	Variable string
+	Rows     []Fig6Row
+}
+
+// RunFig6 sweeps B over {8, 9, 10} on rlds with equal-width binning.
+func RunFig6(iters int, seed int64) (*Fig6Result, error) {
+	series, err := CMIP5Series("rlds", iters, seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig6Result{Variable: "rlds"}
+	for _, b := range []int{8, 9, 10} {
+		r, err := RunSeries("rlds", series, core.Options{ErrorBound: 0.001, IndexBits: b, Strategy: core.EqualWidth})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Fig6Row{
+			IndexBits:    b,
+			AvgGamma:     r.AvgGamma(),
+			AvgMeanErr:   r.AvgMeanErr(),
+			AvgCompRatio: r.AvgCompRatio(),
+			Series:       r,
+		})
+	}
+	return res, nil
+}
+
+// WriteText renders the sweep.
+func (r *Fig6Result) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "Fig 6: precision sweep on %s (equal-width, E=0.1%%)\n", r.Variable)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  B\tavg incompressible\tavg mean err\tavg comp ratio")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "  %d\t%.2f%%\t%.5f%%\t%.2f%%\n",
+			row.IndexBits, row.AvgGamma*100, row.AvgMeanErr*100, row.AvgCompRatio)
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "  paper: 8->9 bits collapses incompressible ratio (60%->20%), 10 bits ~85% compression")
+}
+
+// ---------------------------------------------------------------------
+// Fig. 7 — effect of the user error bound E (clustering, abs550aer).
+
+// Fig7Row is one error-bound setting.
+type Fig7Row struct {
+	ErrorBound   float64
+	AvgGamma     float64
+	AvgMeanErr   float64
+	AvgCompRatio float64
+	Series       *SeriesResult
+}
+
+// Fig7Result reproduces Fig. 7.
+type Fig7Result struct {
+	Variable string
+	Rows     []Fig7Row
+}
+
+// RunFig7 sweeps E over {0.1..0.5 %} on abs550aer with clustering.
+func RunFig7(iters int, seed int64) (*Fig7Result, error) {
+	series, err := CMIP5Series("abs550aer", iters, seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig7Result{Variable: "abs550aer"}
+	for _, e := range []float64{0.001, 0.002, 0.003, 0.004, 0.005} {
+		r, err := RunSeries("abs550aer", series, core.Options{ErrorBound: e, IndexBits: 8, Strategy: core.Clustering})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Fig7Row{
+			ErrorBound:   e,
+			AvgGamma:     r.AvgGamma(),
+			AvgMeanErr:   r.AvgMeanErr(),
+			AvgCompRatio: r.AvgCompRatio(),
+			Series:       r,
+		})
+	}
+	return res, nil
+}
+
+// WriteText renders the sweep.
+func (r *Fig7Result) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "Fig 7: error-bound sweep on %s (clustering, B=8)\n", r.Variable)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  E\tavg incompressible\tavg mean err\tavg comp ratio")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "  %.1f%%\t%.2f%%\t%.5f%%\t%.2f%%\n",
+			row.ErrorBound*100, row.AvgGamma*100, row.AvgMeanErr*100, row.AvgCompRatio)
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "  paper: E 0.1->0.5% drops incompressible >40%->atop <10%, compression <50%->80%+, mean err stays << E")
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"text/tabwriter"
+
+	"numarck/internal/core"
+	"numarck/internal/lossless/fpc"
+	"numarck/internal/lossless/xorpre"
+)
+
+// LosslessRow is one dataset's comparison of lossless compressors
+// against NUMARCK's error-bounded reduction.
+type LosslessRow struct {
+	Dataset string
+	// Saved percentages.
+	FPC, XorRLE, XorFPC, NUMARCK float64
+}
+
+// LosslessResult reproduces the paper's related-work argument (§IV):
+// lossless floating-point compressors preserve checkpoints exactly but
+// reach a fraction of the reduction an error-bounded method does —
+// Bautista-Gomez & Cappello report ~40 % maximum, Bicer et al. under
+// 65 %, while NUMARCK exceeds 80 %.
+type LosslessResult struct {
+	Rows []LosslessRow
+}
+
+// RunLosslessComparison measures FPC, XOR+RLE, and XOR+FPC against
+// NUMARCK (E=0.1 %, clustering, B=8) on one iteration of each of four
+// representative datasets.
+func RunLosslessComparison(seed int64) (*LosslessResult, error) {
+	res := &LosslessResult{}
+	opt := core.Options{ErrorBound: 0.001, IndexBits: 8, Strategy: core.Clustering}
+
+	flashSnaps, err := FLASHRunCached(12, 3, seed)
+	if err != nil {
+		return nil, err
+	}
+
+	datasets := []struct {
+		name  string
+		cmip5 bool
+	}{
+		{"rlus", true}, {"abs550aer", true}, {"dens", false}, {"pres", false},
+	}
+	for _, ds := range datasets {
+		var prev, cur []float64
+		if ds.cmip5 {
+			series, err := CMIP5Series(ds.name, 12, seed)
+			if err != nil {
+				return nil, err
+			}
+			prev, cur = series[10], series[11]
+		} else {
+			series, err := FLASHSeries(flashSnaps, ds.name)
+			if err != nil {
+				return nil, err
+			}
+			prev, cur = series[10], series[11]
+		}
+
+		row := LosslessRow{Dataset: ds.name}
+		row.FPC = fpc.Ratio(len(fpc.Compress(cur)), len(cur))
+		xorComp := xorpre.Compress(cur)
+		row.XorRLE = xorpre.Ratio(len(xorComp), len(cur))
+		// XOR preconditioning feeding FPC: FPC recompresses the raw
+		// stream; measure FPC over the XOR-delta stream by
+		// reinterpreting it as doubles is not meaningful, so combine
+		// as: min(xor-rle, fpc) per dataset would be artificial.
+		// Instead, FPC over the delta values (cur[i] XOR cur[i-1]
+		// reinterpreted) — the CC-style pipeline.
+		row.XorFPC = fpc.Ratio(len(fpc.Compress(xorDeltas(cur))), len(cur))
+
+		enc, err := core.Encode(prev, cur, opt)
+		if err != nil {
+			return nil, err
+		}
+		cr, err := enc.CompressionRatio()
+		if err != nil {
+			return nil, err
+		}
+		row.NUMARCK = cr
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// xorDeltas returns the XOR-preconditioned stream reinterpreted as
+// float64s (the CC pipeline's intermediate representation).
+func xorDeltas(vals []float64) []float64 {
+	out := make([]float64, len(vals))
+	var prev uint64
+	for i, v := range vals {
+		bits := math.Float64bits(v)
+		out[i] = math.Float64frombits(bits ^ prev)
+		prev = bits
+	}
+	return out
+}
+
+// WriteText renders the comparison.
+func (r *LosslessResult) WriteText(w io.Writer) {
+	fmt.Fprintln(w, "Related work: lossless compressors vs NUMARCK (one iteration, % saved)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  dataset\tFPC\tXOR+RLE\tXOR+FPC\tNUMARCK (E=0.1%)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "  %s\t%.2f%%\t%.2f%%\t%.2f%%\t%.2f%%\n",
+			row.Dataset, row.FPC, row.XorRLE, row.XorFPC, row.NUMARCK)
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "  paper §IV: lossless methods cap around 40-65%; error-bounded NUMARCK exceeds them")
+}
+
+// Best returns the best lossless saving and NUMARCK's saving averaged
+// over datasets, for the shape assertion.
+func (r *LosslessResult) Best() (bestLossless, numarck float64) {
+	for _, row := range r.Rows {
+		b := row.FPC
+		if row.XorRLE > b {
+			b = row.XorRLE
+		}
+		if row.XorFPC > b {
+			b = row.XorFPC
+		}
+		bestLossless += b
+		numarck += row.NUMARCK
+	}
+	n := float64(len(r.Rows))
+	return bestLossless / n, numarck / n
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"text/tabwriter"
+	"time"
+
+	"numarck/internal/core"
+	"numarck/internal/sim/climate"
+)
+
+// ScalingRow is one worker count's timing.
+type ScalingRow struct {
+	Workers  int
+	Elapsed  time.Duration
+	Speedup  float64
+	MBPerSec float64
+}
+
+// ScalingResult measures shared-memory strong scaling of the encoder —
+// the "more computations locally" half of the paper's exascale pitch
+// (§I Q4): ratio computation, k-means assignment, and the index
+// assignment pass all decompose over points. Speedup is bounded by the
+// host's CPU count (reported in the output): on a single-core machine
+// the experiment degenerates to a correctness check of the worker
+// plumbing.
+type ScalingResult struct {
+	Points int
+	CPUs   int
+	Rows   []ScalingRow
+}
+
+// RunScalingExperiment encodes a fixed 1M-point workload (abs550aer
+// values tiled) at increasing worker counts.
+func RunScalingExperiment(seed int64) (*ScalingResult, error) {
+	gen, err := climate.NewGenerator("abs550aer", seed)
+	if err != nil {
+		return nil, err
+	}
+	base0 := gen.Iteration(3)
+	base1 := gen.Iteration(4)
+	const copies = 80 // ~1.04M points
+	prev := make([]float64, 0, copies*len(base0))
+	cur := make([]float64, 0, copies*len(base1))
+	for c := 0; c < copies; c++ {
+		prev = append(prev, base0...)
+		cur = append(cur, base1...)
+	}
+
+	res := &ScalingResult{Points: len(prev), CPUs: runtime.NumCPU()}
+	var baseline time.Duration
+	for _, workers := range []int{1, 2, 4, 8} {
+		opt := core.Options{ErrorBound: 0.001, IndexBits: 8, Strategy: core.Clustering, Workers: workers}
+		start := time.Now()
+		if _, err := core.Encode(prev, cur, opt); err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		if workers == 1 {
+			baseline = elapsed
+		}
+		res.Rows = append(res.Rows, ScalingRow{
+			Workers:  workers,
+			Elapsed:  elapsed,
+			Speedup:  float64(baseline) / float64(elapsed),
+			MBPerSec: float64(8*len(prev)) / 1e6 / elapsed.Seconds(),
+		})
+	}
+	return res, nil
+}
+
+// WriteText renders the scaling table.
+func (r *ScalingResult) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "Scaling: clustering encode of %d points vs worker count (%d CPU(s) available)\n", r.Points, r.CPUs)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  workers\telapsed\tspeedup\tthroughput")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "  %d\t%v\t%.2fx\t%.1f MB/s\n", row.Workers, row.Elapsed.Round(time.Millisecond), row.Speedup, row.MBPerSec)
+	}
+	tw.Flush()
+	if r.CPUs == 1 {
+		fmt.Fprintln(w, "  note: single-CPU host — speedup is capped at 1x by hardware, not by the decomposition")
+	}
+}
+
+// ---------------------------------------------------------------------
+// Strategy-extension comparison: the paper's three strategies plus the
+// equal-frequency extension, on the two hardest variables.
+
+// StrategyExtRow is one (variable, strategy) outcome.
+type StrategyExtRow struct {
+	Variable string
+	Strategy core.Strategy
+	AvgGamma float64
+	AvgRatio float64
+}
+
+// StrategyExtResult compares all four strategies.
+type StrategyExtResult struct {
+	Rows []StrategyExtRow
+}
+
+// RunStrategyExtension sweeps the four strategies over mc and
+// abs550aer (E=0.1 %, B=8).
+func RunStrategyExtension(iters int, seed int64) (*StrategyExtResult, error) {
+	res := &StrategyExtResult{}
+	all := append(append([]core.Strategy{}, core.Strategies...), core.EqualFrequency)
+	for _, v := range []string{"mc", "abs550aer"} {
+		series, err := CMIP5Series(v, iters, seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range all {
+			r, err := RunSeries(v, series, core.Options{ErrorBound: 0.001, IndexBits: 8, Strategy: s})
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, StrategyExtRow{
+				Variable: v,
+				Strategy: s,
+				AvgGamma: r.AvgGamma(),
+				AvgRatio: r.AvgCompRatio(),
+			})
+		}
+	}
+	return res, nil
+}
+
+// WriteText renders the comparison.
+func (r *StrategyExtResult) WriteText(w io.Writer) {
+	fmt.Fprintln(w, "Extension: equal-frequency (quantile) binning vs the paper's three strategies (E=0.1%, B=8)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  variable\tstrategy\tavg incompressible\tavg comp ratio")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "  %s\t%s\t%.2f%%\t%.2f%%\n", row.Variable, row.Strategy, row.AvgGamma*100, row.AvgRatio)
+	}
+	tw.Flush()
+}

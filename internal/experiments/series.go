@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+
+	"numarck/internal/core"
+	"numarck/internal/stats"
+)
+
+// IterMetrics are the per-iteration metrics the paper plots in
+// Figs. 4-7.
+type IterMetrics struct {
+	Iteration int
+	// Gamma is the incompressible ratio (fraction).
+	Gamma float64
+	// MeanErr and MaxErr are the mean and maximum |approximated −
+	// true| change-ratio error (fractions; ×100 for the paper's %).
+	MeanErr float64
+	MaxErr  float64
+	// CompRatio is the paper's Eq. 3 compression ratio in percent.
+	CompRatio float64
+}
+
+// SeriesResult is the outcome of encoding every consecutive pair of a
+// variable's iteration series.
+type SeriesResult struct {
+	Variable string
+	Opt      core.Options
+	Iters    []IterMetrics
+}
+
+// RunSeries encodes series[i-1] → series[i] for every i >= 1 under opt
+// and collects per-iteration metrics. Ratios are always computed
+// against the true previous iteration, matching in-situ checkpointing.
+func RunSeries(variable string, series [][]float64, opt core.Options) (*SeriesResult, error) {
+	if len(series) < 2 {
+		return nil, fmt.Errorf("experiments: series %q needs >= 2 iterations, have %d", variable, len(series))
+	}
+	res := &SeriesResult{Variable: variable, Opt: opt}
+	for i := 1; i < len(series); i++ {
+		enc, err := core.Encode(series[i-1], series[i], opt)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s iteration %d: %w", variable, i, err)
+		}
+		cr, err := enc.CompressionRatio()
+		if err != nil {
+			return nil, err
+		}
+		res.Iters = append(res.Iters, IterMetrics{
+			Iteration: i,
+			Gamma:     enc.Gamma(),
+			MeanErr:   enc.MeanErrorRate(),
+			MaxErr:    enc.MaxErrorRate(),
+			CompRatio: cr,
+		})
+	}
+	return res, nil
+}
+
+// AvgGamma returns the mean incompressible ratio across iterations.
+func (r *SeriesResult) AvgGamma() float64 {
+	return stats.Mean(r.collect(func(m IterMetrics) float64 { return m.Gamma }))
+}
+
+// AvgMeanErr returns the mean of the per-iteration mean error rates.
+func (r *SeriesResult) AvgMeanErr() float64 {
+	return stats.Mean(r.collect(func(m IterMetrics) float64 { return m.MeanErr }))
+}
+
+// AvgCompRatio returns the mean Eq. 3 compression ratio in percent.
+func (r *SeriesResult) AvgCompRatio() float64 {
+	return stats.Mean(r.collect(func(m IterMetrics) float64 { return m.CompRatio }))
+}
+
+// MaxMaxErr returns the worst per-point error rate over all iterations.
+func (r *SeriesResult) MaxMaxErr() float64 {
+	var m float64
+	for _, it := range r.Iters {
+		if it.MaxErr > m {
+			m = it.MaxErr
+		}
+	}
+	return m
+}
+
+func (r *SeriesResult) collect(f func(IterMetrics) float64) []float64 {
+	out := make([]float64, len(r.Iters))
+	for i, m := range r.Iters {
+		out[i] = f(m)
+	}
+	return out
+}
+
+// MeanStd is a mean ± standard deviation pair as printed in the
+// paper's tables.
+type MeanStd struct {
+	Mean, Std float64
+}
+
+// String formats like the paper: "81.776±0.014".
+func (m MeanStd) String() string {
+	return fmt.Sprintf("%.3f±%.3f", m.Mean, m.Std)
+}
+
+// NewMeanStd summarizes xs.
+func NewMeanStd(xs []float64) MeanStd {
+	return MeanStd{Mean: stats.Mean(xs), Std: stats.StdDev(xs)}
+}

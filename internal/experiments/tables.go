@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"numarck/internal/baseline/bsplines"
+	"numarck/internal/baseline/isabela"
+	"numarck/internal/core"
+	"numarck/internal/stats"
+)
+
+// TableConfig carries the paper's settings for Tables I and II
+// (§III-F): E = 0.5 %, clustering; B = 9 / W₀ = 512 for CMIP5 data and
+// B = 8 / W₀ = 256 for FLASH data; P_I = 30; P_S = 0.8·n.
+type TableConfig struct {
+	Iterations int
+	Seed       int64
+}
+
+// TableRow holds one dataset's results for both tables.
+type TableRow struct {
+	Dataset string
+	// Table I: compression ratios (percent saved).
+	RBSplines, RISABELA, RNUMARCK MeanStd
+	// Table II: Pearson ρ.
+	RhoBSplines, RhoISABELA, RhoNUMARCK MeanStd
+	// Table II: RMSE ξ.
+	XiBSplines, XiISABELA, XiNUMARCK MeanStd
+}
+
+// TablesResult reproduces Tables I and II together (they share all the
+// compression work).
+type TablesResult struct {
+	Cfg  TableConfig
+	Rows []TableRow
+}
+
+// RunTables compresses every dataset with the three methods and
+// collects ratio and accuracy statistics across iterations.
+func RunTables(cfg TableConfig) (*TablesResult, error) {
+	if cfg.Iterations < 2 {
+		return nil, fmt.Errorf("experiments: tables need >= 2 iterations")
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = DefaultSeed
+	}
+	res := &TablesResult{Cfg: cfg}
+
+	flashSnaps, err := FLASHRunCached(cfg.Iterations, 3, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	for _, ds := range TableDatasets {
+		var series [][]float64
+		indexBits := 8
+		window := 256
+		if ds.CMIP5 {
+			indexBits = 9
+			window = 512
+			series, err = CMIP5Series(ds.Name, cfg.Iterations, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			series, err = FLASHSeries(flashSnaps, ds.Name)
+			if err != nil {
+				return nil, err
+			}
+		}
+		row, err := runTableDataset(ds.Name, series, indexBits, window)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, *row)
+	}
+	return res, nil
+}
+
+func runTableDataset(name string, series [][]float64, indexBits, window int) (*TableRow, error) {
+	opt := core.Options{ErrorBound: 0.005, IndexBits: indexBits, Strategy: core.Clustering}
+	row := &TableRow{Dataset: name}
+	var rBS, rISA, rNMK []float64
+	var rhoBS, rhoISA, rhoNMK []float64
+	var xiBS, xiISA, xiNMK []float64
+
+	for i := 1; i < len(series); i++ {
+		cur := series[i]
+
+		// B-Splines baseline on the iteration's raw values.
+		bs, err := bsplines.Compress(cur, bsplines.DefaultControlFraction)
+		if err != nil {
+			return nil, fmt.Errorf("%s iter %d bsplines: %w", name, i, err)
+		}
+		bsRec := bs.Decompress()
+		rBS = append(rBS, bs.CompressionRatio())
+		if err := appendAccuracy(&rhoBS, &xiBS, cur, bsRec); err != nil {
+			return nil, err
+		}
+
+		// ISABELA baseline.
+		isa, err := isabela.Compress(cur, window, isabela.DefaultCoefficients)
+		if err != nil {
+			return nil, fmt.Errorf("%s iter %d isabela: %w", name, i, err)
+		}
+		isaRec, err := isa.Decompress()
+		if err != nil {
+			return nil, err
+		}
+		rISA = append(rISA, isa.CompressionRatio())
+		if err := appendAccuracy(&rhoISA, &xiISA, cur, isaRec); err != nil {
+			return nil, err
+		}
+
+		// NUMARCK on the transition.
+		enc, err := core.Encode(series[i-1], cur, opt)
+		if err != nil {
+			return nil, fmt.Errorf("%s iter %d numarck: %w", name, i, err)
+		}
+		nmkRec, err := enc.Decode(series[i-1])
+		if err != nil {
+			return nil, err
+		}
+		cr, err := enc.CompressionRatio()
+		if err != nil {
+			return nil, err
+		}
+		rNMK = append(rNMK, cr)
+		if err := appendAccuracy(&rhoNMK, &xiNMK, cur, nmkRec); err != nil {
+			return nil, err
+		}
+	}
+
+	row.RBSplines = NewMeanStd(rBS)
+	row.RISABELA = NewMeanStd(rISA)
+	row.RNUMARCK = NewMeanStd(rNMK)
+	row.RhoBSplines = NewMeanStd(rhoBS)
+	row.RhoISABELA = NewMeanStd(rhoISA)
+	row.RhoNUMARCK = NewMeanStd(rhoNMK)
+	row.XiBSplines = NewMeanStd(xiBS)
+	row.XiISABELA = NewMeanStd(xiISA)
+	row.XiNUMARCK = NewMeanStd(xiNMK)
+	return row, nil
+}
+
+func appendAccuracy(rhos, xis *[]float64, orig, rec []float64) error {
+	rho, err := stats.Pearson(orig, rec)
+	if err != nil {
+		return err
+	}
+	xi, err := stats.RMSE(orig, rec)
+	if err != nil {
+		return err
+	}
+	*rhos = append(*rhos, rho)
+	*xis = append(*xis, xi)
+	return nil
+}
+
+// WriteTable1 renders the compression-ratio comparison.
+func (r *TablesResult) WriteTable1(w io.Writer) {
+	fmt.Fprintf(w, "Table I: compression ratio (%% saved), %d iterations\n", r.Cfg.Iterations)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  dataset\tB-Splines\tISABELA\tNUMARCK")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "  %s\t%s\t%s\t%s\n", row.Dataset, row.RBSplines, row.RISABELA, row.RNUMARCK)
+	}
+	tw.Flush()
+}
+
+// WriteTable2 renders the accuracy comparison.
+func (r *TablesResult) WriteTable2(w io.Writer) {
+	fmt.Fprintf(w, "Table II: accuracy (Pearson rho | RMSE xi), %d iterations\n", r.Cfg.Iterations)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  dataset\trho B-Spl\trho ISA\trho NMK\txi B-Spl\txi ISA\txi NMK")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "  %s\t%.4f\t%.4f\t%.4f\t%.4g\t%.4g\t%.4g\n",
+			row.Dataset,
+			row.RhoBSplines.Mean, row.RhoISABELA.Mean, row.RhoNUMARCK.Mean,
+			row.XiBSplines.Mean, row.XiISABELA.Mean, row.XiNUMARCK.Mean)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,236 @@
+// Package fpc implements the FPC lossless double-precision
+// floating-point compressor of Burtscher and Ratanaworabhan (IEEE
+// Trans. Computers 2009), which the NUMARCK paper cites as the lossless
+// stage for full checkpoints and as a candidate post-pass over the
+// encoded payload.
+//
+// FPC predicts each 64-bit value twice — with an FCM (finite context
+// method) predictor and a DFCM (differential FCM) predictor — XORs the
+// value with the better prediction, and stores the XOR residue minus
+// its leading zero bytes. Each value costs 4 bits of header (1 bit
+// predictor selector + 3 bits leading-zero-byte code) plus the nonzero
+// residue bytes; two headers share one byte. Like the original, the
+// code for 4 leading zero bytes is folded into 3 (the count is rare and
+// 3 bits cannot represent all of 0..8).
+package fpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// DefaultTableBits sizes the predictor hash tables at 2^16 entries,
+// matching the reference implementation's default memory budget.
+const DefaultTableBits = 16
+
+const maxTableBits = 24
+
+// magic identifies an FPC stream produced by this package.
+var magic = [4]byte{'F', 'P', 'C', '1'}
+
+// ErrCorrupt reports a malformed FPC stream.
+var ErrCorrupt = errors.New("fpc: corrupt stream")
+
+// predictor state shared by compressor and decompressor. Both sides
+// update it with the same sequence of decoded values, so predictions
+// agree without transmitting state.
+type predictor struct {
+	fcm      []uint64
+	dfcm     []uint64
+	fcmHash  uint64
+	dfcmHash uint64
+	lastVal  uint64
+	mask     uint64
+}
+
+func newPredictor(tableBits int) *predictor {
+	size := 1 << uint(tableBits)
+	return &predictor{
+		fcm:  make([]uint64, size),
+		dfcm: make([]uint64, size),
+		mask: uint64(size - 1),
+	}
+}
+
+// predict returns the FCM and DFCM predictions for the next value.
+func (p *predictor) predict() (fcmPred, dfcmPred uint64) {
+	return p.fcm[p.fcmHash&p.mask], p.dfcm[p.dfcmHash&p.mask] + p.lastVal
+}
+
+// update feeds the true value into both predictors.
+func (p *predictor) update(val uint64) {
+	p.fcm[p.fcmHash&p.mask] = val
+	p.fcmHash = (p.fcmHash << 6) ^ (val >> 48)
+	p.dfcm[p.dfcmHash&p.mask] = val - p.lastVal
+	p.dfcmHash = (p.dfcmHash << 2) ^ ((val - p.lastVal) >> 40)
+	p.lastVal = val
+}
+
+// leadingZeroBytes counts how many of the most significant bytes of x
+// are zero (0..8).
+func leadingZeroBytes(x uint64) int {
+	n := 0
+	for n < 8 && x&0xFF00000000000000 == 0 {
+		x <<= 8
+		n++
+	}
+	if x == 0 {
+		return 8
+	}
+	return n
+}
+
+// encodeLZB maps a leading-zero-byte count to its 3-bit code. Count 4
+// is folded down to 3 (one extra residue byte), as in reference FPC.
+func encodeLZB(n int) (code, stored int) {
+	if n == 4 {
+		return 3, 3
+	}
+	if n > 4 {
+		return n - 1, n
+	}
+	return n, n
+}
+
+// decodeLZB maps a 3-bit code back to the stored leading-zero count.
+func decodeLZB(code int) int {
+	if code >= 4 {
+		return code + 1
+	}
+	return code
+}
+
+// Compress encodes vals into a self-describing FPC stream.
+func Compress(vals []float64) []byte {
+	return CompressBits(vals, DefaultTableBits)
+}
+
+// CompressBits is Compress with an explicit predictor table size of
+// 2^tableBits entries (clamped to [4, 24]).
+func CompressBits(vals []float64, tableBits int) []byte {
+	if tableBits < 4 {
+		tableBits = 4
+	}
+	if tableBits > maxTableBits {
+		tableBits = maxTableBits
+	}
+	p := newPredictor(tableBits)
+
+	// Layout: magic | tableBits u8 | count u64 | header bytes
+	// (ceil(n/2)) | residue bytes.
+	n := len(vals)
+	headers := make([]byte, (n+1)/2)
+	residues := make([]byte, 0, n*8)
+
+	var scratch [8]byte
+	for i, v := range vals {
+		bits := math.Float64bits(v)
+		fcmPred, dfcmPred := p.predict()
+		xorF := bits ^ fcmPred
+		xorD := bits ^ dfcmPred
+		sel := 0
+		resid := xorF
+		if leadingZeroBytes(xorD) > leadingZeroBytes(xorF) {
+			sel = 1
+			resid = xorD
+		}
+		code, stored := encodeLZB(leadingZeroBytes(resid))
+		nres := 8 - stored
+		binary.BigEndian.PutUint64(scratch[:], resid)
+		residues = append(residues, scratch[8-nres:]...)
+		h := byte(sel<<3 | code)
+		if i%2 == 0 {
+			headers[i/2] = h << 4
+		} else {
+			headers[i/2] |= h
+		}
+		p.update(bits)
+	}
+
+	out := make([]byte, 0, 4+1+8+len(headers)+len(residues))
+	out = append(out, magic[:]...)
+	out = append(out, byte(tableBits))
+	var cnt [8]byte
+	binary.LittleEndian.PutUint64(cnt[:], uint64(n))
+	out = append(out, cnt[:]...)
+	out = append(out, headers...)
+	out = append(out, residues...)
+	return out
+}
+
+// Decompress decodes an FPC stream produced by Compress.
+func Decompress(data []byte) ([]float64, error) {
+	if len(data) < 13 {
+		return nil, fmt.Errorf("%w: stream shorter than header", ErrCorrupt)
+	}
+	for i := range magic {
+		if data[i] != magic[i] {
+			return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+		}
+	}
+	tableBits := int(data[4])
+	if tableBits < 4 || tableBits > maxTableBits {
+		return nil, fmt.Errorf("%w: table bits %d", ErrCorrupt, tableBits)
+	}
+	n64 := binary.LittleEndian.Uint64(data[5:13])
+	if n64 > uint64(1)<<40 {
+		return nil, fmt.Errorf("%w: implausible count %d", ErrCorrupt, n64)
+	}
+	n := int(n64)
+	headerLen := (n + 1) / 2
+	if len(data) < 13+headerLen {
+		return nil, fmt.Errorf("%w: truncated headers", ErrCorrupt)
+	}
+	headers := data[13 : 13+headerLen]
+	residues := data[13+headerLen:]
+
+	p := newPredictor(tableBits)
+	out := make([]float64, n)
+	ri := 0
+	var scratch [8]byte
+	for i := 0; i < n; i++ {
+		var h byte
+		if i%2 == 0 {
+			h = headers[i/2] >> 4
+		} else {
+			h = headers[i/2] & 0x0F
+		}
+		sel := int(h >> 3)
+		stored := decodeLZB(int(h & 0x07))
+		nres := 8 - stored
+		if ri+nres > len(residues) {
+			return nil, fmt.Errorf("%w: truncated residues at value %d", ErrCorrupt, i)
+		}
+		scratch = [8]byte{}
+		copy(scratch[8-nres:], residues[ri:ri+nres])
+		ri += nres
+		resid := binary.BigEndian.Uint64(scratch[:])
+
+		fcmPred, dfcmPred := p.predict()
+		var bits uint64
+		if sel == 0 {
+			bits = resid ^ fcmPred
+		} else {
+			bits = resid ^ dfcmPred
+		}
+		out[i] = math.Float64frombits(bits)
+		p.update(bits)
+	}
+	if ri != len(residues) {
+		return nil, fmt.Errorf("%w: %d trailing residue bytes", ErrCorrupt, len(residues)-ri)
+	}
+	return out, nil
+}
+
+// Ratio returns the storage saving of compressed relative to storing n
+// raw float64 values, in percent (negative when FPC expands the data,
+// which happens on incompressible inputs because of the 4-bit headers).
+func Ratio(compressedLen, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	raw := 8 * n
+	return float64(raw-compressedLen) / float64(raw) * 100
+}

@@ -1,0 +1,256 @@
+package fpc
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, vals []float64) {
+	t.Helper()
+	comp := Compress(vals)
+	got, err := Decompress(comp)
+	if err != nil {
+		t.Fatalf("Decompress: %v", err)
+	}
+	if len(got) != len(vals) {
+		t.Fatalf("length %d, want %d", len(got), len(vals))
+	}
+	for i := range vals {
+		if math.Float64bits(got[i]) != math.Float64bits(vals[i]) {
+			t.Fatalf("value %d: %x != %x", i, math.Float64bits(got[i]), math.Float64bits(vals[i]))
+		}
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) { roundTrip(t, nil) }
+
+func TestRoundTripSingle(t *testing.T) { roundTrip(t, []float64{math.Pi}) }
+
+func TestRoundTripOddCount(t *testing.T) {
+	roundTrip(t, []float64{1, 2, 3})
+}
+
+func TestRoundTripSpecialValues(t *testing.T) {
+	roundTrip(t, []float64{
+		0, math.Copysign(0, -1), 1, -1,
+		math.MaxFloat64, -math.MaxFloat64,
+		math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+		math.Inf(1), math.Inf(-1), math.NaN(),
+		math.Pi, math.E, 1e-300, 1e300,
+	})
+}
+
+func TestRoundTripSmooth(t *testing.T) {
+	vals := make([]float64, 10000)
+	for i := range vals {
+		vals[i] = math.Sin(float64(i) * 0.001)
+	}
+	roundTrip(t, vals)
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 10000)
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * math.Exp(rng.NormFloat64()*5)
+	}
+	roundTrip(t, vals)
+}
+
+func TestRoundTripAllTableSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vals := make([]float64, 2000)
+	for i := range vals {
+		vals[i] = float64(rng.Intn(100)) * 0.5
+	}
+	for _, bits := range []int{4, 8, 12, 16, 20} {
+		comp := CompressBits(vals, bits)
+		got, err := Decompress(comp)
+		if err != nil {
+			t.Fatalf("bits=%d: %v", bits, err)
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("bits=%d: value %d mismatch", bits, i)
+			}
+		}
+	}
+	// Out-of-range table sizes clamp rather than fail.
+	if _, err := Decompress(CompressBits(vals[:10], 1)); err != nil {
+		t.Errorf("clamped small table: %v", err)
+	}
+	if _, err := Decompress(CompressBits(vals[:10], 99)); err != nil {
+		t.Errorf("clamped large table: %v", err)
+	}
+}
+
+func TestCompressesRepetitiveData(t *testing.T) {
+	// Constant data: FCM predicts perfectly after warm-up, so the
+	// stream should be far below 8 bytes/value.
+	vals := make([]float64, 100000)
+	for i := range vals {
+		vals[i] = 42.5
+	}
+	comp := Compress(vals)
+	if r := Ratio(len(comp), len(vals)); r < 80 {
+		t.Errorf("constant data ratio = %v%%, want > 80%%", r)
+	}
+}
+
+func TestLinearSequenceCompresses(t *testing.T) {
+	// Arithmetic progressions are DFCM's specialty.
+	vals := make([]float64, 50000)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	comp := Compress(vals)
+	if r := Ratio(len(comp), len(vals)); r < 50 {
+		t.Errorf("linear data ratio = %v%%, want > 50%%", r)
+	}
+}
+
+func TestRandomMantissaDoesNotCompress(t *testing.T) {
+	// Full-entropy data must not round-trip incorrectly; ratio will be
+	// near zero or negative (the 4-bit headers).
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]float64, 5000)
+	for i := range vals {
+		vals[i] = math.Float64frombits(rng.Uint64())
+		if math.IsNaN(vals[i]) {
+			vals[i] = 1.5
+		}
+	}
+	roundTrip(t, vals)
+	comp := Compress(vals)
+	if r := Ratio(len(comp), len(vals)); r > 20 {
+		t.Errorf("random data ratio = %v%%, suspiciously high", r)
+	}
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5}
+	comp := Compress(vals)
+
+	cases := map[string][]byte{
+		"empty":            {},
+		"short":            comp[:5],
+		"bad magic":        append([]byte{'X'}, comp[1:]...),
+		"truncated":        comp[:len(comp)-1],
+		"trailing garbage": append(append([]byte{}, comp...), 0xFF),
+	}
+	for name, data := range cases {
+		if _, err := Decompress(data); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+	// Implausible count.
+	bad := append([]byte{}, comp...)
+	for i := 5; i < 13; i++ {
+		bad[i] = 0xFF
+	}
+	if _, err := Decompress(bad); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("huge count: err = %v", err)
+	}
+	// Bad table bits byte.
+	bad2 := append([]byte{}, comp...)
+	bad2[4] = 99
+	if _, err := Decompress(bad2); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bad table bits: err = %v", err)
+	}
+}
+
+func TestLeadingZeroBytes(t *testing.T) {
+	cases := []struct {
+		x    uint64
+		want int
+	}{
+		{0, 8},
+		{1, 7},
+		{0xFF, 7},
+		{0x100, 6},
+		{0xFFFFFFFFFFFFFFFF, 0},
+		{0x00FFFFFFFFFFFFFF, 1},
+		{0x0000000000FF0000, 5},
+	}
+	for _, c := range cases {
+		if got := leadingZeroBytes(c.x); got != c.want {
+			t.Errorf("leadingZeroBytes(%x) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestLZBCodeRoundTrip(t *testing.T) {
+	for n := 0; n <= 8; n++ {
+		code, stored := encodeLZB(n)
+		if code < 0 || code > 7 {
+			t.Errorf("encodeLZB(%d) code = %d out of 3 bits", n, code)
+		}
+		if stored > n {
+			t.Errorf("encodeLZB(%d) stores %d > actual", n, stored)
+		}
+		if decodeLZB(code) != stored {
+			t.Errorf("decodeLZB(encodeLZB(%d)) = %d, want %d", n, decodeLZB(code), stored)
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(vals []float64) bool {
+		comp := CompressBits(vals, 10)
+		got, err := Decompress(comp)
+		if err != nil || len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if math.Float64bits(got[i]) != math.Float64bits(vals[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(0, 0) != 0 {
+		t.Error("Ratio(0,0) != 0")
+	}
+	if r := Ratio(400, 100); r != 50 {
+		t.Errorf("Ratio(400,100) = %v, want 50", r)
+	}
+	if r := Ratio(1000, 100); r >= 0 {
+		t.Errorf("expanding ratio = %v, want negative", r)
+	}
+}
+
+func BenchmarkCompressSmooth(b *testing.B) {
+	vals := make([]float64, 1<<16)
+	for i := range vals {
+		vals[i] = math.Sin(float64(i) * 0.001)
+	}
+	b.SetBytes(int64(len(vals) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compress(vals)
+	}
+}
+
+func BenchmarkDecompressSmooth(b *testing.B) {
+	vals := make([]float64, 1<<16)
+	for i := range vals {
+		vals[i] = math.Sin(float64(i) * 0.001)
+	}
+	comp := Compress(vals)
+	b.SetBytes(int64(len(vals) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompress(comp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package xorpre
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, vals []float64) []byte {
+	t.Helper()
+	comp := Compress(vals)
+	got, err := Decompress(comp)
+	if err != nil {
+		t.Fatalf("Decompress: %v", err)
+	}
+	if len(got) != len(vals) {
+		t.Fatalf("len %d, want %d", len(got), len(vals))
+	}
+	for i := range vals {
+		if math.Float64bits(got[i]) != math.Float64bits(vals[i]) {
+			t.Fatalf("value %d: %x != %x", i, math.Float64bits(got[i]), math.Float64bits(vals[i]))
+		}
+	}
+	return comp
+}
+
+func TestRoundTripEmpty(t *testing.T)  { roundTrip(t, nil) }
+func TestRoundTripSingle(t *testing.T) { roundTrip(t, []float64{math.Pi}) }
+
+func TestRoundTripSpecials(t *testing.T) {
+	roundTrip(t, []float64{
+		0, math.Copysign(0, -1), math.Inf(1), math.Inf(-1), math.NaN(),
+		math.MaxFloat64, math.SmallestNonzeroFloat64, 1, -1,
+	})
+}
+
+func TestConstantDataCompressesHard(t *testing.T) {
+	vals := make([]float64, 50000)
+	for i := range vals {
+		vals[i] = 1234.5678
+	}
+	comp := roundTrip(t, vals)
+	if r := Ratio(len(comp), len(vals)); r < 95 {
+		t.Errorf("constant data ratio = %v%%", r)
+	}
+}
+
+func TestSmoothDataCompressesSome(t *testing.T) {
+	vals := make([]float64, 50000)
+	for i := range vals {
+		vals[i] = 300 + math.Sin(float64(i)*1e-4)
+	}
+	comp := roundTrip(t, vals)
+	if r := Ratio(len(comp), len(vals)); r < 5 {
+		t.Errorf("smooth data ratio = %v%%, expected XOR cancellation to help", r)
+	}
+}
+
+func TestRandomDataRoundTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 10000)
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * math.Exp(rng.NormFloat64()*10)
+	}
+	comp := roundTrip(t, vals)
+	// Random data should not expand catastrophically (tag overhead
+	// bounded by 1/127 per literal byte).
+	if r := Ratio(len(comp), len(vals)); r < -5 {
+		t.Errorf("random data expanded by %v%%", -r)
+	}
+}
+
+func TestLongZeroRuns(t *testing.T) {
+	// Repeated identical values produce >16K zero bytes, exercising
+	// the run-split path.
+	vals := make([]float64, 10000)
+	roundTrip(t, vals)
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	comp := Compress([]float64{1, 2, 3})
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     comp[:8],
+		"bad magic": append([]byte{'Y'}, comp[1:]...),
+		"truncated": comp[:len(comp)-1],
+		"trailing":  append(append([]byte{}, comp...), 0x01, 0xAA),
+	}
+	for name, data := range cases {
+		if _, err := Decompress(data); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	// Implausible count.
+	bad := append([]byte{}, comp...)
+	for i := 4; i < 12; i++ {
+		bad[i] = 0xFF
+	}
+	if _, err := Decompress(bad); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("huge count: %v", err)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(vals []float64) bool {
+		comp := Compress(vals)
+		got, err := Decompress(comp)
+		if err != nil || len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if math.Float64bits(got[i]) != math.Float64bits(vals[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCompressSmooth(b *testing.B) {
+	vals := make([]float64, 1<<16)
+	for i := range vals {
+		vals[i] = 300 + math.Sin(float64(i)*1e-4)
+	}
+	b.SetBytes(int64(8 * len(vals)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compress(vals)
+	}
+}

@@ -1,0 +1,285 @@
+package ncdf
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func sampleFile() *File {
+	f := &File{
+		Dims: []Dim{
+			{Name: "time", Len: 3},
+			{Name: "lat", Len: 4},
+			{Name: "lon", Len: 5},
+		},
+		GlobalAttrs: []Attr{
+			{Name: "title", Text: "synthetic CMIP5-like data"},
+			{Name: "resolution_deg", Doubles: []float64{2.5, 2.0}},
+		},
+	}
+	data := make([]float64, 3*4*5)
+	for i := range data {
+		data[i] = 100 + float64(i)*0.25
+	}
+	f.Vars = append(f.Vars, Var{
+		Name:   "rlus",
+		DimIDs: []int{0, 1, 2},
+		Attrs: []Attr{
+			{Name: "units", Text: "W m-2"},
+			{Name: "valid_range", Doubles: []float64{0, 1000}},
+		},
+		Data: data,
+	})
+	lat := []float64{-45, -15, 15, 45}
+	f.Vars = append(f.Vars, Var{Name: "lat", DimIDs: []int{1}, Data: lat})
+	return f
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := sampleFile()
+	raw, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Dims) != 3 || got.Dims[1].Name != "lat" || got.Dims[1].Len != 4 {
+		t.Errorf("dims = %+v", got.Dims)
+	}
+	if len(got.GlobalAttrs) != 2 || got.GlobalAttrs[0].Text != "synthetic CMIP5-like data" {
+		t.Errorf("gattrs = %+v", got.GlobalAttrs)
+	}
+	if got.GlobalAttrs[1].Doubles[0] != 2.5 {
+		t.Errorf("resolution attr = %+v", got.GlobalAttrs[1])
+	}
+	v, err := got.VarByName("rlus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Attrs) != 2 || v.Attrs[0].Text != "W m-2" {
+		t.Errorf("var attrs = %+v", v.Attrs)
+	}
+	want := sampleFile().Vars[0].Data
+	for i := range want {
+		if v.Data[i] != want[i] {
+			t.Fatalf("data[%d] = %v, want %v", i, v.Data[i], want[i])
+		}
+	}
+	shape, err := got.Shape(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shape[0] != 3 || shape[1] != 4 || shape[2] != 5 {
+		t.Errorf("shape = %v", shape)
+	}
+}
+
+func TestFileRoundTripOnDisk(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.nc")
+	f := sampleFile()
+	if err := f.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Vars) != 2 {
+		t.Errorf("%d variables", len(got.Vars))
+	}
+}
+
+func TestSlab(t *testing.T) {
+	f := sampleFile()
+	v, err := f.VarByName("rlus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	slab, err := f.Slab(v, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slab) != 20 {
+		t.Fatalf("slab len %d", len(slab))
+	}
+	if slab[0] != v.Data[20] {
+		t.Errorf("slab[0] = %v, want %v", slab[0], v.Data[20])
+	}
+	if _, err := f.Slab(v, 3); err == nil {
+		t.Error("out-of-range slab accepted")
+	}
+	if _, err := f.Slab(v, -1); err == nil {
+		t.Error("negative slab accepted")
+	}
+}
+
+func TestNamePadding(t *testing.T) {
+	// Names of every length modulo 4 must round trip.
+	for _, name := range []string{"a", "ab", "abc", "abcd", "abcde"} {
+		f := &File{
+			Dims: []Dim{{Name: name, Len: 2}},
+			Vars: []Var{{Name: name + "_v", DimIDs: []int{0}, Data: []float64{1, 2}}},
+		}
+		raw, err := f.Encode()
+		if err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+		got, err := Decode(raw)
+		if err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+		if got.Dims[0].Name != name || got.Vars[0].Name != name+"_v" {
+			t.Errorf("%q: names %q, %q", name, got.Dims[0].Name, got.Vars[0].Name)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := &File{
+		Dims: []Dim{{Name: "x", Len: 3}},
+		Vars: []Var{{Name: "v", DimIDs: []int{0}, Data: []float64{1, 2}}}, // wrong size
+	}
+	if _, err := bad.Encode(); !errors.Is(err, ErrLayout) {
+		t.Errorf("wrong-size var: %v", err)
+	}
+	bad2 := &File{Dims: []Dim{{Name: "", Len: 1}}}
+	if _, err := bad2.Encode(); !errors.Is(err, ErrLayout) {
+		t.Errorf("unnamed dim: %v", err)
+	}
+	bad3 := &File{Vars: []Var{
+		{Name: "v", Data: []float64{1}},
+		{Name: "v", Data: []float64{2}},
+	}}
+	if _, err := bad3.Encode(); !errors.Is(err, ErrLayout) {
+		t.Errorf("duplicate vars: %v", err)
+	}
+	bad4 := &File{Vars: []Var{{Name: "v", DimIDs: []int{7}, Data: []float64{1}}}}
+	if _, err := bad4.Encode(); err == nil {
+		t.Error("dangling dim id accepted")
+	}
+	bad5 := &File{Vars: []Var{{
+		Name: "v", Data: []float64{1},
+		Attrs: []Attr{{Name: "a", Text: "x", Doubles: []float64{1}}},
+	}}}
+	if _, err := bad5.Encode(); !errors.Is(err, ErrLayout) {
+		t.Errorf("text+doubles attr: %v", err)
+	}
+}
+
+func TestDecodeRejectsBadInput(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": []byte("HDF\x01\x00\x00\x00\x00"),
+		"cdf2":      []byte("CDF\x02\x00\x00\x00\x00"),
+		"short":     []byte("CDF\x01\x00"),
+		"records":   []byte("CDF\x01\x00\x00\x00\x05\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"),
+	}
+	for name, data := range cases {
+		if _, err := Decode(data); !errors.Is(err, ErrFormat) {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestDecodeTruncations(t *testing.T) {
+	raw, err := sampleFile().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(raw); cut += 11 {
+		if _, err := Decode(raw[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestDecodeRandomGarbageNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		buf := make([]byte, rng.Intn(300))
+		rng.Read(buf)
+		if len(buf) >= 4 {
+			copy(buf, "CDF\x01") // force it past the magic check
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d panicked: %v", trial, r)
+				}
+			}()
+			_, _ = Decode(buf)
+		}()
+	}
+}
+
+func TestDecodeFloatVariable(t *testing.T) {
+	// Hand-build a file with an NC_FLOAT variable: the reader must
+	// widen it to float64.
+	f := &File{
+		Dims: []Dim{{Name: "x", Len: 2}},
+		Vars: []Var{{Name: "v", DimIDs: []int{0}, Data: []float64{1.5, -2.5}}},
+	}
+	raw, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Patch the variable type from double to float and rewrite the
+	// payload as two float32s at the same offset.
+	// Locate the type field: it sits 12 bytes before the end of the
+	// header (type, vsize, begin), with begin pointing at the data.
+	begin := len(raw) - 16 // data is 2 doubles = 16 bytes
+	hdrEnd := begin
+	typePos := hdrEnd - 12
+	binary.BigEndian.PutUint32(raw[typePos:], typeFloat)
+	patched := append([]byte{}, raw[:begin]...)
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], math.Float32bits(1.5))
+	patched = append(patched, b[:]...)
+	binary.BigEndian.PutUint32(b[:], math.Float32bits(-2.5))
+	patched = append(patched, b[:]...)
+
+	got, err := Decode(patched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := got.VarByName("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Data[0] != 1.5 || v.Data[1] != -2.5 {
+		t.Errorf("widened data = %v", v.Data)
+	}
+}
+
+func TestLargeRoundTrip(t *testing.T) {
+	// Full CMIP5-sized grid: 60 x 90 x 144 doubles (~6 MB).
+	f := &File{
+		Dims: []Dim{{Name: "time", Len: 60}, {Name: "lat", Len: 90}, {Name: "lon", Len: 144}},
+	}
+	rng := rand.New(rand.NewSource(2))
+	data := make([]float64, 60*90*144)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	f.Vars = []Var{{Name: "rlus", DimIDs: []int{0, 1, 2}, Data: data}}
+	raw, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := got.VarByName("rlus")
+	for i := 0; i < len(data); i += 997 {
+		if v.Data[i] != data[i] {
+			t.Fatalf("data[%d] differs", i)
+		}
+	}
+}

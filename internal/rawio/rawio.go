@@ -1,0 +1,36 @@
+// Package rawio reads and writes raw little-endian float64 arrays, the
+// interchange format of the CLI tools (one value per 8 bytes, no
+// header) — the same layout scientific dumps and `od -t f8` use.
+package rawio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+)
+
+// WriteFile writes vals to path as little-endian float64s.
+func WriteFile(path string, vals []float64) error {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	return os.WriteFile(path, buf, 0o644)
+}
+
+// ReadFile reads a little-endian float64 array from path.
+func ReadFile(path string) ([]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw)%8 != 0 {
+		return nil, fmt.Errorf("rawio: %s has %d bytes, not a multiple of 8", path, len(raw))
+	}
+	out := make([]float64, len(raw)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return out, nil
+}

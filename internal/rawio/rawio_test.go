@@ -1,0 +1,81 @@
+package rawio
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "vals.f64")
+	vals := []float64{0, 1.5, -2.25, math.Pi, math.Inf(1), math.SmallestNonzeroFloat64}
+	if err := WriteFile(path, vals); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(vals) {
+		t.Fatalf("len %d", len(got))
+	}
+	for i := range vals {
+		if math.Float64bits(got[i]) != math.Float64bits(vals[i]) {
+			t.Errorf("value %d: %v vs %v", i, got[i], vals[i])
+		}
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.f64")
+	if err := WriteFile(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty read: %v, %v", got, err)
+	}
+}
+
+func TestReadRejectsBadLength(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.f64")
+	if err := os.WriteFile(path, []byte{1, 2, 3}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Error("3-byte file accepted")
+	}
+}
+
+func TestReadMissing(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "nope.f64")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	i := 0
+	f := func(vals []float64) bool {
+		i++
+		path := filepath.Join(dir, "q.f64")
+		if err := WriteFile(path, vals); err != nil {
+			return false
+		}
+		got, err := ReadFile(path)
+		if err != nil || len(got) != len(vals) {
+			return false
+		}
+		for j := range vals {
+			if math.Float64bits(got[j]) != math.Float64bits(vals[j]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,46 @@
+package runner
+
+import (
+	"numarck/internal/sim/flash"
+)
+
+// FlashSim adapts the FLASH-like solver to the Simulator interface:
+// one Advance equals StepsPerCheckpoint solver steps, and State/Restore
+// map to the solver's 10-variable checkpoints.
+type FlashSim struct {
+	Sim *flash.Sim
+	// StepsPerCheckpoint is how many solver steps one runner iteration
+	// advances (default 3, the experiments' cadence).
+	StepsPerCheckpoint int
+}
+
+// NewFlashSim wraps a solver.
+func NewFlashSim(sim *flash.Sim, stepsPerCheckpoint int) *FlashSim {
+	if stepsPerCheckpoint <= 0 {
+		stepsPerCheckpoint = 3
+	}
+	return &FlashSim{Sim: sim, StepsPerCheckpoint: stepsPerCheckpoint}
+}
+
+// Advance runs the solver to the next checkpoint boundary.
+func (f *FlashSim) Advance() error {
+	f.Sim.StepN(f.StepsPerCheckpoint)
+	return nil
+}
+
+// State captures the current checkpoint variables.
+func (f *FlashSim) State() map[string][]float64 {
+	return f.Sim.Checkpoint().Vars
+}
+
+// Restore overwrites the solver state from (possibly reconstructed)
+// checkpoint variables. Step and time metadata are not part of the
+// runner's state model; the solver keeps its own counters, which only
+// affect labels, not physics.
+func (f *FlashSim) Restore(state map[string][]float64) error {
+	return f.Sim.Restart(&flash.Snapshot{
+		Step: f.Sim.StepCount(),
+		Time: f.Sim.Time(),
+		Vars: state,
+	})
+}

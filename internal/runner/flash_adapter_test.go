@@ -1,0 +1,84 @@
+package runner
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"numarck/internal/checkpoint"
+	"numarck/internal/sim/flash"
+)
+
+func TestFlashAdapterEndToEnd(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ck")
+	st, err := checkpoint.Create(dir, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := flash.New(flash.Config{BlocksX: 2, BlocksY: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(NewFlashSim(sim, 2), st, Config{FullEvery: 0})
+	rep, err := r.Run(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fulls != 10 { // 10 variables, first iteration full
+		t.Errorf("fulls = %d", rep.Fulls)
+	}
+	if rep.Deltas != 40 { // 10 variables x 4 delta iterations
+		t.Errorf("deltas = %d", rep.Deltas)
+	}
+
+	// Crash: recover into a fresh solver and continue.
+	sim2, err := flash.New(flash.Config{BlocksX: 2, BlocksY: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := New(NewFlashSim(sim2, 2), st, Config{FullEvery: 0})
+	recovered, err := r2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered != 4 {
+		t.Errorf("recovered at %d", recovered)
+	}
+	if _, err := r2.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	// All 10 variables restore at the final iteration with finite,
+	// physical values.
+	for _, v := range flash.Variables {
+		data, err := st.Restart(v, 7)
+		if err != nil {
+			t.Fatalf("restart %s: %v", v, err)
+		}
+		for i, x := range data {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				t.Fatalf("%s[%d] = %v after recover-continue", v, i, x)
+			}
+		}
+	}
+}
+
+func TestFlashAdapterDefaults(t *testing.T) {
+	sim, err := flash.New(flash.Config{BlocksX: 2, BlocksY: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFlashSim(sim, 0)
+	if f.StepsPerCheckpoint != 3 {
+		t.Errorf("default steps = %d", f.StepsPerCheckpoint)
+	}
+	if err := f.Advance(); err != nil {
+		t.Fatal(err)
+	}
+	if sim.StepCount() != 3 {
+		t.Errorf("step count = %d", sim.StepCount())
+	}
+	state := f.State()
+	if len(state) != 10 {
+		t.Errorf("%d variables", len(state))
+	}
+}

@@ -1,0 +1,250 @@
+package climate
+
+import (
+	"math"
+	"testing"
+)
+
+func TestVariableNamesMatchPaper(t *testing.T) {
+	want := map[string]bool{
+		"rlus": true, "mrsos": true, "mrro": true,
+		"rlds": true, "mc": true, "abs550aer": true,
+	}
+	names := VariableNames()
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for _, n := range names {
+		if !want[n] {
+			t.Errorf("unexpected variable %q", n)
+		}
+	}
+}
+
+func TestSpecFor(t *testing.T) {
+	s, err := SpecFor("rlus")
+	if err != nil || s.Name != "rlus" {
+		t.Errorf("SpecFor(rlus) = %+v, %v", s, err)
+	}
+	if _, err := SpecFor("nope"); err == nil {
+		t.Error("unknown variable accepted")
+	}
+}
+
+func TestGridSize(t *testing.T) {
+	// 2.5° × 2° resolution = 144 × 90 = 12960 points.
+	if N != 12960 {
+		t.Errorf("N = %d, want 12960", N)
+	}
+	g, err := NewGenerator("rlus", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Points() != 12960 {
+		t.Errorf("Points = %d", g.Points())
+	}
+	if len(g.Iteration(0)) != 12960 {
+		t.Errorf("iteration length = %d", len(g.Iteration(0)))
+	}
+}
+
+func TestIterationIsPureFunction(t *testing.T) {
+	g1, _ := NewGenerator("rlds", 7)
+	g2, _ := NewGenerator("rlds", 7)
+	a := g1.Iteration(13)
+	b := g2.Iteration(13)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("iteration 13 differs at %d between equal generators", i)
+		}
+	}
+	// Regenerating out of order matches too.
+	c := g1.Iteration(13)
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("re-generated iteration differs at %d", i)
+		}
+	}
+}
+
+func TestSeedsAndVariablesDiffer(t *testing.T) {
+	a, _ := NewGenerator("rlus", 1)
+	b, _ := NewGenerator("rlus", 2)
+	c, _ := NewGenerator("rlds", 1)
+	ia, ib, ic := a.Iteration(0), b.Iteration(0), c.Iteration(0)
+	sameAB, sameAC := true, true
+	for i := range ia {
+		if ia[i] != ib[i] {
+			sameAB = false
+		}
+		if ia[i] != ic[i] {
+			sameAC = false
+		}
+	}
+	if sameAB {
+		t.Error("different seeds gave identical fields")
+	}
+	if sameAC {
+		t.Error("different variables gave identical fields")
+	}
+}
+
+func TestFieldsFiniteAndAboveFloor(t *testing.T) {
+	for _, name := range VariableNames() {
+		g, err := NewGenerator(name, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := g.Spec()
+		for _, it := range []int{0, 1, 50} {
+			field := g.Iteration(it)
+			for i, v := range field {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("%s iter %d point %d = %v", name, it, i, v)
+				}
+				// Jitter can dip slightly below the floor; it must
+				// stay positive and near it.
+				if v < spec.Floor*0.5 {
+					t.Fatalf("%s iter %d point %d = %v far below floor %v", name, it, i, v, spec.Floor)
+				}
+			}
+		}
+	}
+}
+
+func changeRatios(g *Generator, iter int) []float64 {
+	prev := g.Iteration(iter)
+	cur := g.Iteration(iter + 1)
+	out := make([]float64, 0, len(prev))
+	for i := range prev {
+		if prev[i] != 0 {
+			out = append(out, (cur[i]-prev[i])/prev[i])
+		}
+	}
+	return out
+}
+
+func fracBelow(ratios []float64, thresh float64) float64 {
+	n := 0
+	for _, r := range ratios {
+		if math.Abs(r) < thresh {
+			n++
+		}
+	}
+	return float64(n) / float64(len(ratios))
+}
+
+func TestRlusMatchesPaperFig1D(t *testing.T) {
+	// "more than 75% of climate rlus data remains unchanged or only
+	// changes with a percentage less than 0.5%" (§II-A).
+	g, _ := NewGenerator("rlus", 11)
+	for _, iter := range []int{5, 20, 60} {
+		ratios := changeRatios(g, iter)
+		if f := fracBelow(ratios, 0.005); f < 0.75 {
+			t.Errorf("rlus iter %d: only %.1f%% of changes below 0.5%%", iter, f*100)
+		}
+	}
+}
+
+func TestAbs550aerIsHardest(t *testing.T) {
+	// §III-E calls abs550aer "one of the most challenging" variables:
+	// its change ratios must be fatter-tailed than rlus's.
+	ga, _ := NewGenerator("abs550aer", 11)
+	gr, _ := NewGenerator("rlus", 11)
+	fa := fracBelow(changeRatios(ga, 10), 0.001)
+	fr := fracBelow(changeRatios(gr, 10), 0.001)
+	if fa >= fr {
+		t.Errorf("abs550aer small-change fraction %.3f not below rlus %.3f", fa, fr)
+	}
+}
+
+func TestMonthlyVariableHasLargerSteps(t *testing.T) {
+	gm, _ := NewGenerator("mc", 11)
+	gr, _ := NewGenerator("mrsos", 11)
+	// Median |ratio| of mc should exceed mrsos's.
+	med := func(rs []float64) float64 {
+		abs := make([]float64, len(rs))
+		for i, r := range rs {
+			abs[i] = math.Abs(r)
+		}
+		// Cheap selection: mean of |ratio| is a fine proxy here.
+		var s float64
+		for _, a := range abs {
+			s += a
+		}
+		return s / float64(len(abs))
+	}
+	if med(changeRatios(gm, 5)) <= med(changeRatios(gr, 5)) {
+		t.Error("monthly mc changes not larger than daily mrsos changes")
+	}
+}
+
+func TestTemporalSmoothness(t *testing.T) {
+	// Consecutive iterations must be far closer than distant ones —
+	// the temporal redundancy NUMARCK exploits.
+	g, _ := NewGenerator("rlus", 13)
+	a, b, far := g.Iteration(10), g.Iteration(11), g.Iteration(100)
+	var near2, far2 float64
+	for i := range a {
+		near2 += (b[i] - a[i]) * (b[i] - a[i])
+		far2 += (far[i] - a[i]) * (far[i] - a[i])
+	}
+	if near2*4 > far2 {
+		t.Errorf("consecutive distance² %v not much smaller than distant %v", near2, far2)
+	}
+}
+
+func TestIterationsBatch(t *testing.T) {
+	g, _ := NewGenerator("mrro", 5)
+	batch := g.Iterations(3, 4)
+	if len(batch) != 4 {
+		t.Fatalf("batch size %d", len(batch))
+	}
+	single := g.Iteration(5)
+	for i := range single {
+		if batch[2][i] != single[i] {
+			t.Fatalf("batch iteration 5 differs at %d", i)
+		}
+	}
+}
+
+func TestNegativeIterationPanics(t *testing.T) {
+	g, _ := NewGenerator("rlus", 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative iteration did not panic")
+		}
+	}()
+	g.Iteration(-1)
+}
+
+func TestGaussMoments(t *testing.T) {
+	// The counter-based gaussian must have roughly zero mean and unit
+	// variance.
+	var sum, sum2 float64
+	n := 100000
+	for i := 0; i < n; i++ {
+		v := gauss(1, uint64(i), 2)
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / float64(n)
+	variance := sum2/float64(n) - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("gauss mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("gauss variance = %v", variance)
+	}
+}
+
+func BenchmarkIteration(b *testing.B) {
+	g, err := NewGenerator("rlus", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Iteration(i)
+	}
+}

@@ -1,0 +1,119 @@
+package flash
+
+import (
+	"math"
+	"testing"
+)
+
+// TestGuardCellsMirrorNeighbors verifies the block-structured exchange:
+// after exchangeGuards, each block's guard cells hold the interior
+// values of the adjacent block (or the clamped edge at the domain
+// boundary) — the invariant FLASH's mesh maintains.
+func TestGuardCellsMirrorNeighbors(t *testing.T) {
+	s, err := New(Config{BlocksX: 3, BlocksY: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.StepN(3)
+	// Pick the middle block of the top row (bx=1, by=0): its left
+	// guard columns must equal block (0,0)'s rightmost interior
+	// columns.
+	left := s.blocks[0*s.nbx+0]
+	mid := s.blocks[0*s.nbx+1]
+	for v := 0; v < nQ; v++ {
+		for iy := NGuard; iy < NGuard+NYB; iy++ {
+			for g := 0; g < NGuard; g++ {
+				guard := mid.q[v][cellIdx(g, iy)]
+				src := left.q[v][cellIdx(NGuard+NXB-NGuard+g, iy)]
+				if guard != src {
+					t.Fatalf("var %d guard (%d,%d) = %v, neighbor interior = %v", v, g, iy, guard, src)
+				}
+			}
+		}
+	}
+	// Domain boundary: block (0,0)'s left guards clamp to its own
+	// first interior column (outflow).
+	for v := 0; v < nQ; v++ {
+		for iy := NGuard; iy < NGuard+NYB; iy++ {
+			edge := left.q[v][cellIdx(NGuard, iy)]
+			for g := 0; g < NGuard; g++ {
+				if left.q[v][cellIdx(g, iy)] != edge {
+					t.Fatalf("var %d boundary guard (%d,%d) != clamped edge", v, g, iy)
+				}
+			}
+		}
+	}
+}
+
+// TestPassiveScalarBounded: the z-momentum is passively advected, so
+// velz must stay within its initial range (plus tiny numerical
+// excursions) — a maximum-principle check on the advection scheme.
+func TestPassiveScalarBounded(t *testing.T) {
+	s, err := New(Config{BlocksX: 3, BlocksY: 3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap0 := s.Checkpoint()
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, w := range snap0.Vars["velz"] {
+		if w < lo {
+			lo = w
+		}
+		if w > hi {
+			hi = w
+		}
+	}
+	s.StepN(25)
+	snap := s.Checkpoint()
+	margin := 0.05 * (hi - lo)
+	for i, w := range snap.Vars["velz"] {
+		if w < lo-margin || w > hi+margin {
+			t.Fatalf("velz[%d] = %v escaped initial range [%v, %v]", i, w, lo, hi)
+		}
+	}
+}
+
+// TestTimeStepPositiveAndBounded: dt from the CFL condition must stay
+// positive and not explode as the blast evolves.
+func TestTimeStepPositiveAndBounded(t *testing.T) {
+	s, err := New(Config{BlocksX: 2, BlocksY: 2, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64
+	for i := 0; i < 30; i++ {
+		dt := s.Step()
+		if dt <= 0 || math.IsNaN(dt) {
+			t.Fatalf("step %d: dt = %v", i, dt)
+		}
+		if i > 0 && (dt > prev*3 || dt < prev/3) {
+			t.Fatalf("step %d: dt jumped %v -> %v", i, prev, dt)
+		}
+		prev = dt
+	}
+}
+
+// TestEnergyBudget: with clamped boundaries the background wind carries
+// energy in upstream and out downstream in near balance, and the HLL
+// scheme is dissipative — total energy must drift only slightly over a
+// short run, never blow up or collapse.
+func TestEnergyBudget(t *testing.T) {
+	s, err := New(Config{BlocksX: 3, BlocksY: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := func() float64 {
+		snap := s.Checkpoint()
+		var e float64
+		for i, rho := range snap.Vars["dens"] {
+			e += rho * snap.Vars["ener"][i]
+		}
+		return e
+	}
+	e0 := total()
+	s.StepN(20)
+	e1 := total()
+	if drift := math.Abs(e1-e0) / e0; drift > 0.02 {
+		t.Errorf("total energy drifted %.2f%%: %v -> %v", drift*100, e0, e1)
+	}
+}

@@ -1,0 +1,332 @@
+// Package stats implements the evaluation metrics used throughout the
+// NUMARCK paper (§III-B): mean and maximum error rate, incompressible
+// ratio, compression ratio (Eq. 3), Pearson's correlation coefficient,
+// and root mean square error, plus histogram utilities used by the
+// binning strategies and by Fig. 1/Fig. 3 reproductions.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty reports a metric request over an empty data set.
+var ErrEmpty = errors.New("stats: empty input")
+
+// ErrLength reports mismatched vector lengths.
+var ErrLength = errors.New("stats: length mismatch")
+
+// Mean returns the arithmetic mean of xs. It returns 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	// Kahan summation: experiment vectors reach 10^6+ elements with
+	// values spanning many orders of magnitude.
+	var sum, comp float64
+	for _, x := range xs {
+		y := x - comp
+		t := sum + y
+		comp = (t - sum) - y
+		sum = t
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (0 for fewer than one
+// element).
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var sum float64
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// MinMax returns the smallest and largest element of xs.
+func MinMax(xs []float64) (lo, hi float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi, nil
+}
+
+// RMSE returns the root mean square error ξ between the original vector
+// d and the reconstructed vector dp (paper Eq. 4).
+func RMSE(d, dp []float64) (float64, error) {
+	if len(d) != len(dp) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrLength, len(d), len(dp))
+	}
+	if len(d) == 0 {
+		return 0, ErrEmpty
+	}
+	var sum float64
+	for i := range d {
+		e := d[i] - dp[i]
+		sum += e * e
+	}
+	return math.Sqrt(sum / float64(len(d))), nil
+}
+
+// Pearson returns the Pearson correlation coefficient ρ between d and dp.
+// When either vector is constant the correlation is undefined; Pearson
+// returns 1 if the vectors are element-wise equal and 0 otherwise, which
+// matches how compression papers score a perfectly reconstructed
+// constant field.
+func Pearson(d, dp []float64) (float64, error) {
+	if len(d) != len(dp) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrLength, len(d), len(dp))
+	}
+	if len(d) == 0 {
+		return 0, ErrEmpty
+	}
+	md, mdp := Mean(d), Mean(dp)
+	var num, dd, ddp float64
+	for i := range d {
+		a := d[i] - md
+		b := dp[i] - mdp
+		num += a * b
+		dd += a * a
+		ddp += b * b
+	}
+	if dd == 0 || ddp == 0 {
+		equal := true
+		for i := range d {
+			if d[i] != dp[i] {
+				equal = false
+				break
+			}
+		}
+		if equal {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return num / math.Sqrt(dd*ddp), nil
+}
+
+// MeanAbsError returns the mean of |a[i]-b[i]|. Used for the paper's
+// "mean error rate": the average difference between approximated and
+// real change ratios.
+func MeanAbsError(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrLength, len(a), len(b))
+	}
+	if len(a) == 0 {
+		return 0, ErrEmpty
+	}
+	var sum float64
+	for i := range a {
+		sum += math.Abs(a[i] - b[i])
+	}
+	return sum / float64(len(a)), nil
+}
+
+// MaxAbsError returns max |a[i]-b[i]| (the paper's maximum error rate).
+func MaxAbsError(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrLength, len(a), len(b))
+	}
+	if len(a) == 0 {
+		return 0, ErrEmpty
+	}
+	var m float64
+	for i := range a {
+		if e := math.Abs(a[i] - b[i]); e > m {
+			m = e
+		}
+	}
+	return m, nil
+}
+
+// CompressionRatio implements the paper's Eq. 3: the fraction of storage
+// saved by NUMARCK for n points when gamma (γ) of them are stored as raw
+// 64-bit values, the rest as b-bit indices, plus a table of 2^b-1
+// 64-bit representative ratios.
+//
+//	R = ( |D| - ((1-γ)·b/64·n + γ·n + (2^b - 1)) · 64 bits ) / |D|
+//
+// with |D| = 64·n bits. The result is expressed in percent, matching the
+// tables in the paper. The paper's formula does not account for the
+// compressibility bitmap; see CompressionRatioWithBitmap for the
+// self-contained-format figure.
+func CompressionRatio(n int, gamma float64, b int) (float64, error) {
+	if n <= 0 {
+		return 0, ErrEmpty
+	}
+	if b < 1 || b > 32 {
+		return 0, fmt.Errorf("stats: index bits %d out of range [1,32]", b)
+	}
+	if gamma < 0 || gamma > 1 {
+		return 0, fmt.Errorf("stats: incompressible ratio %v out of range [0,1]", gamma)
+	}
+	total := 64 * float64(n)
+	used := (1-gamma)*float64(b)*float64(n) + gamma*64*float64(n) + float64((uint64(1)<<uint(b))-1)*64
+	return (total - used) / total * 100, nil
+}
+
+// CompressionRatioWithBitmap is CompressionRatio plus one bit per point
+// for the incompressibility bitmap the on-disk format actually needs.
+func CompressionRatioWithBitmap(n int, gamma float64, b int) (float64, error) {
+	r, err := CompressionRatio(n, gamma, b)
+	if err != nil {
+		return 0, err
+	}
+	// Subtract the bitmap cost: 1 bit per point out of 64 ⇒ 100/64 %.
+	return r - 100.0/64.0, nil
+}
+
+// Histogram is an equal-width histogram over [Min, Max] with len(Counts)
+// bins. Values equal to Max are assigned to the last bin.
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+}
+
+// NewHistogram builds a k-bin equal-width histogram of xs over the data
+// range. All xs must be finite.
+func NewHistogram(xs []float64, k int) (*Histogram, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("stats: histogram needs k>0, got %d", k)
+	}
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	lo, hi, err := MinMax(xs)
+	if err != nil {
+		return nil, err
+	}
+	h := &Histogram{Min: lo, Max: hi, Counts: make([]int, k)}
+	for _, x := range xs {
+		h.Counts[h.BinOf(x)]++
+	}
+	return h, nil
+}
+
+// BinOf returns the bin index of x, clamped to [0, k-1].
+func (h *Histogram) BinOf(x float64) int {
+	k := len(h.Counts)
+	if h.Max == h.Min {
+		return 0
+	}
+	i := int(float64(k) * (x - h.Min) / (h.Max - h.Min))
+	if i < 0 {
+		i = 0
+	}
+	if i >= k {
+		i = k - 1
+	}
+	return i
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	k := len(h.Counts)
+	w := (h.Max - h.Min) / float64(k)
+	return h.Min + (float64(i)+0.5)*w
+}
+
+// BinWidth returns the common width of the bins.
+func (h *Histogram) BinWidth() float64 {
+	return (h.Max - h.Min) / float64(len(h.Counts))
+}
+
+// Total returns the number of samples in the histogram.
+func (h *Histogram) Total() int {
+	t := 0
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// FractionWithin returns the fraction of xs whose absolute value is
+// strictly below thresh. Used to reproduce the paper's "more than 75% of
+// rlus data changes less than 0.5%" observation (Fig. 1D).
+func FractionWithin(xs []float64, thresh float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if math.Abs(x) < thresh {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// Quantile returns the q-quantile (0<=q<=1) of xs using linear
+// interpolation between order statistics. xs is not modified.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %v out of range [0,1]", q)
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0], nil
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo], nil
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac, nil
+}
+
+// Summary bundles the descriptive statistics printed by the experiment
+// harness for a vector of values.
+type Summary struct {
+	N              int
+	Mean, Std      float64
+	Min, Max       float64
+	P25, P50, P75  float64
+	FracBelowHalfP float64 // fraction with |x| < 0.005 (0.5 %)
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	lo, hi, _ := MinMax(xs)
+	p25, _ := Quantile(xs, 0.25)
+	p50, _ := Quantile(xs, 0.50)
+	p75, _ := Quantile(xs, 0.75)
+	return Summary{
+		N:              len(xs),
+		Mean:           Mean(xs),
+		Std:            StdDev(xs),
+		Min:            lo,
+		Max:            hi,
+		P25:            p25,
+		P50:            p50,
+		P75:            p75,
+		FracBelowHalfP: FractionWithin(xs, 0.005),
+	}, nil
+}

@@ -1,0 +1,352 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.xs); !almostEqual(got, c.want, 1e-15) {
+			t.Errorf("Mean(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestMeanKahanStability(t *testing.T) {
+	// 1e8 + many tiny values: naive float32-style accumulation would
+	// drop them; Kahan keeps the mean exact to near machine epsilon.
+	xs := make([]float64, 1_000_001)
+	xs[0] = 1e8
+	for i := 1; i < len(xs); i++ {
+		xs[i] = 1e-8
+	}
+	want := (1e8 + 1e-8*1e6) / 1_000_001
+	if got := Mean(xs); !almostEqual(got, want, 1e-9) {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+}
+
+func TestVarianceStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if Variance(nil) != 0 {
+		t.Error("Variance(nil) != 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi, err := MinMax([]float64{3, -1, 7, 0})
+	if err != nil || lo != -1 || hi != 7 {
+		t.Errorf("MinMax = %v,%v,%v", lo, hi, err)
+	}
+	if _, _, err := MinMax(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("MinMax(nil) err = %v", err)
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	d := []float64{1, 2, 3}
+	dp := []float64{1, 2, 3}
+	got, err := RMSE(d, dp)
+	if err != nil || got != 0 {
+		t.Errorf("identical RMSE = %v, %v", got, err)
+	}
+	dp = []float64{2, 3, 4}
+	got, _ = RMSE(d, dp)
+	if !almostEqual(got, 1, 1e-15) {
+		t.Errorf("offset RMSE = %v, want 1", got)
+	}
+	if _, err := RMSE(d, dp[:2]); !errors.Is(err, ErrLength) {
+		t.Errorf("length mismatch err = %v", err)
+	}
+	if _, err := RMSE(nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty err = %v", err)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	d := []float64{1, 2, 3, 4, 5}
+	// Perfect positive linear relation.
+	dp := []float64{2, 4, 6, 8, 10}
+	got, err := Pearson(d, dp)
+	if err != nil || !almostEqual(got, 1, 1e-12) {
+		t.Errorf("linear Pearson = %v, %v", got, err)
+	}
+	// Perfect negative.
+	neg := []float64{5, 4, 3, 2, 1}
+	got, _ = Pearson(d, neg)
+	if !almostEqual(got, -1, 1e-12) {
+		t.Errorf("negative Pearson = %v, want -1", got)
+	}
+	// Constant vectors: equal → 1, different → 0.
+	c1 := []float64{7, 7, 7}
+	got, _ = Pearson(c1, []float64{7, 7, 7})
+	if got != 1 {
+		t.Errorf("equal constant Pearson = %v, want 1", got)
+	}
+	got, _ = Pearson(c1, []float64{7, 8, 7})
+	if got != 0 {
+		t.Errorf("constant-vs-varying Pearson = %v, want 0", got)
+	}
+	if _, err := Pearson(d, d[:2]); !errors.Is(err, ErrLength) {
+		t.Errorf("length mismatch err = %v", err)
+	}
+}
+
+func TestMeanMaxAbsError(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{1.5, 2, 2}
+	mean, err := MeanAbsError(a, b)
+	if err != nil || !almostEqual(mean, 0.5, 1e-15) {
+		t.Errorf("MeanAbsError = %v, %v", mean, err)
+	}
+	max, err := MaxAbsError(a, b)
+	if err != nil || max != 1 {
+		t.Errorf("MaxAbsError = %v, %v", max, err)
+	}
+	if _, err := MeanAbsError(a, b[:1]); !errors.Is(err, ErrLength) {
+		t.Errorf("MeanAbsError mismatch err = %v", err)
+	}
+	if _, err := MaxAbsError(nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("MaxAbsError empty err = %v", err)
+	}
+}
+
+func TestCompressionRatioEq3(t *testing.T) {
+	// Hand-computed: n=12960 (the 144x90 CMIP5 grid), γ=0, B=9:
+	// R = 1 - 9/64 - 511/12960 = 0.82000... in percent ≈ 81.99 %.
+	r, err := CompressionRatio(12960, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (1 - 9.0/64 - 511.0/12960) * 100
+	if !almostEqual(r, want, 1e-9) {
+		t.Errorf("R = %v, want %v", r, want)
+	}
+	// γ=1 means every point raw plus the table: negative saving.
+	r, _ = CompressionRatio(100, 1, 8)
+	if r >= 0 {
+		t.Errorf("all-incompressible R = %v, want negative", r)
+	}
+	// Bitmap-inclusive variant is exactly 100/64 lower.
+	rb, err := CompressionRatioWithBitmap(12960, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r2diff(r2(12960, 0, 9), rb), 100.0/64, 1e-9) {
+		t.Errorf("bitmap overhead = %v, want %v", r2diff(r2(12960, 0, 9), rb), 100.0/64)
+	}
+}
+
+func r2(n int, g float64, b int) float64 {
+	r, _ := CompressionRatio(n, g, b)
+	return r
+}
+func r2diff(a, b float64) float64 { return a - b }
+
+func TestCompressionRatioValidation(t *testing.T) {
+	if _, err := CompressionRatio(0, 0, 8); !errors.Is(err, ErrEmpty) {
+		t.Errorf("n=0 err = %v", err)
+	}
+	if _, err := CompressionRatio(10, -0.1, 8); err == nil {
+		t.Error("negative gamma accepted")
+	}
+	if _, err := CompressionRatio(10, 1.1, 8); err == nil {
+		t.Error("gamma > 1 accepted")
+	}
+	for _, b := range []int{0, 33} {
+		if _, err := CompressionRatio(10, 0, b); err == nil {
+			t.Errorf("bits=%d accepted", b)
+		}
+	}
+}
+
+func TestCompressionRatioMonotoneInGamma(t *testing.T) {
+	// More incompressible points can only hurt the ratio.
+	prev := math.Inf(1)
+	for g := 0.0; g <= 1.0; g += 0.05 {
+		r, err := CompressionRatio(10000, g, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r > prev {
+			t.Fatalf("R increased from %v to %v at γ=%v", prev, r, g)
+		}
+		prev = r
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 0.1, 0.2, 0.9, 1.0}
+	h, err := NewHistogram(xs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() != 5 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if h.Counts[0] != 2 { // 0 and 0.1 fall in [0, 0.1)... 0.1 is bin 1
+		// 0→bin0, 0.1→bin1, 0.2→bin2, 0.9→bin9, 1.0→bin9 (clamped)
+		t.Logf("counts = %v", h.Counts)
+	}
+	if h.BinOf(1.0) != 9 {
+		t.Errorf("BinOf(max) = %d, want 9", h.BinOf(1.0))
+	}
+	if h.BinOf(0) != 0 {
+		t.Errorf("BinOf(min) = %d, want 0", h.BinOf(0))
+	}
+	if !almostEqual(h.BinWidth(), 0.1, 1e-15) {
+		t.Errorf("BinWidth = %v", h.BinWidth())
+	}
+	if !almostEqual(h.BinCenter(0), 0.05, 1e-15) {
+		t.Errorf("BinCenter(0) = %v", h.BinCenter(0))
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	h, err := NewHistogram([]float64{3, 3, 3}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Counts[0] != 3 {
+		t.Errorf("constant data: counts = %v", h.Counts)
+	}
+	if _, err := NewHistogram(nil, 5); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty err = %v", err)
+	}
+	if _, err := NewHistogram([]float64{1}, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestHistogramTotalInvariant(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		h, err := NewHistogram(xs, 7)
+		if err != nil {
+			return false
+		}
+		return h.Total() == len(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFractionWithin(t *testing.T) {
+	xs := []float64{0.001, -0.002, 0.5, -0.7, 0}
+	if got := FractionWithin(xs, 0.005); !almostEqual(got, 0.6, 1e-15) {
+		t.Errorf("FractionWithin = %v, want 0.6", got)
+	}
+	if FractionWithin(nil, 1) != 0 {
+		t.Error("FractionWithin(nil) != 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2} // sorted: 1 2 3 4
+	q, err := Quantile(xs, 0.5)
+	if err != nil || !almostEqual(q, 2.5, 1e-15) {
+		t.Errorf("median = %v, %v", q, err)
+	}
+	q, _ = Quantile(xs, 0)
+	if q != 1 {
+		t.Errorf("q0 = %v", q)
+	}
+	q, _ = Quantile(xs, 1)
+	if q != 4 {
+		t.Errorf("q1 = %v", q)
+	}
+	if _, err := Quantile(nil, 0.5); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty err = %v", err)
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Error("q>1 accepted")
+	}
+	// Input must not be reordered.
+	if xs[0] != 4 {
+		t.Error("Quantile mutated its input")
+	}
+	q, err = Quantile([]float64{9}, 0.3)
+	if err != nil || q != 9 {
+		t.Errorf("single-element quantile = %v, %v", q, err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{0.001, 0.002, 0.003, 0.1}
+	s, err := Summarize(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 4 || s.Min != 0.001 || s.Max != 0.1 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if !almostEqual(s.FracBelowHalfP, 0.75, 1e-15) {
+		t.Errorf("FracBelowHalfP = %v", s.FracBelowHalfP)
+	}
+	if _, err := Summarize(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty err = %v", err)
+	}
+}
+
+func TestPearsonSelfCorrelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	got, err := Pearson(xs, xs)
+	if err != nil || !almostEqual(got, 1, 1e-12) {
+		t.Errorf("self Pearson = %v, %v", got, err)
+	}
+}
+
+func TestRMSEScaleInvariance(t *testing.T) {
+	// RMSE of (d, d+c) is |c| for any constant shift.
+	f := func(shift float64) bool {
+		if math.IsNaN(shift) || math.IsInf(shift, 0) || math.Abs(shift) > 1e100 {
+			return true
+		}
+		d := []float64{1, 2, 3, 4}
+		dp := make([]float64, len(d))
+		for i := range d {
+			dp[i] = d[i] + shift
+		}
+		got, err := RMSE(d, dp)
+		return err == nil && almostEqual(got, math.Abs(shift), 1e-9*(1+math.Abs(shift)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,87 @@
+// Package numarck is the public API of a from-scratch Go implementation
+// of NUMARCK — the Northwestern University Machine-learning Algorithm
+// for Resiliency and ChecKpointing (Chen et al., SC 2014): error-bounded
+// lossy compression of iterative scientific checkpoint data.
+//
+// NUMARCK compresses the transition between two consecutive checkpoints
+// instead of the raw values: it computes each point's relative change
+// ratio, learns the distribution of those ratios with one of three
+// strategies (equal-width binning, log-scale binning, or k-means
+// clustering seeded from the equal-width histogram), and stores a B-bit
+// bin index per point. Any point whose bin representative misses its
+// true ratio by more than the user error bound E is stored exactly, so
+// the bound holds point-wise by construction.
+//
+// Basic usage:
+//
+//	enc, err := numarck.Encode(prev, cur, numarck.Options{
+//		ErrorBound: 0.001,           // 0.1 %
+//		IndexBits:  8,               // 255 bins + reserved zero index
+//		Strategy:   numarck.Clustering,
+//	})
+//	rec, err := enc.Decode(prev)     // every rec[i] within E of cur[i]'s ratio
+//
+// For chained checkpoint files with restart, use the Store:
+//
+//	st, err := numarck.CreateStore(dir, opts)
+//	w := numarck.NewWriter(st, 10)   // full checkpoint every 10 iterations
+//	w.Append(i, map[string][]float64{"dens": data})
+//	state, err := st.Restart("dens", 42)
+package numarck
+
+import (
+	"numarck/internal/checkpoint"
+	"numarck/internal/core"
+)
+
+// Options configures an encode. See core.Options for field docs.
+type Options = core.Options
+
+// Strategy selects the distribution-learning strategy.
+type Strategy = core.Strategy
+
+// The three approximation strategies of the paper (§II-C).
+const (
+	EqualWidth = core.EqualWidth
+	LogScale   = core.LogScale
+	Clustering = core.Clustering
+)
+
+// Strategies lists all strategies in paper order.
+var Strategies = core.Strategies
+
+// ParseStrategy converts a string ("equal-width", "log-scale",
+// "clustering" and short forms) into a Strategy.
+func ParseStrategy(s string) (Strategy, error) { return core.ParseStrategy(s) }
+
+// Encoded is one compressed checkpoint iteration.
+type Encoded = core.Encoded
+
+// Encode compresses the transition prev → cur under opt. See
+// (*Encoded).Decode for reconstruction and the Gamma/MeanErrorRate/
+// MaxErrorRate/CompressionRatio methods for the paper's metrics.
+func Encode(prev, cur []float64, opt Options) (*Encoded, error) {
+	return core.Encode(prev, cur, opt)
+}
+
+// Store is a directory-backed checkpoint store with full (lossless) and
+// delta (NUMARCK-encoded) checkpoints and chained restart.
+type Store = checkpoint.Store
+
+// Writer appends simulation iterations to a Store, alternating full and
+// delta checkpoints.
+type Writer = checkpoint.Writer
+
+// CreateStore initializes a checkpoint store in dir.
+func CreateStore(dir string, opt Options) (*Store, error) {
+	return checkpoint.Create(dir, opt)
+}
+
+// OpenStore opens an existing checkpoint store.
+func OpenStore(dir string) (*Store, error) { return checkpoint.Open(dir) }
+
+// NewWriter wraps a store for sequential appending; fullEvery is the
+// full-checkpoint period (<= 0 means only the first write is full).
+func NewWriter(st *Store, fullEvery int) *Writer {
+	return checkpoint.NewWriter(st, fullEvery)
+}

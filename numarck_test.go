@@ -1,0 +1,92 @@
+package numarck_test
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"numarck"
+)
+
+func TestPublicEncodeDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 5000
+	prev := make([]float64, n)
+	cur := make([]float64, n)
+	for i := range prev {
+		prev[i] = 100 + rng.Float64()*50
+		cur[i] = prev[i] * (1 + rng.NormFloat64()*0.002)
+	}
+	for _, s := range numarck.Strategies {
+		enc, err := numarck.Encode(prev, cur, numarck.Options{
+			ErrorBound: 0.001,
+			IndexBits:  8,
+			Strategy:   s,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		rec, err := enc.Decode(prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range cur {
+			trueR := (cur[i] - prev[i]) / prev[i]
+			recR := (rec[i] - prev[i]) / prev[i]
+			if math.Abs(recR-trueR) > 0.001+1e-12 {
+				t.Fatalf("%v: bound violated at %d", s, i)
+			}
+		}
+		if _, err := enc.CompressionRatio(); err != nil {
+			t.Errorf("CompressionRatio: %v", err)
+		}
+	}
+}
+
+func TestPublicParseStrategy(t *testing.T) {
+	s, err := numarck.ParseStrategy("clustering")
+	if err != nil || s != numarck.Clustering {
+		t.Errorf("ParseStrategy = %v, %v", s, err)
+	}
+}
+
+func TestPublicStoreRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	st, err := numarck.CreateStore(dir, numarck.Options{
+		ErrorBound: 0.001, IndexBits: 8, Strategy: numarck.Clustering,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := numarck.NewWriter(st, 0)
+	rng := rand.New(rand.NewSource(2))
+	data := make([]float64, 1000)
+	for i := range data {
+		data[i] = 10 + rng.Float64()
+	}
+	for it := 0; it < 4; it++ {
+		if it > 0 {
+			for i := range data {
+				data[i] *= 1 + rng.NormFloat64()*0.001
+			}
+		}
+		if _, err := w.Append(it, map[string][]float64{"v": data}); err != nil {
+			t.Fatalf("append %d: %v", it, err)
+		}
+	}
+	st2, err := numarck.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := st2.Restart("v", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rec {
+		rel := math.Abs(rec[i]-data[i]) / data[i]
+		if rel > 0.005 {
+			t.Fatalf("restart error %v at %d", rel, i)
+		}
+	}
+}
