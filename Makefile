@@ -1,0 +1,37 @@
+# NUMARCK verification harness. `make verify` is the tier-1 recipe:
+# build, go vet, the repo's own static analyzers, unit tests, the race
+# detector over the goroutine-parallel paths, and a short fuzz smoke
+# over the serialization parsers.
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build vet lint test race fuzz-smoke verify
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+lint:
+	$(GO) run ./cmd/numarcklint ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One short burst per fuzz target; -run=NONE skips the unit tests so
+# the smoke stays fast. Targets: bit-level pack/unpack round-trips and
+# the checkpoint parsers on corrupt input.
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzRoundTrip$$ -fuzztime=$(FUZZTIME) ./internal/bitpack
+	$(GO) test -run=NONE -fuzz=FuzzRoundTrip64$$ -fuzztime=$(FUZZTIME) ./internal/bitpack
+	$(GO) test -run=NONE -fuzz=FuzzUnmarshalDelta$$ -fuzztime=$(FUZZTIME) ./internal/checkpoint
+	$(GO) test -run=NONE -fuzz=FuzzUnmarshalFull$$ -fuzztime=$(FUZZTIME) ./internal/checkpoint
+
+verify: build vet lint test race fuzz-smoke

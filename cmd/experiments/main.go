@@ -50,7 +50,9 @@ func run(exp string, iters int, seed int64) error {
 		if err != nil {
 			return err
 		}
-		res.WriteText(out)
+		if err := res.WriteText(out); err != nil {
+			return err
+		}
 		fmt.Fprintln(out)
 	}
 	if all || exp == "fig3" {
@@ -59,7 +61,9 @@ func run(exp string, iters int, seed int64) error {
 		if err != nil {
 			return err
 		}
-		res.WriteText(out)
+		if err := res.WriteText(out); err != nil {
+			return err
+		}
 		fmt.Fprintln(out)
 	}
 	if all || exp == "fig4" {
@@ -68,7 +72,9 @@ func run(exp string, iters int, seed int64) error {
 		if err != nil {
 			return err
 		}
-		res.WriteText(out)
+		if err := res.WriteText(out); err != nil {
+			return err
+		}
 		fmt.Fprintln(out)
 	}
 	if all || exp == "fig5" {
@@ -77,7 +83,9 @@ func run(exp string, iters int, seed int64) error {
 		if err != nil {
 			return err
 		}
-		res.WriteText(out)
+		if err := res.WriteText(out); err != nil {
+			return err
+		}
 		fmt.Fprintln(out)
 	}
 	if all || exp == "fig6" {
@@ -86,7 +94,9 @@ func run(exp string, iters int, seed int64) error {
 		if err != nil {
 			return err
 		}
-		res.WriteText(out)
+		if err := res.WriteText(out); err != nil {
+			return err
+		}
 		fmt.Fprintln(out)
 	}
 	if all || exp == "fig7" {
@@ -95,7 +105,9 @@ func run(exp string, iters int, seed int64) error {
 		if err != nil {
 			return err
 		}
-		res.WriteText(out)
+		if err := res.WriteText(out); err != nil {
+			return err
+		}
 		fmt.Fprintln(out)
 	}
 	if all || exp == "table1" || exp == "table2" {
@@ -105,11 +117,15 @@ func run(exp string, iters int, seed int64) error {
 			return err
 		}
 		if all || exp == "table1" {
-			res.WriteTable1(out)
+			if err := res.WriteTable1(out); err != nil {
+				return err
+			}
 			fmt.Fprintln(out)
 		}
 		if all || exp == "table2" {
-			res.WriteTable2(out)
+			if err := res.WriteTable2(out); err != nil {
+				return err
+			}
 			fmt.Fprintln(out)
 		}
 	}
@@ -119,9 +135,13 @@ func run(exp string, iters int, seed int64) error {
 		if err != nil {
 			return err
 		}
-		res.WriteText(out)
+		if err := res.WriteText(out); err != nil {
+			return err
+		}
 		fmt.Fprintln(out, "summary:")
-		res.WriteSummary(out)
+		if err := res.WriteSummary(out); err != nil {
+			return err
+		}
 		fmt.Fprintln(out)
 	}
 	if all || exp == "ablations" {
@@ -131,43 +151,57 @@ func run(exp string, iters int, seed int64) error {
 		if err != nil {
 			return err
 		}
-		seeding.WriteText(out)
+		if err := seeding.WriteText(out); err != nil {
+			return err
+		}
 		fmt.Fprintln(out)
 		zero, err := experiments.RunZeroIndexAblation(n, seed)
 		if err != nil {
 			return err
 		}
-		zero.WriteText(out)
+		if err := zero.WriteText(out); err != nil {
+			return err
+		}
 		fmt.Fprintln(out)
 		fpcRes, err := experiments.RunFPCPostPass(n, seed)
 		if err != nil {
 			return err
 		}
-		fpcRes.WriteText(out)
+		if err := fpcRes.WriteText(out); err != nil {
+			return err
+		}
 		fmt.Fprintln(out)
 		distRes, err := experiments.RunDistributedAblation(seed)
 		if err != nil {
 			return err
 		}
-		distRes.WriteText(out)
+		if err := distRes.WriteText(out); err != nil {
+			return err
+		}
 		fmt.Fprintln(out)
 		lossless, err := experiments.RunLosslessComparison(seed)
 		if err != nil {
 			return err
 		}
-		lossless.WriteText(out)
+		if err := lossless.WriteText(out); err != nil {
+			return err
+		}
 		fmt.Fprintln(out)
 		reuse, err := experiments.RunTableReuseAblation(n, seed)
 		if err != nil {
 			return err
 		}
-		reuse.WriteText(out)
+		if err := reuse.WriteText(out); err != nil {
+			return err
+		}
 		fmt.Fprintln(out)
 		ext, err := experiments.RunStrategyExtension(n/2+2, seed)
 		if err != nil {
 			return err
 		}
-		ext.WriteText(out)
+		if err := ext.WriteText(out); err != nil {
+			return err
+		}
 		fmt.Fprintln(out)
 	}
 	if all || exp == "scaling" {
@@ -176,7 +210,9 @@ func run(exp string, iters int, seed int64) error {
 		if err != nil {
 			return err
 		}
-		res.WriteText(out)
+		if err := res.WriteText(out); err != nil {
+			return err
+		}
 		fmt.Fprintln(out)
 	}
 	if !any {

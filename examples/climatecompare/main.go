@@ -78,7 +78,9 @@ func main() {
 	rho, _ = stats.Pearson(cur, bsRec)
 	xi, _ = stats.RMSE(cur, bsRec)
 	fmt.Fprintf(tw, "B-Splines\t%.2f%%\t-\t%.4f\t%.4g\n", bs.CompressionRatio(), rho, xi)
-	tw.Flush()
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("\nNUMARCK additionally guarantees a point-wise error bound; the baselines do not.")
 }

@@ -49,7 +49,9 @@ func main() {
 				res.Gamma()*100, res.CompressionRatio())
 		}
 	}
-	tw.Flush()
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("\nglobal-table traffic is O(k · iterations · log ranks), independent of the data size:")
 	fmt.Println("negligible at production scale (GBs per rank), while local tables move nothing and")
 	fmt.Println("instead store one table per rank — cheaper here, costlier as ranks grow")

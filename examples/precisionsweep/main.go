@@ -39,7 +39,9 @@ func main() {
 		fmt.Fprintf(tw, "  %d\t%d\t%.2f%%\t%.2f%%\t%.5f%%\n",
 			b, enc.Opt.NumBins(), enc.Gamma()*100, ratio, enc.MeanErrorRate()*100)
 	}
-	tw.Flush()
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("\nsweep 2: error bound E (clustering, B = 8) — Fig. 7")
 	tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -57,6 +59,8 @@ func main() {
 		fmt.Fprintf(tw, "  %.2f%%\t%.2f%%\t%.2f%%\t%.5f%%\t%.5f%%\n",
 			e*100, enc.Gamma()*100, ratio, enc.MeanErrorRate()*100, enc.MaxErrorRate()*100)
 	}
-	tw.Flush()
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("\nmax err never exceeds E: the bound is enforced per point, not on average")
 }

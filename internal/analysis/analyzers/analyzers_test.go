@@ -1,0 +1,52 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"numarck/internal/analysis"
+	"numarck/internal/analysis/analysistest"
+	"numarck/internal/analysis/analyzers"
+)
+
+func TestFloatcmp(t *testing.T) {
+	analysistest.Run(t, "testdata/floatcmp", analyzers.Floatcmp{})
+}
+
+func TestWaitgroup(t *testing.T) {
+	analysistest.Run(t, "testdata/waitgroup", analyzers.Waitgroup{})
+}
+
+func TestCtxleak(t *testing.T) {
+	analysistest.Run(t, "testdata/ctxleak", analyzers.Ctxleak{})
+}
+
+func TestErrcheck(t *testing.T) {
+	analysistest.Run(t, "testdata/errcheck", analyzers.Errcheck{})
+}
+
+func TestBindex(t *testing.T) {
+	analysistest.Run(t, "testdata/bindex", analyzers.Bindex{})
+}
+
+// TestAll pins the analyzer set: names must be unique, non-empty and
+// documented, so //lint:ignore targets stay stable.
+func TestAll(t *testing.T) {
+	all := analyzers.All()
+	if len(all) < 5 {
+		t.Fatalf("expected at least 5 analyzers, got %d", len(all))
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if a.Name() == "" || a.Doc() == "" {
+			t.Errorf("analyzer %T missing name or doc", a)
+		}
+		if a.Name() == "lint" {
+			t.Errorf("analyzer name %q is reserved for the framework", a.Name())
+		}
+		if seen[a.Name()] {
+			t.Errorf("duplicate analyzer name %q", a.Name())
+		}
+		seen[a.Name()] = true
+	}
+	var _ []analysis.Analyzer = all
+}

@@ -1,0 +1,171 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"numarck/internal/analysis"
+)
+
+// Bindex flags integer conversions that can silently truncate. NUMARCK
+// stores one B-bit bin index per point; the encode paths move indices
+// between uint64 bit-stream words, uint32 index arrays and int loop
+// counters, and a careless narrowing conversion corrupts bin
+// assignments without any error — the reconstruction just applies the
+// wrong representative ratio. The analyzer flags T(x) where T is a
+// narrower integer type than x's, unless the code proves the value
+// fits:
+//
+//   - the operand is a constant representable in T;
+//   - the operand is pre-masked (x & c) or reduced (x % c) by a
+//     constant that fits T;
+//   - the operand is right-shifted (x >> s) far enough that the
+//     remaining bits fit T — the serialization idiom;
+//   - the conversion result is immediately masked (T(x) & c), i.e.
+//     the truncation is the point.
+type Bindex struct{}
+
+// Name implements analysis.Analyzer.
+func (Bindex) Name() string { return "bindex" }
+
+// Doc implements analysis.Analyzer.
+func (Bindex) Doc() string {
+	return "flags narrowing integer conversions that can truncate B-bit bin indices"
+}
+
+// Run implements analysis.Analyzer.
+func (Bindex) Run(p *analysis.Pass) []analysis.Diagnostic {
+	var diags []analysis.Diagnostic
+	for _, f := range p.Files {
+		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			tv, ok := p.Info.Types[call.Fun]
+			if !ok || !tv.IsType() {
+				return true
+			}
+			dst := tv.Type
+			arg := ast.Unparen(call.Args[0])
+			src := p.Info.TypeOf(arg)
+			if src == nil {
+				return true
+			}
+			dstW, _, dstOK := basicIntWidth(dst)
+			srcW, _, srcOK := basicIntWidth(src)
+			if !dstOK || !srcOK || dstW >= srcW {
+				return true
+			}
+			// Constant operand representable in the target is exact.
+			if av, ok := p.Info.Types[arg]; ok && av.Value != nil {
+				if representable(av.Value, dst) {
+					return true
+				}
+			}
+			if operandBounded(p.Info, arg, dst, srcW, dstW) {
+				return true
+			}
+			if maskedAfter(p.Info, call, stack, dst) {
+				return true
+			}
+			diags = append(diags, p.Diagf("bindex", call.Pos(),
+				"integer conversion %s(%s) may truncate a %d-bit value to %d bits; bound or mask the operand first",
+				types.TypeString(dst, func(*types.Package) string { return "" }),
+				types.TypeString(src, func(*types.Package) string { return "" }),
+				srcW, dstW))
+			return true
+		})
+	}
+	return diags
+}
+
+// representable reports whether constant v fits in integer type dst.
+func representable(v constant.Value, dst types.Type) bool {
+	b, ok := dst.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	w, signed, ok := basicIntWidth(b)
+	if !ok {
+		return false
+	}
+	if signed {
+		iv, exact := constant.Int64Val(constant.ToInt(v))
+		if !exact {
+			return false
+		}
+		limit := int64(1) << uint(w-1)
+		return iv >= -limit && iv < limit
+	}
+	uv, exact := constant.Uint64Val(constant.ToInt(v))
+	if !exact {
+		return false
+	}
+	if w == 64 {
+		return true
+	}
+	return uv < uint64(1)<<uint(w)
+}
+
+// operandBounded recognizes operands whose value provably fits the
+// destination: x & c, x % c with constant c within dst's range, and
+// x >> s with a constant shift leaving at most dstW bits.
+func operandBounded(info *types.Info, arg ast.Expr, dst types.Type, srcW, dstW int) bool {
+	be, ok := arg.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	constOf := func(e ast.Expr) (constant.Value, bool) {
+		if tv, ok := info.Types[e]; ok && tv.Value != nil {
+			return tv.Value, true
+		}
+		return nil, false
+	}
+	switch be.Op {
+	case token.AND:
+		if v, ok := constOf(be.Y); ok && representable(v, dst) {
+			return true
+		}
+		if v, ok := constOf(be.X); ok && representable(v, dst) {
+			return true
+		}
+	case token.REM:
+		if v, ok := constOf(be.Y); ok && representable(v, dst) {
+			return true
+		}
+	case token.SHR:
+		if v, ok := constOf(be.Y); ok {
+			if s, exact := constant.Int64Val(constant.ToInt(v)); exact && srcW-int(s) <= dstW {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// maskedAfter recognizes T(x) & c (or c & T(x)) with a constant mask
+// that fits T: the truncation is deliberate low-bit extraction.
+func maskedAfter(info *types.Info, conv *ast.CallExpr, stack []ast.Node, dst types.Type) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	parent := stack[len(stack)-1]
+	if _, isParen := parent.(*ast.ParenExpr); isParen && len(stack) >= 2 {
+		parent = stack[len(stack)-2]
+	}
+	be, ok := parent.(*ast.BinaryExpr)
+	if !ok || be.Op != token.AND {
+		return false
+	}
+	other := be.Y
+	if ast.Unparen(be.Y) == conv {
+		other = be.X
+	} else if ast.Unparen(be.X) != conv {
+		return false
+	}
+	tv, ok := info.Types[other]
+	return ok && tv.Value != nil && representable(tv.Value, dst)
+}

@@ -1,0 +1,133 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"numarck/internal/analysis"
+)
+
+// Ctxleak flags goroutines that send on an unbuffered channel created
+// outside them with no select around the send. If the receiver returns
+// early — an error on another rank, a cancelled context — the sender
+// blocks forever and the goroutine leaks. This is the failure mode of
+// the internal/dist fabric pattern: rank goroutines communicating
+// results back to a coordinator that may already have bailed out. The
+// fix is a buffered channel sized to the sender count, or a
+// select { case ch <- v: case <-ctx.Done(): }.
+type Ctxleak struct{}
+
+// Name implements analysis.Analyzer.
+func (Ctxleak) Name() string { return "ctxleak" }
+
+// Doc implements analysis.Analyzer.
+func (Ctxleak) Doc() string {
+	return "flags goroutine sends on unbuffered outer channels with no ctx/done select"
+}
+
+// Run implements analysis.Analyzer.
+func (Ctxleak) Run(p *analysis.Pass) []analysis.Diagnostic {
+	var diags []analysis.Diagnostic
+	for _, f := range p.Files {
+		unbuffered := unbufferedChannels(p.Info, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			inspectStack(lit.Body, func(m ast.Node, stack []ast.Node) bool {
+				send, ok := m.(*ast.SendStmt)
+				if !ok {
+					return true
+				}
+				// A send under any select has an escape hatch (or at
+				// least a deliberate blocking decision); skip it.
+				for _, anc := range stack {
+					if _, inSelect := anc.(*ast.SelectStmt); inSelect {
+						return true
+					}
+				}
+				id := rootIdent(send.Chan)
+				if id == nil {
+					return true
+				}
+				obj := objectOf(p.Info, id)
+				if obj == nil || declaredWithin(obj, lit) {
+					return true
+				}
+				if !unbuffered[obj] {
+					return true // buffered or unknown origin: can't prove a leak
+				}
+				diags = append(diags, p.Diagf("ctxleak", send.Pos(),
+					"goroutine sends on unbuffered channel %s with no ctx/done select; sender leaks if the receiver exits early", obj.Name()))
+				return true
+			})
+			return true
+		})
+	}
+	return diags
+}
+
+// unbufferedChannels maps channel objects in f to whether their
+// visible make(chan T) has no capacity (or constant capacity 0).
+// Channels whose creation is not visible in this file are absent.
+func unbufferedChannels(info *types.Info, f *ast.File) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := objectOf(info, id)
+		if obj == nil {
+			return
+		}
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || fn.Name != "make" {
+			return
+		}
+		if t := info.TypeOf(call); t == nil {
+			return
+		} else if _, isChan := t.Underlying().(*types.Chan); !isChan {
+			return
+		}
+		if len(call.Args) < 2 {
+			out[obj] = true
+			return
+		}
+		if tv, ok := info.Types[call.Args[1]]; ok && tv.Value != nil {
+			if capVal, exact := constant.Int64Val(tv.Value); exact && capVal == 0 {
+				out[obj] = true
+				return
+			}
+		}
+		out[obj] = false
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			if len(v.Lhs) == len(v.Rhs) {
+				for i := range v.Lhs {
+					record(v.Lhs[i], v.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(v.Names) == len(v.Values) {
+				for i := range v.Names {
+					record(v.Names[i], v.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

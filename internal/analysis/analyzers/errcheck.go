@@ -1,0 +1,125 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"numarck/internal/analysis"
+)
+
+// Errcheck flags dropped error returns on NUMARCK's persistence paths.
+// It is deliberately narrower than a general errcheck: a silently
+// failed checkpoint write invalidates the restart guarantee entirely
+// (a delta chain with a hole cannot be replayed), so the analyzer
+// targets exactly the calls where a dropped error corrupts durability:
+//
+//   - any function or method of internal/checkpoint or
+//     internal/lossless packages;
+//   - Write/WriteString/Close/Flush/Sync methods whose last result is
+//     an error — the io.Writer family — except the never-failing
+//     in-memory writers bytes.Buffer and strings.Builder.
+type Errcheck struct{}
+
+// Name implements analysis.Analyzer.
+func (Errcheck) Name() string { return "errcheck" }
+
+// Doc implements analysis.Analyzer.
+func (Errcheck) Doc() string {
+	return "flags dropped errors from checkpoint/lossless calls and io writer methods"
+}
+
+// errcheckPkgPrefixes are the module packages whose every error return
+// must be consumed.
+var errcheckPkgPrefixes = []string{
+	"numarck/internal/checkpoint",
+	"numarck/internal/lossless",
+}
+
+// writerMethods are the io.Writer-family method names checked on any
+// receiver.
+var writerMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"Close":       true,
+	"Flush":       true,
+	"Sync":        true,
+}
+
+// neverFails matches receiver types documented to always return nil
+// errors; flagging them would be pure noise.
+func neverFails(recv types.Type) bool {
+	s := recv.String()
+	return strings.Contains(s, "bytes.Buffer") || strings.Contains(s, "strings.Builder")
+}
+
+// Run implements analysis.Analyzer.
+func (Errcheck) Run(p *analysis.Pass) []analysis.Diagnostic {
+	var diags []analysis.Diagnostic
+	check := func(call *ast.CallExpr, via string) {
+		fn := calleeFunc(p.Info, call)
+		if fn == nil {
+			return
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || !lastResultIsError(sig) {
+			return
+		}
+		if !errcheckTarget(fn, sig) {
+			return
+		}
+		diags = append(diags, p.Diagf("errcheck", call.Pos(),
+			"%serror result of %s is dropped", via, calleeLabel(fn)))
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := v.X.(*ast.CallExpr); ok {
+					check(call, "")
+				}
+			case *ast.DeferStmt:
+				check(v.Call, "deferred ")
+			case *ast.GoStmt:
+				check(v.Call, "goroutine ")
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+func lastResultIsError(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	return types.Identical(res.At(res.Len()-1).Type(), types.Universe.Lookup("error").Type())
+}
+
+// errcheckTarget decides whether fn's dropped error matters under this
+// analyzer's scope.
+func errcheckTarget(fn *types.Func, sig *types.Signature) bool {
+	if pkg := fn.Pkg(); pkg != nil {
+		for _, prefix := range errcheckPkgPrefixes {
+			if pkg.Path() == prefix || strings.HasPrefix(pkg.Path(), prefix+"/") {
+				return true
+			}
+		}
+	}
+	if recv := sig.Recv(); recv != nil && writerMethods[fn.Name()] {
+		return !neverFails(recv.Type())
+	}
+	return false
+}
+
+func calleeLabel(fn *types.Func) string {
+	qual := func(p *types.Package) string { return p.Name() }
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return "(" + types.TypeString(sig.Recv().Type(), qual) + ")." + fn.Name()
+	}
+	if pkg := fn.Pkg(); pkg != nil {
+		return pkg.Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

@@ -1,0 +1,83 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"numarck/internal/analysis"
+)
+
+// Floatcmp flags == and != between floating-point operands. NUMARCK's
+// error-bound guarantee (paper §II-C, Eq. 3) hinges on disciplined
+// float comparisons: a raw equality on a computed ratio is almost
+// always a latent bug, because two mathematically equal ratios differ
+// after rounding. Exact comparisons that are genuinely intended —
+// sentinel zeros, un-computed bounds — must go through the
+// internal/fputil helpers (whose bodies this analyzer skips) or carry
+// a //lint:ignore floatcmp annotation stating why exactness is safe.
+type Floatcmp struct{}
+
+// Name implements analysis.Analyzer.
+func (Floatcmp) Name() string { return "floatcmp" }
+
+// Doc implements analysis.Analyzer.
+func (Floatcmp) Doc() string {
+	return "flags ==/!= on floating-point operands outside allowlisted epsilon/ULP helpers"
+}
+
+// allowedFuncs matches helper functions whose whole point is an exact
+// or ULP-based float comparison; raw equality inside them is the
+// implementation, not a bug.
+var allowedFuncs = regexp.MustCompile(`(?i)(ulp|epsilon|almostequal|approxeq|sameFloat)`)
+
+// allowedPkgs are packages whose purpose is float-comparison helpers.
+var allowedPkgs = map[string]bool{
+	"numarck/internal/fputil": true,
+}
+
+// Run implements analysis.Analyzer.
+func (Floatcmp) Run(p *analysis.Pass) []analysis.Diagnostic {
+	if allowedPkgs[p.PkgPath] {
+		return nil
+	}
+	var diags []analysis.Diagnostic
+	for _, f := range p.Files {
+		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloatOperand(p.Info, be.X) && !isFloatOperand(p.Info, be.Y) {
+				return true
+			}
+			// Compile-time constant folding: comparing two constants is
+			// exact by definition.
+			if isConst(p.Info, be.X) && isConst(p.Info, be.Y) {
+				return true
+			}
+			if name := enclosingFuncName(stack); allowedFuncs.MatchString(name) {
+				return true
+			}
+			diags = append(diags, p.Diagf("floatcmp", be.OpPos,
+				"floating-point %s comparison; use internal/fputil (Eq/IsZero/WithinULP) or annotate why exact equality is safe", be.Op))
+			return true
+		})
+	}
+	return diags
+}
+
+func isFloatOperand(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}

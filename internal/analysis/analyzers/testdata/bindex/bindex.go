@@ -1,0 +1,47 @@
+// Fixture for the bindex analyzer.
+package fixture
+
+func conversions(x uint64, i int, w uint32) {
+	_ = uint32(x) // want `integer conversion uint32\(uint64\) may truncate a 64-bit value to 32 bits`
+	_ = int32(i)  // want `integer conversion int32\(int\) may truncate`
+	_ = uint8(w)  // want `integer conversion uint8\(uint32\) may truncate`
+
+	// Widening and same-width conversions are always safe.
+	_ = uint64(w)
+	_ = int64(i)
+	_ = uint(x)
+
+	// Constants representable in the target are exact.
+	_ = uint32(300)
+	_ = byte(255)
+
+	// Pre-masked / reduced operands provably fit.
+	_ = uint32(x & 0xffffffff)
+	_ = byte(x & 0x7f)
+	_ = uint8(x % 100)
+
+	// Right shift leaving <= target-width bits is the serialization
+	// idiom.
+	_ = byte(x >> 56)
+	_ = uint16(x >> 48)
+	_ = byte(x >> 32) // want `integer conversion byte\(uint64\) may truncate`
+
+	// Masking the conversion result is deliberate low-bit extraction.
+	_ = byte(x) & 0x0f
+	_ = 0x3f & uint16(x)
+}
+
+// packLoop is the shape of the bitpack encode hot path.
+func packLoop(vals []uint64, width int) []byte {
+	out := make([]byte, len(vals)*width/8)
+	for i, v := range vals {
+		off := uint64(i) * uint64(width)
+		out[off>>3] |= byte(v << (off & 7)) // want `integer conversion byte\(uint64\) may truncate`
+	}
+	return out
+}
+
+// float conversions are out of scope.
+func notInteger(f float64) int {
+	return int(f)
+}

@@ -1,0 +1,60 @@
+// Fixture for the ctxleak analyzer.
+package fixture
+
+import "context"
+
+func leakyUnbuffered() <-chan int {
+	ch := make(chan int)
+	go func() {
+		ch <- compute() // want `goroutine sends on unbuffered channel ch`
+	}()
+	return ch
+}
+
+func bufferedIsFine() <-chan int {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- compute()
+	}()
+	return ch
+}
+
+func selectWithDone(ctx context.Context) <-chan int {
+	ch := make(chan int)
+	go func() {
+		select {
+		case ch <- compute():
+		case <-ctx.Done():
+		}
+	}()
+	return ch
+}
+
+// ownChannel is created inside the goroutine: its lifetime is the
+// goroutine's own business.
+func ownChannel() {
+	go func() {
+		ch := make(chan int)
+		go func() { <-ch }()
+		ch <- compute()
+	}()
+}
+
+// zeroCapacity spells the unbuffered capacity explicitly.
+func zeroCapacity() <-chan int {
+	ch := make(chan int, 0)
+	go func() {
+		ch <- compute() // want `goroutine sends on unbuffered channel ch`
+	}()
+	return ch
+}
+
+// unknownOrigin receives the channel as a parameter; without seeing the
+// make, the analyzer stays silent.
+func unknownOrigin(ch chan int) {
+	go func() {
+		ch <- compute()
+	}()
+}
+
+func compute() int { return 42 }

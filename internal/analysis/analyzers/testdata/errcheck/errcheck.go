@@ -1,0 +1,56 @@
+// Fixture for the errcheck analyzer.
+package fixture
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"text/tabwriter"
+)
+
+func flushDropped(tw *tabwriter.Writer) {
+	tw.Flush() // want `error result of \(\*tabwriter\.Writer\)\.Flush is dropped`
+}
+
+func flushChecked(tw *tabwriter.Writer) error {
+	return tw.Flush()
+}
+
+func deferredClose(f *os.File) {
+	defer f.Close() // want `deferred error result of \(\*os\.File\)\.Close is dropped`
+}
+
+func goroutineClose(f *os.File) {
+	go f.Close() // want `goroutine error result of \(\*os\.File\)\.Close is dropped`
+}
+
+func syncDropped(f *os.File) {
+	f.Sync() // want `error result of \(\*os\.File\)\.Sync is dropped`
+}
+
+// bufferNeverFails: bytes.Buffer and strings.Builder writes are
+// documented to always succeed; flagging them is noise.
+func bufferNeverFails(buf *bytes.Buffer, sb *strings.Builder) {
+	buf.Write([]byte("x"))
+	buf.WriteString("y")
+	sb.WriteString("z")
+}
+
+type sink struct{}
+
+func (sink) Close() error { return nil }
+
+// Report carries no error result; nothing to drop.
+func (sink) Report() {}
+
+func customCloser(s sink) {
+	s.Close() // want `error result of \(fixture\.sink\)\.Close is dropped`
+	s.Report()
+}
+
+// handled consumes the error; not flagged.
+func handled(s sink) {
+	if err := s.Close(); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,48 @@
+// Fixture for the floatcmp analyzer.
+package fixture
+
+import "math"
+
+func compare(a, b float64, f32 float32) bool {
+	if a == b { // want `floating-point == comparison`
+		return true
+	}
+	if a != b { // want `floating-point != comparison`
+		return false
+	}
+	if f32 == 1.5 { // want `floating-point == comparison`
+		return true
+	}
+	if a == 0 { // want `floating-point == comparison`
+		return true
+	}
+	return a < b // ordering comparisons are fine
+}
+
+// intCompare has no float operands; nothing is flagged.
+func intCompare(a, b int) bool {
+	return a == b
+}
+
+// constFold compares two untyped float constants; exact by definition.
+func constFold() bool {
+	const x = 0.1
+	const y = 0.2
+	return x+y == 0.30000000000000004
+}
+
+// ulpEqual is allowlisted by name: exact comparison is its job.
+func ulpEqual(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b) || a == b
+}
+
+// almostEqualAbs is allowlisted via the (?i)almostequal pattern.
+func almostEqualAbs(a, b float64) bool {
+	return a == b || math.Abs(a-b) < 1e-12
+}
+
+// mixed flags a comparison where only one operand is float typed.
+func mixed(a float64) bool {
+	var b float64
+	return a == b // want `floating-point == comparison`
+}

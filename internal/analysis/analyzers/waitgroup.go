@@ -1,0 +1,235 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"numarck/internal/analysis"
+)
+
+// Waitgroup flags the three sync.WaitGroup/Mutex misuse patterns that
+// would corrupt NUMARCK's goroutine-parallel k-means assignment and
+// distributed encode paths:
+//
+//  1. wg.Add called inside the spawned goroutine it accounts for — the
+//     classic race where Wait can return before the goroutine is
+//     counted;
+//  2. wg.Wait appearing before any wg.Add in the same statement block —
+//     the Wait is a no-op barrier;
+//  3. sync.WaitGroup, sync.Mutex or sync.RWMutex copied by value
+//     (parameters, results, assignments, call arguments) — the copy
+//     guards nothing.
+type Waitgroup struct{}
+
+// Name implements analysis.Analyzer.
+func (Waitgroup) Name() string { return "waitgroup" }
+
+// Doc implements analysis.Analyzer.
+func (Waitgroup) Doc() string {
+	return "flags wg.Add inside the spawned goroutine, Wait before Add, and sync primitives copied by value"
+}
+
+// Run implements analysis.Analyzer.
+func (Waitgroup) Run(p *analysis.Pass) []analysis.Diagnostic {
+	var diags []analysis.Diagnostic
+	for _, f := range p.Files {
+		diags = append(diags, addInsideGoroutine(p, f)...)
+		diags = append(diags, waitBeforeAdd(p, f)...)
+		diags = append(diags, copiedByValue(p, f)...)
+	}
+	return diags
+}
+
+// wgCall matches a call expression of the form wg.<method>(...) on a
+// sync.WaitGroup and returns the receiver's root object.
+func wgCall(info *types.Info, call *ast.CallExpr, method string) types.Object {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return nil
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil || !isSyncNamed(t, "WaitGroup") {
+		return nil
+	}
+	id := rootIdent(sel.X)
+	if id == nil {
+		return nil
+	}
+	return objectOf(info, id)
+}
+
+// addInsideGoroutine reports wg.Add calls inside a `go func(){...}()`
+// body when wg is declared outside that goroutine.
+func addInsideGoroutine(p *analysis.Pass, f *ast.File) []analysis.Diagnostic {
+	var diags []analysis.Diagnostic
+	ast.Inspect(f, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := wgCall(p.Info, call, "Add")
+			if obj == nil || declaredWithin(obj, lit) {
+				return true
+			}
+			diags = append(diags, p.Diagf("waitgroup", call.Pos(),
+				"%s.Add inside the spawned goroutine races its own Wait; call Add before the go statement", obj.Name()))
+			return true
+		})
+		return true
+	})
+	return diags
+}
+
+// waitBeforeAdd reports wg.Wait statements that lexically precede every
+// wg.Add of the same WaitGroup in the same statement block. The check
+// is deliberately block-local: across blocks, loop bodies and helper
+// calls legitimately reorder the two.
+func waitBeforeAdd(p *analysis.Pass, f *ast.File) []analysis.Diagnostic {
+	var diags []analysis.Diagnostic
+	ast.Inspect(f, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		type firstUse struct {
+			addIdx  int
+			waitIdx int
+			wait    *ast.CallExpr
+		}
+		uses := map[types.Object]*firstUse{}
+		for i, stmt := range block.List {
+			es, ok := stmt.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if obj := wgCall(p.Info, call, "Add"); obj != nil {
+				u := uses[obj]
+				if u == nil {
+					u = &firstUse{addIdx: -1, waitIdx: -1}
+					uses[obj] = u
+				}
+				if u.addIdx < 0 {
+					u.addIdx = i
+				}
+			}
+			if obj := wgCall(p.Info, call, "Wait"); obj != nil {
+				u := uses[obj]
+				if u == nil {
+					u = &firstUse{addIdx: -1, waitIdx: -1}
+					uses[obj] = u
+				}
+				if u.waitIdx < 0 {
+					u.waitIdx = i
+					u.wait = call
+				}
+			}
+		}
+		for obj, u := range uses {
+			if u.waitIdx >= 0 && u.addIdx >= 0 && u.waitIdx < u.addIdx {
+				diags = append(diags, p.Diagf("waitgroup", u.wait.Pos(),
+					"%s.Wait before %s.Add in the same block waits for nothing", obj.Name(), obj.Name()))
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// copiedByValue reports by-value copies of sync.WaitGroup/Mutex/RWMutex
+// (or structs containing them): function parameters and results,
+// assignments from addressable expressions, and call arguments.
+func copiedByValue(p *analysis.Pass, f *ast.File) []analysis.Diagnostic {
+	var diags []analysis.Diagnostic
+
+	report := func(pos ast.Node, what, lock string) {
+		diags = append(diags, p.Diagf("waitgroup", pos.Pos(),
+			"%s copies %s by value; use a pointer", what, lock))
+	}
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncDecl:
+			checkFieldList(p, v.Type.Params, "parameter", report)
+			checkFieldList(p, v.Type.Results, "result", report)
+		case *ast.FuncLit:
+			checkFieldList(p, v.Type.Params, "parameter", report)
+			checkFieldList(p, v.Type.Results, "result", report)
+		case *ast.AssignStmt:
+			for i, rhs := range v.Rhs {
+				// `_ = x` is the discard idiom, not a live copy.
+				if len(v.Lhs) == len(v.Rhs) {
+					if id, ok := v.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						continue
+					}
+				}
+				if !addressable(rhs) {
+					continue
+				}
+				t := p.Info.TypeOf(rhs)
+				if t == nil {
+					continue
+				}
+				if lock := containsLockByValue(t); lock != "" {
+					report(rhs, "assignment", lock)
+				}
+			}
+		case *ast.CallExpr:
+			if tv, ok := p.Info.Types[v.Fun]; ok && tv.IsType() {
+				return true // conversion, not a call
+			}
+			for _, arg := range v.Args {
+				if !addressable(arg) {
+					continue
+				}
+				t := p.Info.TypeOf(arg)
+				if t == nil {
+					continue
+				}
+				if lock := containsLockByValue(t); lock != "" {
+					report(arg, "call argument", lock)
+				}
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+func checkFieldList(p *analysis.Pass, fl *ast.FieldList, what string, report func(ast.Node, string, string)) {
+	if fl == nil {
+		return
+	}
+	for _, field := range fl.List {
+		t := p.Info.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if lock := containsLockByValue(t); lock != "" {
+			report(field, what, lock)
+		}
+	}
+}
+
+// addressable approximates "expression denotes existing storage":
+// copying from it duplicates live state, unlike a fresh composite
+// literal or a constructor's return value.
+func addressable(e ast.Expr) bool {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Result is the outcome of running a set of analyzers over packages.
+type Result struct {
+	// Diagnostics are the surviving (unsuppressed) findings, sorted by
+	// file, line, column, analyzer.
+	Diagnostics []Diagnostic
+	// Suppressed counts findings silenced by //lint:ignore directives.
+	Suppressed int
+	// Packages counts the packages analyzed.
+	Packages int
+}
+
+// Run executes every analyzer over every package, in parallel across
+// (package, analyzer) pairs, applies suppressions, and returns the
+// sorted findings. Analyzer Run methods must be concurrency-safe.
+func Run(mod *Module, pkgs []*Package, analyzers []Analyzer) *Result {
+	type unit struct {
+		pkg *Package
+		an  Analyzer
+	}
+	var units []unit
+	for _, p := range pkgs {
+		for _, a := range analyzers {
+			units = append(units, unit{p, a})
+		}
+	}
+
+	results := make([][]Diagnostic, len(units))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(units) {
+		workers = len(units)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(units) {
+					return
+				}
+				u := units[i]
+				pass := &Pass{
+					Fset:    mod.Fset,
+					Pkg:     u.pkg.Types,
+					PkgPath: u.pkg.Path,
+					Files:   u.pkg.Files,
+					Info:    u.pkg.Info,
+				}
+				results[i] = u.an.Run(pass)
+			}
+		}()
+	}
+	wg.Wait()
+
+	res := &Result{Packages: len(pkgs)}
+	for _, p := range pkgs {
+		sups, malformed := collectSuppressions(p, mod.Fset)
+		res.Diagnostics = append(res.Diagnostics, malformed...)
+		for i, u := range units {
+			if u.pkg != p {
+				continue
+			}
+			for _, d := range results[i] {
+				if suppressed(d, sups) {
+					res.Suppressed++
+					continue
+				}
+				res.Diagnostics = append(res.Diagnostics, d)
+			}
+		}
+	}
+	sort.Slice(res.Diagnostics, func(i, j int) bool {
+		a, b := res.Diagnostics[i], res.Diagnostics[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return res
+}
+
+// WriteText renders findings one per line in file:line:col form.
+func (r *Result) WriteText(w io.Writer) error {
+	for _, d := range r.Diagnostics {
+		if _, err := fmt.Fprintln(w, d.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders findings as a JSON array.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	diags := r.Diagnostics
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	return enc.Encode(diags)
+}

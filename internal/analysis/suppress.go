@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// suppressionDirective is the comment prefix that silences a finding.
+const suppressionDirective = "//lint:ignore"
+
+// suppression is one parsed //lint:ignore comment. It silences the
+// named analyzers on its own line (end-of-line form) and on the line
+// immediately below it (standalone form).
+type suppression struct {
+	names map[string]bool
+	file  string
+	line  int
+}
+
+// collectSuppressions scans a package's comments for lint:ignore
+// directives. Malformed directives — a missing analyzer list or a
+// missing reason — are themselves reported as diagnostics under the
+// reserved analyzer name "lint", so suppressions can never silently
+// rot into bare switch-offs.
+func collectSuppressions(p *Package, fset *token.FileSet) ([]suppression, []Diagnostic) {
+	var sups []suppression
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, suppressionDirective) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, suppressionDirective)
+				if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+					continue // e.g. //lint:ignorefoo — not this directive
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					diags = append(diags, Diagnostic{
+						Analyzer: "lint",
+						Pos:      pos,
+						Message:  "malformed //lint:ignore: want \"//lint:ignore <analyzer>[,<analyzer>...] <reason>\"",
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Col:      pos.Column,
+					})
+					continue
+				}
+				names := map[string]bool{}
+				for _, n := range strings.Split(fields[0], ",") {
+					if n != "" {
+						names[n] = true
+					}
+				}
+				sups = append(sups, suppression{names: names, file: pos.Filename, line: pos.Line})
+			}
+		}
+	}
+	return sups, diags
+}
+
+// suppressed reports whether d is silenced by any suppression: one on
+// the diagnostic's own line, or one on the line directly above it.
+func suppressed(d Diagnostic, sups []suppression) bool {
+	for _, s := range sups {
+		if !s.names[d.Analyzer] {
+			continue
+		}
+		if d.File == "" || s.file != d.File {
+			continue
+		}
+		if s.line == d.Line || s.line == d.Line-1 {
+			return true
+		}
+	}
+	return false
+}

@@ -26,6 +26,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"numarck/internal/fputil"
 )
 
 // Config tunes the detector.
@@ -153,7 +155,7 @@ func (d *Detector) Observe(prev, cur []float64) (*Report, error) {
 		switch {
 		case math.IsNaN(p) || math.IsInf(p, 0) || math.IsNaN(c) || math.IsInf(c, 0):
 			kinds[j] = ratioBadValue
-		case p == 0:
+		case fputil.IsZero(p):
 			kinds[j] = ratioNoBase
 		default:
 			r := (c - p) / p

@@ -15,6 +15,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"numarck/internal/fputil"
 )
 
 // Degree is the polynomial degree of all curves in this package.
@@ -83,7 +85,7 @@ func basisFuns(k int, t float64, numCtrl int, out *[Degree + 1]float64) {
 		for r := 0; r < j; r++ {
 			den := right[r+1] + left[j-r]
 			var temp float64
-			if den != 0 {
+			if !fputil.IsZero(den) {
 				temp = out[r] / den
 			}
 			out[r] = saved + right[r+1]*temp
@@ -173,7 +175,7 @@ func Fit(y []float64, numCtrl int) (*Curve, error) {
 	// Ridge: keeps empty-support columns solvable and conditions
 	// near-singular Gram matrices without visibly biasing the fit.
 	ridge := 1e-12 * maxDiag
-	if ridge == 0 {
+	if fputil.IsZero(ridge) {
 		ridge = 1e-300
 	}
 	for i := range a {

@@ -1,0 +1,61 @@
+package checkpoint
+
+import (
+	"testing"
+
+	"numarck/internal/core"
+)
+
+// seedDelta builds one small valid delta file for the fuzz corpora.
+func seedDelta(tb testing.TB) []byte {
+	tb.Helper()
+	series := genSeries(256, 2, 97)
+	enc, err := core.Encode(series[0], series[1], opts())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	raw, err := MarshalDelta("v", 1, enc)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return raw
+}
+
+// FuzzUnmarshalDelta is the native-fuzzing counterpart of the random
+// corruption tests above: arbitrary bytes must either parse into an
+// encoding that Decode accepts, or fail with an error — never panic.
+func FuzzUnmarshalDelta(f *testing.F) {
+	f.Add(seedDelta(f))
+	f.Add([]byte{})
+	f.Add([]byte("NMKD"))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		variable, _, enc, err := UnmarshalDelta(raw)
+		if err != nil {
+			return
+		}
+		if variable == "" {
+			t.Error("accepted delta with empty variable name")
+		}
+		// A header the parser accepted must also be decodable without
+		// panicking; decode errors are fine.
+		prev := make([]float64, len(enc.Indices))
+		_, _ = enc.Decode(prev)
+	})
+}
+
+// FuzzUnmarshalFull covers the full-checkpoint parser the same way.
+func FuzzUnmarshalFull(f *testing.F) {
+	series := genSeries(64, 1, 7)
+	raw, err := MarshalFull("v", 0, series[0])
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(raw)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		_, _, data, err := UnmarshalFull(raw)
+		if err == nil && data == nil {
+			t.Error("nil data with nil error")
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"numarck/internal/fputil"
 	"numarck/internal/kmeans"
 )
 
@@ -65,7 +66,7 @@ func fitEqualFrequency(data []float64, k int) *tableBinner {
 	// the nearest-rep index sees strictly ordered values.
 	dedup := reps[:0]
 	for i, r := range reps {
-		if i == 0 || r != dedup[len(dedup)-1] {
+		if i == 0 || !fputil.Eq(r, dedup[len(dedup)-1]) {
 			dedup = append(dedup, r)
 		}
 	}
@@ -83,7 +84,7 @@ type equalWidthBinner struct {
 
 func fitEqualWidth(data []float64, k int) *equalWidthBinner {
 	lo, hi := minMax(data)
-	if lo == hi {
+	if fputil.Eq(lo, hi) {
 		return &equalWidthBinner{lo: lo, width: 0, reps: []float64{lo}}
 	}
 	b := &equalWidthBinner{lo: lo, width: (hi - lo) / float64(k), reps: make([]float64, k)}
@@ -96,7 +97,7 @@ func fitEqualWidth(data []float64, k int) *equalWidthBinner {
 func (b *equalWidthBinner) Representatives() []float64 { return b.reps }
 
 func (b *equalWidthBinner) Lookup(d float64) int {
-	if b.width == 0 {
+	if fputil.IsZero(b.width) {
 		return 0
 	}
 	i := int((d - b.lo) / b.width)
@@ -132,7 +133,7 @@ func fitLogScale(data []float64, k int) *logScaleBinner {
 	posMin, posMax := math.Inf(1), math.Inf(-1)
 	for _, d := range data {
 		a := math.Abs(d)
-		if a == 0 {
+		if fputil.IsZero(a) {
 			continue // handled by nearest-rep fallback in Lookup
 		}
 		if d < 0 {
@@ -210,7 +211,7 @@ func (s *logSide) lookup(absD float64) int {
 	if s.k == 0 {
 		return -1
 	}
-	if s.spn == 0 {
+	if fputil.IsZero(s.spn) {
 		return s.base
 	}
 	i := int(float64(s.k) * (math.Log(absD) - s.logLo) / s.spn)
@@ -309,7 +310,7 @@ func EqualWidthTable(lo, hi float64, k int) []float64 {
 	if k < 1 {
 		return nil
 	}
-	if lo == hi {
+	if fputil.Eq(lo, hi) {
 		return []float64{lo}
 	}
 	w := (hi - lo) / float64(k)

@@ -142,6 +142,7 @@ func encodeWith(prev, cur []float64, opt Options, fit func([]float64) (binner, e
 				incompressible[j] = true
 				continue
 			}
+			//lint:ignore bindex g+1 <= NumBins <= 2^MaxIndexBits, enforced by Options.Validate
 			e.Indices[j] = uint32(g + 1)
 		}
 	}

@@ -6,6 +6,8 @@ import (
 	"math"
 	"runtime"
 	"sync"
+
+	"numarck/internal/fputil"
 )
 
 // ErrLength reports mismatched prev/cur lengths.
@@ -76,7 +78,7 @@ func ComputeRatios(prev, cur []float64, workers int) (*Ratios, error) {
 					errs[w] = fmt.Errorf("%w: point %d (prev=%v cur=%v)", ErrNonFinite, j, p, c)
 					return
 				}
-				if p == 0 {
+				if fputil.IsZero(p) {
 					r.Kind[j] = RatioNoBase
 					continue
 				}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"numarck/internal/core"
+	"numarck/internal/fputil"
 	"numarck/internal/kmeans"
 )
 
@@ -336,7 +337,7 @@ func logSideStats(large []float64) sideStats {
 	s := sideStats{negMin: posInf, negMax: negInf, posMin: posInf, posMax: negInf}
 	for _, d := range large {
 		a := math.Abs(d)
-		if a == 0 {
+		if fputil.IsZero(a) {
 			continue
 		}
 		if d < 0 {
@@ -428,7 +429,7 @@ func globalKMeans(f *Fabric, rank int, large []float64, k int, opt core.Options)
 		moved := 0.0
 		for c := 0; c < k; c++ {
 			cnt := red[k+c]
-			if cnt == 0 {
+			if fputil.IsZero(cnt) {
 				continue
 			}
 			next := red[c] / cnt

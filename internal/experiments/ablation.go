@@ -58,7 +58,7 @@ func RunSeedingAblation(iters int, seed int64) (*SeedingResult, error) {
 }
 
 // WriteText renders the comparison.
-func (r *SeedingResult) WriteText(w io.Writer) {
+func (r *SeedingResult) WriteText(w io.Writer) error {
 	var gh, gu []float64
 	for _, row := range r.Rows {
 		gh = append(gh, row.GammaHistogram)
@@ -67,6 +67,7 @@ func (r *SeedingResult) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "Ablation: k-means seeding on %s (%d iterations)\n", r.Variable, len(r.Rows))
 	fmt.Fprintf(w, "  histogram seeding: avg incompressible %.2f%%\n", stats.Mean(gh)*100)
 	fmt.Fprintf(w, "  uniform seeding:   avg incompressible %.2f%%\n", stats.Mean(gu)*100)
+	return nil
 }
 
 // ---------------------------------------------------------------------
@@ -120,7 +121,7 @@ func RunZeroIndexAblation(iters int, seed int64) (*ZeroIndexResult, error) {
 }
 
 // WriteText renders the comparison.
-func (r *ZeroIndexResult) WriteText(w io.Writer) {
+func (r *ZeroIndexResult) WriteText(w io.Writer) error {
 	var gOn, gOff, eOn, eOff []float64
 	for _, row := range r.Rows {
 		gOn = append(gOn, row.GammaOn)
@@ -133,7 +134,7 @@ func (r *ZeroIndexResult) WriteText(w io.Writer) {
 	fmt.Fprintln(tw, "  variant\tavg incompressible\tavg mean err")
 	fmt.Fprintf(tw, "  reserved (paper)\t%.2f%%\t%.5f%%\n", stats.Mean(gOn)*100, stats.Mean(eOn)*100)
 	fmt.Fprintf(tw, "  disabled\t%.2f%%\t%.5f%%\n", stats.Mean(gOff)*100, stats.Mean(eOff)*100)
-	tw.Flush()
+	return tw.Flush()
 }
 
 // ---------------------------------------------------------------------
@@ -187,7 +188,7 @@ func RunTableReuseAblation(iters int, seed int64) (*ReuseResult, error) {
 }
 
 // WriteText renders the comparison.
-func (r *ReuseResult) WriteText(w io.Writer) {
+func (r *ReuseResult) WriteText(w io.Writer) error {
 	var gf, gr []float64
 	for _, row := range r.Rows {
 		gf = append(gf, row.GammaFresh)
@@ -197,6 +198,7 @@ func (r *ReuseResult) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "  fresh table each iteration: avg incompressible %.2f%%\n", stats.Mean(gf)*100)
 	fmt.Fprintf(w, "  previous iteration's table: avg incompressible %.2f%%\n", stats.Mean(gr)*100)
 	fmt.Fprintf(w, "  (a small gap confirms the distributions evolve slowly, the paper's premise)\n")
+	return nil
 }
 
 // ---------------------------------------------------------------------
@@ -250,7 +252,7 @@ func RunFPCPostPass(iters int, seed int64) (*FPCResult, error) {
 }
 
 // WriteText renders the sizes.
-func (r *FPCResult) WriteText(w io.Writer) {
+func (r *FPCResult) WriteText(w io.Writer) error {
 	var raw, encd, post float64
 	for _, row := range r.Rows {
 		raw += float64(row.RawBytes)
@@ -261,4 +263,5 @@ func (r *FPCResult) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "  raw:            %.0f bytes/iter\n", raw/float64(len(r.Rows)))
 	fmt.Fprintf(w, "  NUMARCK:        %.0f bytes/iter (%.2f%% saved)\n", encd/float64(len(r.Rows)), (raw-encd)/raw*100)
 	fmt.Fprintf(w, "  NUMARCK + FPC:  %.0f bytes/iter (%.2f%% saved)\n", post/float64(len(r.Rows)), (raw-post)/raw*100)
+	return nil
 }

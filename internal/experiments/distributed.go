@@ -61,7 +61,7 @@ func RunDistributedAblation(seed int64) (*DistResult, error) {
 }
 
 // WriteText renders the ablation.
-func (r *DistResult) WriteText(w io.Writer) {
+func (r *DistResult) WriteText(w io.Writer) error {
 	fmt.Fprintf(w, "Ablation: distributed table learning on %s (%d raw bytes/iter)\n", r.Variable, r.RawBytes)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "  ranks\tmode\tbytes moved\ttable entries\tincompressible\tsaved")
@@ -69,5 +69,5 @@ func (r *DistResult) WriteText(w io.Writer) {
 		fmt.Fprintf(tw, "  %d\t%s\t%d\t%d\t%.2f%%\t%.2f%%\n",
 			row.Ranks, row.Mode, row.BytesMoved, row.TableEntries, row.Gamma*100, row.CompRatio)
 	}
-	tw.Flush()
+	return tw.Flush()
 }

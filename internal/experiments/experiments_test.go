@@ -103,7 +103,9 @@ func TestFig1ShapeMatchesPaper(t *testing.T) {
 		t.Errorf("ratio std %v suspiciously wide", res.Ratios.Std)
 	}
 	var buf bytes.Buffer
-	res.WriteText(&buf)
+	if err := res.WriteText(&buf); err != nil {
+		t.Fatalf("%v", err)
+	}
 	if !strings.Contains(buf.String(), "rlus") {
 		t.Error("WriteText missing variable name")
 	}
@@ -133,7 +135,9 @@ func TestFig3BinHistograms(t *testing.T) {
 		}
 	}
 	var buf bytes.Buffer
-	res.WriteText(&buf)
+	if err := res.WriteText(&buf); err != nil {
+		t.Fatalf("%v", err)
+	}
 	if !strings.Contains(buf.String(), "clustering") {
 		t.Error("WriteText missing strategies")
 	}
@@ -295,8 +299,12 @@ func TestTablesShapesMatchPaper(t *testing.T) {
 		t.Errorf("NUMARCK xi better than B-Splines on only %d/10", xiWins)
 	}
 	var buf bytes.Buffer
-	res.WriteTable1(&buf)
-	res.WriteTable2(&buf)
+	if err := res.WriteTable1(&buf); err != nil {
+		t.Fatalf("%v", err)
+	}
+	if err := res.WriteTable2(&buf); err != nil {
+		t.Fatalf("%v", err)
+	}
 	out := buf.String()
 	if !strings.Contains(out, "rlus") || !strings.Contains(out, "eint") {
 		t.Error("table output missing datasets")
@@ -361,8 +369,12 @@ func TestFig8RestartShape(t *testing.T) {
 		}
 	}
 	var buf bytes.Buffer
-	res.WriteText(&buf)
-	res.WriteSummary(&buf)
+	if err := res.WriteText(&buf); err != nil {
+		t.Fatalf("%v", err)
+	}
+	if err := res.WriteSummary(&buf); err != nil {
+		t.Fatalf("%v", err)
+	}
 	if !strings.Contains(buf.String(), "restart") {
 		t.Error("Fig8 output missing header")
 	}
@@ -405,7 +417,9 @@ func TestZeroIndexAblationRuns(t *testing.T) {
 		t.Fatalf("%d rows", len(res.Rows))
 	}
 	var buf bytes.Buffer
-	res.WriteText(&buf)
+	if err := res.WriteText(&buf); err != nil {
+		t.Fatalf("%v", err)
+	}
 	if !strings.Contains(buf.String(), "reserved") {
 		t.Error("ablation output incomplete")
 	}

@@ -6,6 +6,7 @@ import (
 	"text/tabwriter"
 
 	"numarck/internal/core"
+	"numarck/internal/fputil"
 	"numarck/internal/stats"
 )
 
@@ -34,7 +35,7 @@ func RunFig1(seed int64) (*Fig1Result, error) {
 	prev, cur := series[1], series[2]
 	ratios := make([]float64, 0, len(prev))
 	for i := range prev {
-		if prev[i] != 0 {
+		if !fputil.IsZero(prev[i]) {
 			ratios = append(ratios, (cur[i]-prev[i])/prev[i])
 		}
 	}
@@ -69,7 +70,7 @@ func RunFig1(seed int64) (*Fig1Result, error) {
 }
 
 // WriteText renders the result.
-func (r *Fig1Result) WriteText(w io.Writer) {
+func (r *Fig1Result) WriteText(w io.Writer) error {
 	fmt.Fprintf(w, "Fig 1: %s slices and change distribution\n", r.Variable)
 	fmt.Fprintf(w, "  iteration 1 values: mean=%.3f std=%.3f range=[%.3f, %.3f]\n", r.Iter1.Mean, r.Iter1.Std, r.Iter1.Min, r.Iter1.Max)
 	fmt.Fprintf(w, "  iteration 2 values: mean=%.3f std=%.3f range=[%.3f, %.3f]\n", r.Iter2.Mean, r.Iter2.Std, r.Iter2.Min, r.Iter2.Max)
@@ -79,6 +80,7 @@ func (r *Fig1Result) WriteText(w io.Writer) {
 		fmt.Fprintf(w, "  |change| < %s: %.1f%% of points\n", k, r.FracBelow[k]*100)
 	}
 	fmt.Fprintf(w, "  paper: >75%% of rlus points change by < 0.5%% per step\n")
+	return nil
 }
 
 // ---------------------------------------------------------------------
@@ -158,7 +160,7 @@ func RunFig3(seed int64) (*Fig3Result, error) {
 }
 
 // WriteText renders the result.
-func (r *Fig3Result) WriteText(w io.Writer) {
+func (r *Fig3Result) WriteText(w io.Writer) error {
 	fmt.Fprintf(w, "Fig 3: bin histograms for FLASH %s, iteration %d->%d (E=0.1%%, B=8)\n", r.Variable, r.FromIter, r.FromIter+1)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "  strategy\toccupied bins\tzero-index pts\ttop-bin share\tincompressible")
@@ -166,8 +168,11 @@ func (r *Fig3Result) WriteText(w io.Writer) {
 		fmt.Fprintf(tw, "  %s\t%d/%d\t%d\t%.1f%%\t%.2f%%\n",
 			s.Strategy, s.OccupiedBins, s.TotalBins, s.ZeroIndex, s.TopBinShare*100, s.Gamma*100)
 	}
-	tw.Flush()
+	if err := tw.Flush(); err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "  paper: clustering spreads mass over bins matching the dense areas; equal-width concentrates it\n")
+	return nil
 }
 
 // ---------------------------------------------------------------------
@@ -230,7 +235,7 @@ func RunFig5(checkpoints int, seed int64) (*FigSeriesResult, error) {
 
 // WriteText renders average incompressible ratio and mean error per
 // (variable, strategy).
-func (r *FigSeriesResult) WriteText(w io.Writer) {
+func (r *FigSeriesResult) WriteText(w io.Writer) error {
 	fmt.Fprintln(w, r.Title)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "  variable\tstrategy\tavg incompressible\tavg mean err\tworst max err\tavg comp ratio")
@@ -239,7 +244,7 @@ func (r *FigSeriesResult) WriteText(w io.Writer) {
 			res.Variable, res.Opt.Strategy, res.AvgGamma()*100,
 			res.AvgMeanErr()*100, res.MaxMaxErr()*100, res.AvgCompRatio())
 	}
-	tw.Flush()
+	return tw.Flush()
 }
 
 // ---------------------------------------------------------------------
@@ -285,7 +290,7 @@ func RunFig6(iters int, seed int64) (*Fig6Result, error) {
 }
 
 // WriteText renders the sweep.
-func (r *Fig6Result) WriteText(w io.Writer) {
+func (r *Fig6Result) WriteText(w io.Writer) error {
 	fmt.Fprintf(w, "Fig 6: precision sweep on %s (equal-width, E=0.1%%)\n", r.Variable)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "  B\tavg incompressible\tavg mean err\tavg comp ratio")
@@ -293,8 +298,11 @@ func (r *Fig6Result) WriteText(w io.Writer) {
 		fmt.Fprintf(tw, "  %d\t%.2f%%\t%.5f%%\t%.2f%%\n",
 			row.IndexBits, row.AvgGamma*100, row.AvgMeanErr*100, row.AvgCompRatio)
 	}
-	tw.Flush()
+	if err := tw.Flush(); err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "  paper: 8->9 bits collapses incompressible ratio (60%->20%), 10 bits ~85% compression")
+	return nil
 }
 
 // ---------------------------------------------------------------------
@@ -339,7 +347,7 @@ func RunFig7(iters int, seed int64) (*Fig7Result, error) {
 }
 
 // WriteText renders the sweep.
-func (r *Fig7Result) WriteText(w io.Writer) {
+func (r *Fig7Result) WriteText(w io.Writer) error {
 	fmt.Fprintf(w, "Fig 7: error-bound sweep on %s (clustering, B=8)\n", r.Variable)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "  E\tavg incompressible\tavg mean err\tavg comp ratio")
@@ -347,6 +355,9 @@ func (r *Fig7Result) WriteText(w io.Writer) {
 		fmt.Fprintf(tw, "  %.1f%%\t%.2f%%\t%.5f%%\t%.2f%%\n",
 			row.ErrorBound*100, row.AvgGamma*100, row.AvgMeanErr*100, row.AvgCompRatio)
 	}
-	tw.Flush()
+	if err := tw.Flush(); err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "  paper: E 0.1->0.5% drops incompressible >40%->atop <10%, compression <50%->80%+, mean err stays << E")
+	return nil
 }

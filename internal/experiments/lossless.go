@@ -102,7 +102,7 @@ func xorDeltas(vals []float64) []float64 {
 }
 
 // WriteText renders the comparison.
-func (r *LosslessResult) WriteText(w io.Writer) {
+func (r *LosslessResult) WriteText(w io.Writer) error {
 	fmt.Fprintln(w, "Related work: lossless compressors vs NUMARCK (one iteration, % saved)")
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "  dataset\tFPC\tXOR+RLE\tXOR+FPC\tNUMARCK (E=0.1%)")
@@ -110,8 +110,11 @@ func (r *LosslessResult) WriteText(w io.Writer) {
 		fmt.Fprintf(tw, "  %s\t%.2f%%\t%.2f%%\t%.2f%%\t%.2f%%\n",
 			row.Dataset, row.FPC, row.XorRLE, row.XorFPC, row.NUMARCK)
 	}
-	tw.Flush()
+	if err := tw.Flush(); err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "  paper §IV: lossless methods cap around 40-65%; error-bounded NUMARCK exceeds them")
+	return nil
 }
 
 // Best returns the best lossless saving and NUMARCK's saving averaged

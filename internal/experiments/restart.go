@@ -9,6 +9,7 @@ import (
 
 	"numarck/internal/checkpoint"
 	"numarck/internal/core"
+	"numarck/internal/fputil"
 	"numarck/internal/sim/flash"
 )
 
@@ -214,7 +215,7 @@ func relativeErrors(want, got []float64) (mean, max float64) {
 		}
 	}
 	floor := 1e-3 * fieldScale
-	if floor == 0 {
+	if fputil.IsZero(floor) {
 		floor = 1e-300
 	}
 	var sum float64
@@ -233,7 +234,7 @@ func relativeErrors(want, got []float64) (mean, max float64) {
 }
 
 // WriteText renders the restart trajectories.
-func (r *Fig8Result) WriteText(w io.Writer) {
+func (r *Fig8Result) WriteText(w io.Writer) error {
 	fmt.Fprintf(w, "Fig 8: restart error vs golden run (E=%.2f%%, B=%d, %d continued checkpoints)\n",
 		r.Cfg.ErrorBound*100, r.Cfg.IndexBits, r.Cfg.ContinueCheckpoints)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
@@ -249,7 +250,7 @@ func (r *Fig8Result) WriteText(w io.Writer) {
 			}
 		}
 	}
-	tw.Flush()
+	return tw.Flush()
 }
 
 // Summary aggregates the experiment the way the paper's prose does:
@@ -288,7 +289,7 @@ func (r *Fig8Result) Summarize() []Fig8Summary {
 }
 
 // WriteSummary renders the headline numbers.
-func (r *Fig8Result) WriteSummary(w io.Writer) {
+func (r *Fig8Result) WriteSummary(w io.Writer) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "  strategy\tworst max err\tfinal mean err by distance")
 	for _, s := range r.Summarize() {
@@ -298,5 +299,5 @@ func (r *Fig8Result) WriteSummary(w io.Writer) {
 		}
 		fmt.Fprintln(tw)
 	}
-	tw.Flush()
+	return tw.Flush()
 }

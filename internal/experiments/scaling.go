@@ -72,17 +72,20 @@ func RunScalingExperiment(seed int64) (*ScalingResult, error) {
 }
 
 // WriteText renders the scaling table.
-func (r *ScalingResult) WriteText(w io.Writer) {
+func (r *ScalingResult) WriteText(w io.Writer) error {
 	fmt.Fprintf(w, "Scaling: clustering encode of %d points vs worker count (%d CPU(s) available)\n", r.Points, r.CPUs)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "  workers\telapsed\tspeedup\tthroughput")
 	for _, row := range r.Rows {
 		fmt.Fprintf(tw, "  %d\t%v\t%.2fx\t%.1f MB/s\n", row.Workers, row.Elapsed.Round(time.Millisecond), row.Speedup, row.MBPerSec)
 	}
-	tw.Flush()
+	if err := tw.Flush(); err != nil {
+		return err
+	}
 	if r.CPUs == 1 {
 		fmt.Fprintln(w, "  note: single-CPU host — speedup is capped at 1x by hardware, not by the decomposition")
 	}
+	return nil
 }
 
 // ---------------------------------------------------------------------
@@ -129,12 +132,12 @@ func RunStrategyExtension(iters int, seed int64) (*StrategyExtResult, error) {
 }
 
 // WriteText renders the comparison.
-func (r *StrategyExtResult) WriteText(w io.Writer) {
+func (r *StrategyExtResult) WriteText(w io.Writer) error {
 	fmt.Fprintln(w, "Extension: equal-frequency (quantile) binning vs the paper's three strategies (E=0.1%, B=8)")
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "  variable\tstrategy\tavg incompressible\tavg comp ratio")
 	for _, row := range r.Rows {
 		fmt.Fprintf(tw, "  %s\t%s\t%.2f%%\t%.2f%%\n", row.Variable, row.Strategy, row.AvgGamma*100, row.AvgRatio)
 	}
-	tw.Flush()
+	return tw.Flush()
 }

@@ -160,18 +160,18 @@ func appendAccuracy(rhos, xis *[]float64, orig, rec []float64) error {
 }
 
 // WriteTable1 renders the compression-ratio comparison.
-func (r *TablesResult) WriteTable1(w io.Writer) {
+func (r *TablesResult) WriteTable1(w io.Writer) error {
 	fmt.Fprintf(w, "Table I: compression ratio (%% saved), %d iterations\n", r.Cfg.Iterations)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "  dataset\tB-Splines\tISABELA\tNUMARCK")
 	for _, row := range r.Rows {
 		fmt.Fprintf(tw, "  %s\t%s\t%s\t%s\n", row.Dataset, row.RBSplines, row.RISABELA, row.RNUMARCK)
 	}
-	tw.Flush()
+	return tw.Flush()
 }
 
 // WriteTable2 renders the accuracy comparison.
-func (r *TablesResult) WriteTable2(w io.Writer) {
+func (r *TablesResult) WriteTable2(w io.Writer) error {
 	fmt.Fprintf(w, "Table II: accuracy (Pearson rho | RMSE xi), %d iterations\n", r.Cfg.Iterations)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "  dataset\trho B-Spl\trho ISA\trho NMK\txi B-Spl\txi ISA\txi NMK")
@@ -181,5 +181,5 @@ func (r *TablesResult) WriteTable2(w io.Writer) {
 			row.RhoBSplines.Mean, row.RhoISABELA.Mean, row.RhoNUMARCK.Mean,
 			row.XiBSplines.Mean, row.XiISABELA.Mean, row.XiNUMARCK.Mean)
 	}
-	tw.Flush()
+	return tw.Flush()
 }

@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// failWriter fails every Write, so any renderer that flushes through it
+// must surface the error instead of silently truncating output.
+type failWriter struct{}
+
+var errSink = errors.New("sink failed")
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errSink }
+
+// TestWriteTextPropagatesWriterError pins the renderer contract
+// introduced when the Write* family gained error returns: a failing
+// destination must be reported, not dropped on the tabwriter floor.
+func TestWriteTextPropagatesWriterError(t *testing.T) {
+	res := &DistResult{
+		Variable: "mc",
+		RawBytes: 800,
+		Rows:     []DistRow{{Ranks: 4, BytesMoved: 128, TableEntries: 256}},
+	}
+	if err := res.WriteText(failWriter{}); err == nil {
+		t.Fatal("WriteText on a failing writer returned nil error")
+	}
+	var buf bytes.Buffer
+	if err := res.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText on a healthy writer: %v", err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("WriteText wrote nothing")
+	}
+}

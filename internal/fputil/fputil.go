@@ -1,0 +1,70 @@
+// Package fputil centralises the floating-point comparisons the rest
+// of the codebase needs, so every exact `==`/`!=` on floats is either
+// routed through here or carries a lint suppression explaining why
+// bitwise equality is the right semantics. The floatcmp analyzer in
+// internal/analysis/analyzers allowlists this package.
+//
+// NUMARCK compares floats in two distinct regimes:
+//
+//   - Sentinel / degenerate-range checks (bin width == 0, span == 0,
+//     identical cluster bounds). These want *exact* equality: the value
+//     was produced by the same arithmetic path being tested, and any
+//     tolerance would mis-classify legitimately tiny-but-nonzero
+//     ranges. Use Eq and IsZero, which are documented exact
+//     comparisons.
+//   - Tolerance checks in tests and verification (reconstructed value
+//     within the Eq. 3 error bound). Use Within or WithinULP.
+package fputil
+
+import "math"
+
+// Eq reports whether a and b are exactly equal as IEEE-754 values.
+// NaN compares unequal to everything, including itself, matching the
+// == operator. Use this instead of a bare == so the intent — exact
+// comparison, deliberately — is visible at the call site.
+func Eq(a, b float64) bool { return a == b }
+
+// IsZero reports whether v is exactly positive or negative zero.
+// Degenerate-range guards (bin width, span, divisor checks) want this
+// exact form: a tolerance would swallow legitimately tiny ranges.
+func IsZero(v float64) bool { return v == 0 }
+
+// Within reports whether a and b differ by at most tol in absolute
+// value. NaN inputs are never within any tolerance.
+func Within(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+// WithinULP reports whether a and b are within n units in the last
+// place of each other. Equal values (including two zeros of either
+// sign) are always within 0 ULPs; NaNs and opposite-sign pairs never
+// compare close.
+func WithinULP(a, b float64, n uint64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if a == b {
+		return true
+	}
+	ua, ub := ulpOrder(a), ulpOrder(b)
+	// Opposite orderings straddle zero; the ULP distance through zero
+	// is rarely meaningful, so only +/-0 adjacency passes.
+	if (ua < 0) != (ub < 0) {
+		return false
+	}
+	d := ua - ub
+	if d < 0 {
+		d = -d
+	}
+	return uint64(d) <= n
+}
+
+// ulpOrder maps a float to a monotonically ordered signed integer so
+// that adjacent floats differ by exactly 1.
+func ulpOrder(v float64) int64 {
+	b := int64(math.Float64bits(v))
+	if b < 0 {
+		b = math.MinInt64 - b
+	}
+	return b
+}

@@ -1,0 +1,68 @@
+package fputil
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEq(t *testing.T) {
+	if !Eq(1.5, 1.5) {
+		t.Error("Eq(1.5, 1.5) = false")
+	}
+	if Eq(1.5, 1.5000001) {
+		t.Error("Eq on unequal values = true")
+	}
+	if Eq(math.NaN(), math.NaN()) {
+		t.Error("Eq(NaN, NaN) must be false, matching ==")
+	}
+	if !Eq(0, math.Copysign(0, -1)) {
+		t.Error("Eq(+0, -0) must be true, matching ==")
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !IsZero(0) || !IsZero(math.Copysign(0, -1)) {
+		t.Error("IsZero must accept both signed zeros")
+	}
+	if IsZero(math.SmallestNonzeroFloat64) {
+		t.Error("IsZero must be exact: denormal min is not zero")
+	}
+	if IsZero(math.NaN()) {
+		t.Error("IsZero(NaN) = true")
+	}
+}
+
+func TestWithin(t *testing.T) {
+	if !Within(1.0, 1.0009, 0.001) {
+		t.Error("Within inside tolerance = false")
+	}
+	if Within(1.0, 1.002, 0.001) {
+		t.Error("Within outside tolerance = true")
+	}
+	if Within(math.NaN(), 1, 100) || Within(1, math.NaN(), 100) {
+		t.Error("NaN is never within tolerance")
+	}
+}
+
+func TestWithinULP(t *testing.T) {
+	next := math.Nextafter(1.0, 2.0)
+	if !WithinULP(1.0, next, 1) {
+		t.Error("adjacent floats are 1 ULP apart")
+	}
+	if WithinULP(1.0, next, 0) {
+		t.Error("adjacent floats are not 0 ULPs apart")
+	}
+	if !WithinULP(0, math.Copysign(0, -1), 0) {
+		t.Error("+0 and -0 are equal, hence within 0 ULPs")
+	}
+	if WithinULP(1e300, -1e300, math.MaxUint64/4) {
+		t.Error("opposite-sign values never compare close")
+	}
+	if WithinULP(math.NaN(), math.NaN(), math.MaxUint64/4) {
+		t.Error("NaN is never within any ULP distance")
+	}
+	far := math.Nextafter(math.Nextafter(2.0, 3), 3)
+	if !WithinULP(2.0, far, 2) || WithinULP(2.0, far, 1) {
+		t.Error("two-ULP distance must round-trip exactly")
+	}
+}

@@ -19,6 +19,8 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+
+	"numarck/internal/fputil"
 )
 
 // Config controls a clustering run.
@@ -255,7 +257,9 @@ func NewIndex(cents []float64) *Index {
 		if last >= k {
 			last = k - 1
 		}
+		//lint:ignore bindex first <= k, and k is capped at 2^24 bins by core.Options
 		ix.loCand[i] = int32(first)
+		//lint:ignore bindex last <= k, and k is capped at 2^24 bins by core.Options
 		ix.hiCand[i] = int32(last)
 	}
 	return ix
@@ -265,7 +269,7 @@ func NewIndex(cents []float64) *Index {
 // lower centroid), identical to the package-level Nearest.
 func (ix *Index) Nearest(x float64) int {
 	cell := 0
-	if ix.inv != 0 {
+	if !fputil.IsZero(ix.inv) {
 		f := (x - ix.lo) * ix.inv
 		cell = int(f)
 		if f < 0 {
@@ -303,7 +307,7 @@ func SeedFromHistogram(data []float64, k int) []float64 {
 			hi = x
 		}
 	}
-	if lo == hi {
+	if fputil.Eq(lo, hi) {
 		seeds := make([]float64, k)
 		for i := range seeds {
 			seeds[i] = lo
@@ -345,7 +349,7 @@ func SeedFromCounts(lo, hi float64, counts []int, k int) []float64 {
 	if k <= 0 || len(counts) == 0 {
 		return nil
 	}
-	if lo == hi {
+	if fputil.Eq(lo, hi) {
 		seeds := make([]float64, k)
 		for i := range seeds {
 			seeds[i] = lo

@@ -140,6 +140,7 @@ func CompressBits(vals []float64, tableBits int) []byte {
 		nres := 8 - stored
 		binary.BigEndian.PutUint64(scratch[:], resid)
 		residues = append(residues, scratch[8-nres:]...)
+		//lint:ignore bindex sel <= 1 and code <= 7: a 4-bit header nibble
 		h := byte(sel<<3 | code)
 		if i%2 == 0 {
 			headers[i/2] = h << 4
@@ -151,6 +152,7 @@ func CompressBits(vals []float64, tableBits int) []byte {
 
 	out := make([]byte, 0, 4+1+8+len(headers)+len(residues))
 	out = append(out, magic[:]...)
+	//lint:ignore bindex tableBits is clamped to [4, maxTableBits] above
 	out = append(out, byte(tableBits))
 	var cnt [8]byte
 	binary.LittleEndian.PutUint64(cnt[:], uint64(n))

@@ -174,6 +174,7 @@ func (f *File) validate() error {
 
 type writer struct {
 	buf bytes.Buffer
+	err error // first header-field overflow, checked once in Encode
 }
 
 func (w *writer) u32(v uint32) {
@@ -182,8 +183,22 @@ func (w *writer) u32(v uint32) {
 	w.buf.Write(b[:])
 }
 
+// u32i writes an int-valued header field (length, count, id). CDF-1
+// header fields are unsigned 32-bit; anything negative or wider
+// poisons the writer instead of silently truncating the header.
+func (w *writer) u32i(n int) {
+	if n < 0 || int64(n) > math.MaxUint32 {
+		if w.err == nil {
+			w.err = fmt.Errorf("%w: value %d overflows a 32-bit header field", ErrLayout, n)
+		}
+		return
+	}
+	//lint:ignore bindex range-checked immediately above
+	w.u32(uint32(n))
+}
+
 func (w *writer) name(s string) {
-	w.u32(uint32(len(s)))
+	w.u32i(len(s))
 	w.buf.WriteString(s)
 	for w.buf.Len()%4 != 0 {
 		w.buf.WriteByte(0)
@@ -197,12 +212,12 @@ func (w *writer) attrs(attrs []Attr) {
 		return
 	}
 	w.u32(tagAttribute)
-	w.u32(uint32(len(attrs)))
+	w.u32i(len(attrs))
 	for _, a := range attrs {
 		w.name(a.Name)
 		if len(a.Doubles) > 0 {
 			w.u32(typeDouble)
-			w.u32(uint32(len(a.Doubles)))
+			w.u32i(len(a.Doubles))
 			for _, v := range a.Doubles {
 				var b [8]byte
 				binary.BigEndian.PutUint64(b[:], math.Float64bits(v))
@@ -211,7 +226,7 @@ func (w *writer) attrs(attrs []Attr) {
 			continue
 		}
 		w.u32(typeChar)
-		w.u32(uint32(len(a.Text)))
+		w.u32i(len(a.Text))
 		w.buf.WriteString(a.Text)
 		for w.buf.Len()%4 != 0 {
 			w.buf.WriteByte(0)
@@ -234,10 +249,10 @@ func (f *File) Encode() ([]byte, error) {
 		w.u32(0)
 	} else {
 		w.u32(tagDimension)
-		w.u32(uint32(len(f.Dims)))
+		w.u32i(len(f.Dims))
 		for _, d := range f.Dims {
 			w.name(d.Name)
-			w.u32(uint32(d.Len))
+			w.u32i(d.Len)
 		}
 	}
 	w.attrs(f.GlobalAttrs)
@@ -255,17 +270,17 @@ func (f *File) Encode() ([]byte, error) {
 		w.u32(0)
 	} else {
 		w.u32(tagVariable)
-		w.u32(uint32(len(f.Vars)))
+		w.u32i(len(f.Vars))
 		for i, v := range f.Vars {
 			w.name(v.Name)
-			w.u32(uint32(len(v.DimIDs)))
+			w.u32i(len(v.DimIDs))
 			for _, id := range v.DimIDs {
-				w.u32(uint32(id))
+				w.u32i(id)
 			}
 			w.attrs(v.Attrs)
 			w.u32(typeDouble)
 			size := 8 * len(v.Data)
-			w.u32(uint32(size))
+			w.u32i(size)
 			metas[i] = varMeta{beginPos: w.buf.Len(), size: size}
 			w.u32(0) // begin placeholder
 		}
@@ -274,12 +289,16 @@ func (f *File) Encode() ([]byte, error) {
 	// Data section: doubles are 8-byte aligned already; classic
 	// format requires each variable padded to a 4-byte boundary
 	// (automatic here).
+	if w.err != nil {
+		return nil, w.err
+	}
 	out := w.buf.Bytes()
 	offset := len(out)
 	for i := range f.Vars {
 		if offset > math.MaxInt32 {
 			return nil, fmt.Errorf("%w: file exceeds CDF-1 2 GiB offset limit", ErrLayout)
 		}
+		//lint:ignore bindex offset <= math.MaxInt32 checked above
 		binary.BigEndian.PutUint32(out[metas[i].beginPos:], uint32(offset))
 		offset += metas[i].size
 	}

@@ -1,0 +1,34 @@
+package ncdf
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestU32IRange pins the guarded header-field write: out-of-range
+// values must poison the writer (first error wins) rather than
+// truncate silently, and in-range values must encode big-endian.
+func TestU32IRange(t *testing.T) {
+	var w writer
+	w.u32i(7)
+	if w.err != nil {
+		t.Fatalf("u32i(7): %v", w.err)
+	}
+	if got := w.buf.Bytes(); len(got) != 4 || got[3] != 7 {
+		t.Fatalf("u32i(7) wrote % x", got)
+	}
+
+	w.u32i(-1)
+	if !errors.Is(w.err, ErrLayout) {
+		t.Fatalf("u32i(-1) err = %v, want ErrLayout", w.err)
+	}
+	first := w.err
+	w.u32i(math.MaxInt64) // int is 64-bit on all supported targets
+	if w.err != first {
+		t.Fatal("second overflow replaced the first error")
+	}
+	if w.buf.Len() != 4 {
+		t.Fatalf("overflowing writes still appended bytes: len=%d", w.buf.Len())
+	}
+}

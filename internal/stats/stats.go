@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"numarck/internal/fputil"
 )
 
 // ErrEmpty reports a metric request over an empty data set.
@@ -108,10 +110,10 @@ func Pearson(d, dp []float64) (float64, error) {
 		dd += a * a
 		ddp += b * b
 	}
-	if dd == 0 || ddp == 0 {
+	if fputil.IsZero(dd) || fputil.IsZero(ddp) {
 		equal := true
 		for i := range d {
-			if d[i] != dp[i] {
+			if !fputil.Eq(d[i], dp[i]) {
 				equal = false
 				break
 			}
@@ -225,7 +227,7 @@ func NewHistogram(xs []float64, k int) (*Histogram, error) {
 // BinOf returns the bin index of x, clamped to [0, k-1].
 func (h *Histogram) BinOf(x float64) int {
 	k := len(h.Counts)
-	if h.Max == h.Min {
+	if fputil.Eq(h.Max, h.Min) {
 		return 0
 	}
 	i := int(float64(k) * (x - h.Min) / (h.Max - h.Min))
