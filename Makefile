@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint test race fuzz-smoke verify
+.PHONY: all build vet lint test race fuzz-smoke verify bench bench-smoke
 
 all: verify
 
@@ -32,6 +32,20 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzRoundTrip$$ -fuzztime=$(FUZZTIME) ./internal/bitpack
 	$(GO) test -run=NONE -fuzz=FuzzRoundTrip64$$ -fuzztime=$(FUZZTIME) ./internal/bitpack
 	$(GO) test -run=NONE -fuzz=FuzzUnmarshalDelta$$ -fuzztime=$(FUZZTIME) ./internal/checkpoint
+	$(GO) test -run=NONE -fuzz=FuzzUnmarshalDeltaV2$$ -fuzztime=$(FUZZTIME) ./internal/checkpoint
 	$(GO) test -run=NONE -fuzz=FuzzUnmarshalFull$$ -fuzztime=$(FUZZTIME) ./internal/checkpoint
 
 verify: build vet lint test race fuzz-smoke
+
+# Codec benchmarks: in-memory vs streaming encode/decode per strategy
+# (machine-readable BENCH_codec.json) plus the Go micro-benchmarks of
+# the encode/decode/stream paths.
+bench:
+	$(GO) run ./cmd/experiments -exp codec-bench -json BENCH_codec.json
+	$(GO) test -run=NONE -bench='Encode|Decode' -benchmem .
+
+# One iteration of everything bench runs, for CI: catches bit-rot in
+# the benchmark code without timing anything.
+bench-smoke:
+	$(GO) run ./cmd/experiments -exp codec-bench -points 20000 -iters 1
+	$(GO) test -run=NONE -bench='Encode|Decode' -benchtime=1x .

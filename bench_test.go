@@ -9,6 +9,7 @@
 package numarck_test
 
 import (
+	"bytes"
 	"math/rand"
 	"testing"
 
@@ -243,6 +244,68 @@ func BenchmarkEncodeEqualWidth64K(b *testing.B) { benchEncode(b, numarck.EqualWi
 func BenchmarkEncodeLogScale64K(b *testing.B)   { benchEncode(b, numarck.LogScale, 1<<16) }
 func BenchmarkEncodeClustering64K(b *testing.B) { benchEncode(b, numarck.Clustering, 1<<16) }
 func BenchmarkEncodeClustering1M(b *testing.B)  { benchEncode(b, numarck.Clustering, 1<<20) }
+
+// benchStreamEncode measures the out-of-core pipeline against the
+// in-memory BenchmarkEncode* figures above: same data, same options,
+// chunked two-pass encode to the v2 format.
+func benchStreamEncode(b *testing.B, s numarck.Strategy, n int) {
+	prev, cur := benchData(n)
+	enc := numarck.StreamEncoder{
+		Opt:    numarck.Options{ErrorBound: 0.001, IndexBits: 8, Strategy: s},
+		Config: numarck.StreamConfig{ChunkPoints: 1 << 14},
+	}
+	var buf bytes.Buffer
+	b.SetBytes(int64(8 * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if _, err := enc.Encode(&buf, "bench", 1, numarck.SliceSource(prev), numarck.SliceSource(cur)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStreamEncodeEqualWidth64K(b *testing.B) {
+	benchStreamEncode(b, numarck.EqualWidth, 1<<16)
+}
+func BenchmarkStreamEncodeClustering64K(b *testing.B) {
+	benchStreamEncode(b, numarck.Clustering, 1<<16)
+}
+
+// benchStreamDecode measures the parallel chunked decode of a v2 file
+// at a given worker count.
+func benchStreamDecode(b *testing.B, workers int) {
+	const n = 1 << 16
+	prev, cur := benchData(n)
+	enc := numarck.StreamEncoder{
+		Opt:    numarck.Options{ErrorBound: 0.001, IndexBits: 8, Strategy: numarck.Clustering},
+		Config: numarck.StreamConfig{ChunkPoints: 1 << 13},
+	}
+	var buf bytes.Buffer
+	if _, err := enc.Encode(&buf, "bench", 1, numarck.SliceSource(prev), numarck.SliceSource(cur)); err != nil {
+		b.Fatal(err)
+	}
+	dec := numarck.StreamDecoder{Config: numarck.StreamConfig{Workers: workers}}
+	sink := 0
+	b.SetBytes(int64(8 * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = 0
+		err := dec.Decode(bytes.NewReader(buf.Bytes()), int64(buf.Len()), numarck.SliceSource(prev), func(vals []float64) error {
+			sink += len(vals)
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if sink != n {
+		b.Fatalf("decoded %d points", sink)
+	}
+}
+
+func BenchmarkStreamDecode1W64K(b *testing.B) { benchStreamDecode(b, 1) }
+func BenchmarkStreamDecode8W64K(b *testing.B) { benchStreamDecode(b, 8) }
 
 func BenchmarkDecode64K(b *testing.B) {
 	prev, cur := benchData(1 << 16)

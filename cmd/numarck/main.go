@@ -5,18 +5,26 @@
 // Usage:
 //
 //	numarck compress   -prev prev.f64 -cur cur.f64 -out ckpt.nmk [-e 0.001] [-b 8] [-strategy clustering] [-var name] [-iter n]
+//	numarck compress   -prev prev.f64 -cur cur.f64 -out ckpt.nmk -stream [-chunk points] [-budget bytes]
 //	numarck compress   -nc data.nc -var rlus -from 4 -to 5 -out ckpt.nmk
-//	numarck decompress -prev prev.f64 -in ckpt.nmk -out rec.f64
+//	numarck decompress -prev prev.f64 -in ckpt.nmk -out rec.f64 [-workers n]
 //	numarck inspect    -in ckpt.nmk
 //	numarck restart    -dir store -var dens -iter 12 -out rec.f64
+//
+// With -stream, compress runs the out-of-core pipeline: the inputs are
+// read in chunks under the -budget memory cap and the chunked v2
+// format is written, which decompress can later decode in parallel and
+// storectl verify can check per chunk.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 
 	"numarck/internal/checkpoint"
+	"numarck/internal/chunk"
 	"numarck/internal/core"
 	"numarck/internal/ncdf"
 	"numarck/internal/rawio"
@@ -54,7 +62,8 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   numarck compress   -prev prev.f64 -cur cur.f64 -out ckpt.nmk [-e 0.001] [-b 8] [-strategy clustering] [-var name] [-iter n]
-  numarck decompress -prev prev.f64 -in ckpt.nmk -out rec.f64
+  numarck compress   -prev prev.f64 -cur cur.f64 -out ckpt.nmk -stream [-chunk points] [-budget bytes]
+  numarck decompress -prev prev.f64 -in ckpt.nmk -out rec.f64 [-workers n]
   numarck inspect    -in ckpt.nmk
   numarck restart    -dir store -var name -iter n -out rec.f64
 
@@ -74,6 +83,10 @@ func cmdCompress(args []string) error {
 	strategyName := fs.String("strategy", "clustering", "equal-width | log-scale | clustering")
 	variable := fs.String("var", "data", "variable name recorded in the header")
 	iter := fs.Int("iter", 1, "iteration number recorded in the header")
+	stream := fs.Bool("stream", false, "out-of-core encode to the chunked v2 format")
+	chunkPoints := fs.Int("chunk", 0, "streaming: points per chunk (0 = default)")
+	budget := fs.Int64("budget", 0, "streaming: memory budget in bytes (0 = no cap)")
+	workers := fs.Int("workers", 0, "streaming: concurrent chunks (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -83,6 +96,14 @@ func cmdCompress(args []string) error {
 	strategy, err := core.ParseStrategy(*strategyName)
 	if err != nil {
 		return err
+	}
+	opt := core.Options{ErrorBound: *e, IndexBits: *b, Strategy: strategy}
+	if *stream {
+		if *prevPath == "" || *curPath == "" {
+			return fmt.Errorf("compress -stream requires -prev and -cur files")
+		}
+		cfg := chunk.Config{ChunkPoints: *chunkPoints, Workers: *workers, BudgetBytes: *budget}
+		return streamCompress(*outPath, *variable, *iter, *prevPath, *curPath, opt, cfg)
 	}
 	var prev, cur []float64
 	switch {
@@ -117,7 +138,7 @@ func cmdCompress(args []string) error {
 	default:
 		return fmt.Errorf("compress requires either -prev and -cur, or -nc with -from/-to")
 	}
-	enc, err := core.Encode(prev, cur, core.Options{ErrorBound: *e, IndexBits: *b, Strategy: strategy})
+	enc, err := core.Encode(prev, cur, opt)
 	if err != nil {
 		return err
 	}
@@ -137,22 +158,61 @@ func cmdCompress(args []string) error {
 	return nil
 }
 
+// streamCompress runs the out-of-core encode: file sources, chunked
+// pipeline, v2 output.
+func streamCompress(outPath, variable string, iter int, prevPath, curPath string, opt core.Options, cfg chunk.Config) error {
+	prev, err := rawio.OpenFile(prevPath)
+	if err != nil {
+		return err
+	}
+	//lint:ignore errcheck read-only source; a close error cannot lose data
+	defer prev.Close()
+	cur, err := rawio.OpenFile(curPath)
+	if err != nil {
+		return err
+	}
+	//lint:ignore errcheck read-only source; a close error cannot lose data
+	defer cur.Close()
+	out, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	res, err := chunk.EncodeDeltaV2(out, variable, iter, prev, cur, opt, cfg)
+	if cerr := out.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	info, err := os.Stat(outPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("streamed %d points in %d chunks of %d (%d workers, peak buffers %d bytes): incompressible %d, file %d bytes\n",
+		res.N, res.ChunkCount, res.ChunkPoints, res.Workers, res.PeakBufferBytes, res.ExactCount, info.Size())
+	return nil
+}
+
 func cmdDecompress(args []string) error {
 	fs := flag.NewFlagSet("decompress", flag.ExitOnError)
 	prevPath := fs.String("prev", "", "previous iteration values (.f64)")
 	inPath := fs.String("in", "", "checkpoint file")
 	outPath := fs.String("out", "", "output values (.f64)")
+	workers := fs.Int("workers", 0, "chunked (v2) input: concurrent chunks (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *prevPath == "" || *inPath == "" || *outPath == "" {
 		return fmt.Errorf("decompress requires -prev, -in, and -out")
 	}
-	prev, err := rawio.ReadFile(*prevPath)
+	raw, err := os.ReadFile(*inPath)
 	if err != nil {
 		return err
 	}
-	raw, err := os.ReadFile(*inPath)
+	if checkpoint.IsDeltaV2(raw) {
+		return streamDecompress(raw, *prevPath, *outPath, *workers)
+	}
+	prev, err := rawio.ReadFile(*prevPath)
 	if err != nil {
 		return err
 	}
@@ -171,6 +231,38 @@ func cmdDecompress(args []string) error {
 	return nil
 }
 
+// streamDecompress reconstructs a chunked v2 delta with the streaming
+// parallel decoder, never holding more than the in-flight chunks.
+func streamDecompress(raw []byte, prevPath, outPath string, workers int) error {
+	d, err := checkpoint.OpenDeltaV2(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		return err
+	}
+	prev, err := rawio.OpenFile(prevPath)
+	if err != nil {
+		return err
+	}
+	//lint:ignore errcheck read-only source; a close error cannot lose data
+	defer prev.Close()
+	out, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	w := rawio.NewWriter(out)
+	err = chunk.DecodeDeltaV2(d, prev, chunk.Config{Workers: workers}, func(vals []float64) error {
+		return w.WriteFloats(vals)
+	})
+	if cerr := out.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	meta := d.Meta()
+	fmt.Printf("decoded %s@%d: %d points from %d chunks\n", meta.Variable, meta.Iteration, w.Count(), meta.ChunkCount)
+	return nil
+}
+
 func cmdInspect(args []string) error {
 	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
 	inPath := fs.String("in", "", "checkpoint file")
@@ -183,6 +275,29 @@ func cmdInspect(args []string) error {
 	raw, err := os.ReadFile(*inPath)
 	if err != nil {
 		return err
+	}
+	if checkpoint.IsDeltaV2(raw) {
+		d, err := checkpoint.OpenDeltaV2(bytes.NewReader(raw), int64(len(raw)))
+		if err != nil {
+			return err
+		}
+		meta := d.Meta()
+		enc, err := d.Encoded()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("chunked delta checkpoint (v2) %s@%d\n", meta.Variable, meta.Iteration)
+		fmt.Printf("  points:          %d\n", meta.N)
+		fmt.Printf("  chunks:          %d x %d points\n", meta.ChunkCount, meta.ChunkPoints)
+		fmt.Printf("  error bound:     %.4f%%\n", meta.Opt.ErrorBound*100)
+		fmt.Printf("  index bits:      %d\n", meta.Opt.IndexBits)
+		fmt.Printf("  strategy:        %s\n", meta.Opt.Strategy)
+		fmt.Printf("  bins used:       %d / %d\n", len(meta.BinRatios), meta.Opt.NumBins())
+		fmt.Printf("  incompressible:  %d (%.2f%%)\n", enc.Incompressible.Count(), enc.Gamma()*100)
+		if cr, err := enc.CompressionRatio(); err == nil {
+			fmt.Printf("  Eq.3 ratio:      %.2f%%\n", cr)
+		}
+		return nil
 	}
 	if variable, iter, enc, err := checkpoint.UnmarshalDelta(raw); err == nil {
 		fmt.Printf("delta checkpoint %s@%d\n", variable, iter)

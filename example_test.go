@@ -1,6 +1,7 @@
 package numarck_test
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 	"os"
@@ -95,6 +96,54 @@ func ExampleCreateStore() {
 	fmt.Printf("restarted %d points, first = %.2f\n", len(rec), rec[0])
 	// Output:
 	// restarted 4 points, first = 10.10
+}
+
+// ExampleStreamEncoder encodes a transition out-of-core in fixed-size
+// chunks and reconstructs it with the streaming decoder. Sources here
+// are in-memory slices; numarck.OpenRaw streams files the same way.
+func ExampleStreamEncoder() {
+	prev := make([]float64, 1000)
+	cur := make([]float64, 1000)
+	for i := range prev {
+		prev[i] = 100 + float64(i)
+		cur[i] = prev[i] * 1.01 // every point grows by 1 %
+	}
+
+	enc := numarck.StreamEncoder{
+		Opt:    numarck.Options{ErrorBound: 0.001, IndexBits: 8, Strategy: numarck.EqualWidth},
+		Config: numarck.StreamConfig{ChunkPoints: 256}, // 4 chunks of <= 256 points
+	}
+	var ckpt bytes.Buffer
+	res, err := enc.Encode(&ckpt, "temp", 1, numarck.SliceSource(prev), numarck.SliceSource(cur))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("encoded %d points in %d chunks\n", res.N, res.ChunkCount)
+
+	// Streaming decode: chunks arrive in point order.
+	var rec []float64
+	dec := numarck.StreamDecoder{}
+	err = dec.Decode(bytes.NewReader(ckpt.Bytes()), int64(ckpt.Len()), numarck.SliceSource(prev), func(vals []float64) error {
+		rec = append(rec, vals...)
+		return nil
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	worst := 0.0
+	for i := range cur {
+		trueRatio := (cur[i] - prev[i]) / prev[i]
+		recRatio := (rec[i] - prev[i]) / prev[i]
+		if d := math.Abs(recRatio - trueRatio); d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("reconstructed %d points, bound holds: %v\n", len(rec), worst <= 0.001)
+	// Output:
+	// encoded 1000 points in 4 chunks
+	// reconstructed 1000 points, bound holds: true
 }
 
 // ExampleParseStrategy converts CLI strings to strategies.

@@ -1,0 +1,104 @@
+package bitpack
+
+import "fmt"
+
+// Packer packs fixed-width values incrementally. Unlike Pack, which
+// needs every value up front, a Packer accepts values in arbitrary
+// batches (e.g. one chunk of a streaming encode at a time) and carries
+// partial bytes across batch boundaries, so the accumulated output is
+// byte-identical to a single Pack call over the concatenation of all
+// batches. Chunk boundaries therefore never introduce padding bits.
+//
+// Usage: Append values, periodically Drain the complete bytes produced
+// so far (streaming them to a writer), and Close once to flush the
+// final partial byte (zero-padded, exactly as Pack pads its last byte).
+type Packer struct {
+	width  int
+	limit  uint64
+	buf    []byte // complete bytes not yet drained
+	cur    byte   // partial byte under construction
+	curLen int    // bits of cur in use, in [0, 8)
+	count  int    // values appended
+	closed bool
+}
+
+// NewPacker returns a Packer for fields of the given width in bits.
+func NewPacker(width int) (*Packer, error) {
+	if width < 1 || width > MaxWidth {
+		return nil, ErrWidth
+	}
+	return &Packer{width: width, limit: limitFor(width)}, nil
+}
+
+// Width returns the field width in bits.
+func (p *Packer) Width() int { return p.width }
+
+// Count returns the number of values appended so far.
+func (p *Packer) Count() int { return p.count }
+
+// Append adds one value to the stream.
+func (p *Packer) Append(v uint32) error {
+	if p.closed {
+		return fmt.Errorf("bitpack: append to closed packer")
+	}
+	if uint64(v) > p.limit {
+		return fmt.Errorf("%w: value %d at position %d exceeds %d bits", ErrRange, v, p.count, p.width)
+	}
+	bits := uint64(v)
+	width := p.width
+	for width > 0 {
+		room := 8 - p.curLen
+		take := width
+		if take > room {
+			take = room
+		}
+		//lint:ignore bindex take+curLen <= 8, so the shifted bits fit a byte
+		p.cur |= byte(bits<<uint(p.curLen)) & byte((uint64(1)<<uint(take)-1)<<uint(p.curLen))
+		p.curLen += take
+		bits >>= uint(take)
+		width -= take
+		if p.curLen == 8 {
+			p.buf = append(p.buf, p.cur)
+			p.cur, p.curLen = 0, 0
+		}
+	}
+	p.count++
+	return nil
+}
+
+// AppendAll adds a batch of values.
+func (p *Packer) AppendAll(vals []uint32) error {
+	for _, v := range vals {
+		if err := p.Append(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Drain returns the complete bytes accumulated since the previous Drain
+// and releases them from the packer. A trailing partial byte stays
+// buffered until enough bits arrive to complete it (or Close pads it).
+// The returned slice is owned by the caller.
+func (p *Packer) Drain() []byte {
+	out := p.buf
+	p.buf = nil
+	return out
+}
+
+// Close flushes the final partial byte (zero-padded) and returns any
+// remaining undrained bytes. The total bytes emitted across all Drains
+// and Close equal PackedLen(Count(), width), and their contents equal
+// Pack of the full value sequence. Further Appends fail.
+func (p *Packer) Close() []byte {
+	if !p.closed {
+		p.closed = true
+		if p.curLen > 0 {
+			p.buf = append(p.buf, p.cur)
+			p.cur, p.curLen = 0, 0
+		}
+	}
+	out := p.buf
+	p.buf = nil
+	return out
+}

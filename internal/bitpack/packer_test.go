@@ -1,0 +1,86 @@
+package bitpack
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestPackerMatchesPack appends values in uneven batches and checks the
+// drained stream is byte-identical to a single Pack call, for widths
+// whose batch boundaries land mid-byte.
+func TestPackerMatchesPack(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, width := range []int{1, 3, 5, 7, 8, 12, 17, 24, 32} {
+		n := 1000 + rng.Intn(100)
+		vals := make([]uint32, n)
+		for i := range vals {
+			vals[i] = uint32(rng.Uint64() & limitFor(width))
+		}
+		want, err := Pack(vals, width)
+		if err != nil {
+			t.Fatalf("width %d: Pack: %v", width, err)
+		}
+
+		p, err := NewPacker(width)
+		if err != nil {
+			t.Fatalf("width %d: NewPacker: %v", width, err)
+		}
+		var got bytes.Buffer
+		for off := 0; off < n; {
+			batch := 1 + rng.Intn(97) // deliberately not byte-aligned
+			if off+batch > n {
+				batch = n - off
+			}
+			if err := p.AppendAll(vals[off : off+batch]); err != nil {
+				t.Fatalf("width %d: AppendAll: %v", width, err)
+			}
+			got.Write(p.Drain())
+			off += batch
+		}
+		got.Write(p.Close())
+
+		if p.Count() != n {
+			t.Fatalf("width %d: count %d, want %d", width, p.Count(), n)
+		}
+		if !bytes.Equal(got.Bytes(), want) {
+			t.Fatalf("width %d: incremental stream differs from Pack", width)
+		}
+	}
+}
+
+func TestPackerErrors(t *testing.T) {
+	if _, err := NewPacker(0); err == nil {
+		t.Fatal("NewPacker(0) should fail")
+	}
+	if _, err := NewPacker(33); err == nil {
+		t.Fatal("NewPacker(33) should fail")
+	}
+	p, err := NewPacker(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Append(8); err == nil {
+		t.Fatal("value 8 should not fit in 3 bits")
+	}
+	if err := p.Append(7); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	if err := p.Append(1); err == nil {
+		t.Fatal("append after Close should fail")
+	}
+}
+
+func TestPackerEmpty(t *testing.T) {
+	p, err := NewPacker(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Drain(); len(got) != 0 {
+		t.Fatalf("empty Drain returned %d bytes", len(got))
+	}
+	if got := p.Close(); len(got) != 0 {
+		t.Fatalf("empty Close returned %d bytes", len(got))
+	}
+}

@@ -43,6 +43,10 @@ type fileHeader struct {
 	Strategy   string  `json:"strategy,omitempty"`
 	BinCount   int     `json:"bin_count,omitempty"`
 	ExactCount int     `json:"exact_count,omitempty"`
+	// Delta-v2-only fields (see v2.go). omitempty keeps v1 output
+	// byte-identical to files written before the chunked format landed.
+	ChunkPoints int `json:"chunk_points,omitempty"`
+	ChunkCount  int `json:"chunk_count,omitempty"`
 }
 
 // writeFile assembles magic | len | header | payload.

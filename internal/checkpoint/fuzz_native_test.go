@@ -1,10 +1,13 @@
 package checkpoint
 
 import (
+	"bytes"
 	"testing"
 
 	"numarck/internal/core"
 )
+
+func bytesReaderAt(raw []byte) *bytes.Reader { return bytes.NewReader(raw) }
 
 // seedDelta builds one small valid delta file for the fuzz corpora.
 func seedDelta(tb testing.TB) []byte {
@@ -40,6 +43,54 @@ func FuzzUnmarshalDelta(f *testing.F) {
 		// panicking; decode errors are fine.
 		prev := make([]float64, len(enc.Indices))
 		_, _ = enc.Decode(prev)
+	})
+}
+
+// seedDeltaV2 builds a small valid chunked delta file for the fuzz
+// corpus, with a chunk size that does not divide n.
+func seedDeltaV2(tb testing.TB) []byte {
+	tb.Helper()
+	series := genSeries(256, 2, 97)
+	enc, err := core.Encode(series[0], series[1], opts())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	raw, err := MarshalDeltaV2("v", 1, enc, 100)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return raw
+}
+
+// FuzzUnmarshalDeltaV2 throws arbitrary bytes at the chunked-format
+// parser: truncated chunk headers, lying directory offsets, and CRC
+// mismatches must all surface as errors, never as panics or silent
+// misreads.
+func FuzzUnmarshalDeltaV2(f *testing.F) {
+	f.Add(seedDeltaV2(f))
+	f.Add(seedDelta(f)) // v1 bytes must be cleanly rejected
+	f.Add([]byte{})
+	f.Add([]byte("NMRKD2"))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		variable, _, enc, err := UnmarshalDeltaV2(raw)
+		if err != nil {
+			return
+		}
+		if variable == "" {
+			t.Error("accepted delta with empty variable name")
+		}
+		prev := make([]float64, enc.N)
+		if _, err := enc.Decode(prev); err != nil {
+			t.Errorf("accepted file does not decode: %v", err)
+		}
+		// The random-access reader must agree with the assembled view.
+		d, err := OpenDeltaV2(bytesReaderAt(raw), int64(len(raw)))
+		if err != nil {
+			t.Fatalf("reopen of accepted file failed: %v", err)
+		}
+		if _, err := d.Decode(prev, 2); err != nil {
+			t.Errorf("parallel decode of accepted file failed: %v", err)
+		}
 	})
 }
 

@@ -12,11 +12,33 @@ type VerifyIssue struct {
 	Variable  string
 	Kind      string
 	Iteration int
-	Err       error
+	// Chunk and Offset localize the issue inside a chunked (v2) delta
+	// file: the failing chunk index and the byte offset of its section.
+	// Chunk is -1 when the issue concerns the whole file.
+	Chunk  int
+	Offset int64
+	Err    error
 }
 
 func (v VerifyIssue) String() string {
+	if v.Chunk >= 0 {
+		return fmt.Sprintf("%s.%s.%06d: chunk %d at byte offset %d: %v", v.Variable, v.Kind, v.Iteration, v.Chunk, v.Offset, v.Err)
+	}
 	return fmt.Sprintf("%s.%s.%06d: %v", v.Variable, v.Kind, v.Iteration, v.Err)
+}
+
+// newIssue builds a VerifyIssue, lifting the chunk index and byte
+// offset out of err when the failure is localized to one chunk of a v2
+// file.
+func newIssue(variable, kind string, iteration int, err error) VerifyIssue {
+	is := VerifyIssue{Variable: variable, Kind: kind, Iteration: iteration, Chunk: -1, Err: err}
+	var ce *ChunkError
+	if errors.As(err, &ce) {
+		is.Chunk = ce.Chunk
+		is.Offset = ce.Offset
+		is.Err = ce.Err
+	}
+	return is
 }
 
 // Verify walks every checkpoint file in the store, parses it, and
@@ -41,23 +63,23 @@ func (st *Store) Verify() ([]VerifyIssue, error) {
 			switch e.Kind {
 			case "full":
 				if _, err := st.ReadFull(v, e.Iteration); err != nil {
-					issues = append(issues, VerifyIssue{v, e.Kind, e.Iteration, err})
+					issues = append(issues, newIssue(v, e.Kind, e.Iteration, err))
 					continue
 				}
 				lastFull = e.Iteration
 				expected = e.Iteration + 1
 			case "delta":
 				if _, err := st.ReadDelta(v, e.Iteration); err != nil {
-					issues = append(issues, VerifyIssue{v, e.Kind, e.Iteration, err})
+					issues = append(issues, newIssue(v, e.Kind, e.Iteration, err))
 					continue
 				}
 				switch {
 				case lastFull < 0:
-					issues = append(issues, VerifyIssue{v, e.Kind, e.Iteration,
-						fmt.Errorf("%w: no full checkpoint precedes it", ErrChain)})
+					issues = append(issues, newIssue(v, e.Kind, e.Iteration,
+						fmt.Errorf("%w: no full checkpoint precedes it", ErrChain)))
 				case e.Iteration != expected:
-					issues = append(issues, VerifyIssue{v, e.Kind, e.Iteration,
-						fmt.Errorf("%w: expected iteration %d next", ErrChain, expected)})
+					issues = append(issues, newIssue(v, e.Kind, e.Iteration,
+						fmt.Errorf("%w: expected iteration %d next", ErrChain, expected)))
 					expected = e.Iteration + 1 // keep scanning from here
 				default:
 					expected = e.Iteration + 1

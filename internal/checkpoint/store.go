@@ -19,6 +19,12 @@ import (
 type Store struct {
 	dir string
 	opt core.Options
+	// deltaFormat is the file format version new delta checkpoints are
+	// written with: 1 (default, single-section) or 2 (chunked, parallel
+	// decodable). Reads sniff the magic, so stores may mix both.
+	deltaFormat int
+	// chunkPoints is the chunk granularity for v2 deltas.
+	chunkPoints int
 }
 
 // manifest is the store-level metadata file.
@@ -99,6 +105,20 @@ func Open(dir string) (*Store, error) {
 // Options returns the store's encoding options.
 func (st *Store) Options() core.Options { return st.opt }
 
+// SetDeltaFormat selects the file format for delta checkpoints written
+// from now on: 1 is the original single-section layout, 2 the chunked
+// layout that supports parallel decode and per-chunk corruption
+// localization. chunkPoints sets the v2 chunk granularity (<= 0 means
+// DefaultChunkPoints). Reading is always format-agnostic.
+func (st *Store) SetDeltaFormat(version, chunkPoints int) error {
+	if version != 1 && version != 2 {
+		return fmt.Errorf("checkpoint: unknown delta format version %d", version)
+	}
+	st.deltaFormat = version
+	st.chunkPoints = chunkPoints
+	return nil
+}
+
 // Dir returns the store directory.
 func (st *Store) Dir() string { return st.dir }
 
@@ -134,7 +154,13 @@ func (st *Store) WriteDelta(variable string, iteration int, prev, cur []float64)
 // adaptive scheduler encodes tentatively and may write a full
 // checkpoint instead).
 func (st *Store) WriteEncodedDelta(variable string, iteration int, enc *core.Encoded) error {
-	raw, err := MarshalDelta(variable, iteration, enc)
+	var raw []byte
+	var err error
+	if st.deltaFormat == 2 {
+		raw, err = MarshalDeltaV2(variable, iteration, enc, st.chunkPoints)
+	} else {
+		raw, err = MarshalDelta(variable, iteration, enc)
+	}
 	if err != nil {
 		return err
 	}
@@ -236,7 +262,14 @@ func (st *Store) ReadDelta(variable string, iteration int) (*core.Encoded, error
 		}
 		return nil, err
 	}
-	v, it, enc, err := UnmarshalDelta(raw)
+	var v string
+	var it int
+	var enc *core.Encoded
+	if IsDeltaV2(raw) {
+		v, it, enc, err = UnmarshalDeltaV2(raw)
+	} else {
+		v, it, enc, err = UnmarshalDelta(raw)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,414 @@
+package chunk
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"numarck/internal/checkpoint"
+	"numarck/internal/core"
+	"numarck/internal/rawio"
+)
+
+// genPair builds a prev/cur transition mixing every ratio class: zero
+// bases, unchanged points, ratios under the bound, and large ratios.
+func genPair(n int, seed int64) (prev, cur []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	prev = make([]float64, n)
+	cur = make([]float64, n)
+	for j := range prev {
+		switch rng.Intn(10) {
+		case 0: // no base: stored exactly
+			prev[j] = 0
+			cur[j] = rng.NormFloat64()
+		case 1: // unchanged
+			prev[j] = 2 + rng.Float64()
+			cur[j] = prev[j]
+		case 2: // tiny ratio, inside the bound
+			base := 1 + rng.Float64()
+			prev[j] = base
+			cur[j] = base * (1 + 1e-5*rng.NormFloat64())
+		default: // large ratio
+			base := 1 + rng.Float64()
+			prev[j] = base
+			cur[j] = base * (1 + 0.05*rng.NormFloat64())
+		}
+	}
+	return prev, cur
+}
+
+// TestStreamingMatchesInMemory is the byte-identity property test: for
+// every binning strategy, index widths whose packed values straddle
+// byte and chunk boundaries, and chunk sizes that do not divide n, the
+// streaming encoder's v1 bytes equal MarshalDelta of the in-memory
+// encode, and its v2 bytes equal MarshalDeltaV2 of the same encode.
+func TestStreamingMatchesInMemory(t *testing.T) {
+	const n = 5000
+	prev, cur := genPair(n, 42)
+	for _, strategy := range []core.Strategy{core.EqualWidth, core.LogScale, core.Clustering, core.EqualFrequency} {
+		for _, bits := range []int{3, 5, 8} {
+			opt := core.Options{ErrorBound: 0.001, IndexBits: bits, Strategy: strategy}
+			enc, err := core.Encode(prev, cur, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantV1, err := checkpoint.MarshalDelta("v", 7, enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, chunkPoints := range []int{97, 1000, n} {
+				name := fmt.Sprintf("%s/B%d/cp%d", strategy, bits, chunkPoints)
+				cfg := Config{ChunkPoints: chunkPoints, Workers: 3}
+
+				gotV1, res, err := EncodeDeltaV1("v", 7, SliceSource(prev), SliceSource(cur), opt, cfg)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if !bytes.Equal(gotV1, wantV1) {
+					t.Errorf("%s: streaming v1 bytes differ from in-memory MarshalDelta", name)
+				}
+				if res.ExactCount != len(enc.Exact) {
+					t.Errorf("%s: exact count %d, want %d", name, res.ExactCount, len(enc.Exact))
+				}
+				if res.TableThinned {
+					t.Errorf("%s: unbounded run reported thinning", name)
+				}
+
+				wantV2, err := checkpoint.MarshalDeltaV2("v", 7, enc, chunkPoints)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if _, err := EncodeDeltaV2(&buf, "v", 7, SliceSource(prev), SliceSource(cur), opt, cfg); err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if !bytes.Equal(buf.Bytes(), wantV2) {
+					t.Errorf("%s: streaming v2 bytes differ from in-memory MarshalDeltaV2", name)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamingUnderBudget encodes file-backed input much larger than
+// the memory budget and checks both the budget accounting and
+// byte-identity with the in-memory path.
+func TestStreamingUnderBudget(t *testing.T) {
+	const n = 120_000 // 960 KiB per input file
+	prev, cur := genPair(n, 7)
+	dir := t.TempDir()
+	pPath := filepath.Join(dir, "prev.raw")
+	cPath := filepath.Join(dir, "cur.raw")
+	if err := rawio.WriteFile(pPath, prev); err != nil {
+		t.Fatal(err)
+	}
+	if err := rawio.WriteFile(cPath, cur); err != nil {
+		t.Fatal(err)
+	}
+	pSrc, err := rawio.OpenFile(pPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pSrc.Close()
+	cSrc, err := rawio.OpenFile(cPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cSrc.Close()
+
+	opt := core.Options{ErrorBound: 0.001, IndexBits: 8, Strategy: core.EqualWidth}
+	cfg := Config{Workers: 4, BudgetBytes: 512 << 10} // far below the 1.9 MiB of input
+	got, res, err := EncodeDeltaV1("v", 1, pSrc, cSrc, opt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakBufferBytes > cfg.BudgetBytes {
+		t.Fatalf("peak buffer %d exceeds budget %d", res.PeakBufferBytes, cfg.BudgetBytes)
+	}
+	if res.ChunkCount < 2 {
+		t.Fatalf("budget did not force chunking: %d chunks of %d points", res.ChunkCount, res.ChunkPoints)
+	}
+
+	enc, err := core.Encode(prev, cur, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := checkpoint.MarshalDelta("v", 1, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("budgeted streaming encode differs from in-memory encode")
+	}
+}
+
+// TestStreamingDecode round-trips a v2 file through the streaming
+// decoder, file to file, and compares with the in-memory decode.
+func TestStreamingDecode(t *testing.T) {
+	const n = 3210
+	prev, cur := genPair(n, 99)
+	opt := core.Options{ErrorBound: 0.001, IndexBits: 8, Strategy: core.Clustering}
+	cfg := Config{ChunkPoints: 500, Workers: 3}
+
+	dir := t.TempDir()
+	deltaPath := filepath.Join(dir, "delta.nmk")
+	df, err := os.Create(deltaPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EncodeDeltaV2(df, "v", 1, SliceSource(prev), SliceSource(cur), opt, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := df.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	enc, err := core.Encode(prev, cur, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := enc.Decode(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// prev from a file, output streamed to a file.
+	pPath := filepath.Join(dir, "prev.raw")
+	if err := rawio.WriteFile(pPath, prev); err != nil {
+		t.Fatal(err)
+	}
+	pSrc, err := rawio.OpenFile(pPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pSrc.Close()
+	raw, err := os.ReadFile(deltaPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := checkpoint.OpenDeltaV2(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "out.raw")
+	of, err := os.Create(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ow := rawio.NewWriter(of)
+	err = DecodeDeltaV2(d, pSrc, cfg, func(vals []float64) error {
+		return ow.WriteFloats(vals)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := of.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rawio.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d points, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("point %d differs", i)
+		}
+	}
+}
+
+// TestReservoirBound checks that a capped table input stays bounded and
+// chunking-independent, and that the encode still honors the error
+// bound even though the thinned table differs from the full one.
+func TestReservoirBound(t *testing.T) {
+	const n = 8000
+	prev, cur := genPair(n, 3)
+	opt := core.Options{ErrorBound: 0.001, IndexBits: 6, Strategy: core.EqualWidth}
+	cfg := Config{ChunkPoints: 333, Workers: 2, MaxTableInput: 64}
+	raw, res, err := EncodeDeltaV1("v", 1, SliceSource(prev), SliceSource(cur), opt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TableThinned {
+		t.Fatal("expected thinning with cap 64")
+	}
+	if res.TableInputUsed > 64 {
+		t.Fatalf("reservoir kept %d > cap 64", res.TableInputUsed)
+	}
+	if res.TableInputTotal <= 64 {
+		t.Fatalf("implausible table input total %d", res.TableInputTotal)
+	}
+
+	// Same cap, different chunking: the systematic sample depends only
+	// on the point order, so the output bytes must match.
+	raw2, _, err := EncodeDeltaV1("v", 1, SliceSource(prev), SliceSource(cur), opt, Config{ChunkPoints: 1024, Workers: 3, MaxTableInput: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, raw2) {
+		t.Fatal("capped encode depends on chunking")
+	}
+
+	// The error bound survives thinning: every reconstructed point is
+	// within |prev|*E of the true value (incompressible storage covers
+	// what the coarse table cannot).
+	_, _, enc, err := checkpoint.UnmarshalDelta(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := enc.Decode(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range out {
+		limit := math.Abs(prev[j])*opt.ErrorBound + 1e-12
+		if diff := math.Abs(out[j] - cur[j]); diff > limit {
+			t.Fatalf("point %d: |out-cur| = %g exceeds |prev|*E = %g", j, diff, limit)
+		}
+	}
+}
+
+func TestConfigResolve(t *testing.T) {
+	// Budget shrinks workers first, then chunk size.
+	cfg, err := Config{ChunkPoints: 1 << 16, Workers: 8, BudgetBytes: 1 << 20}.resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Workers != 1 {
+		t.Errorf("workers = %d, want 1", cfg.Workers)
+	}
+	if cfg.ChunkPoints >= 1<<16 {
+		t.Errorf("chunk points not shrunk: %d", cfg.ChunkPoints)
+	}
+	if cfg.peakBufferBytes() > 1<<20 {
+		t.Errorf("peak %d exceeds budget", cfg.peakBufferBytes())
+	}
+
+	// A budget below one minimal chunk fails loudly.
+	if _, err := (Config{BudgetBytes: 1024}).resolve(); !errors.Is(err, ErrBudget) {
+		t.Errorf("tiny budget: err = %v, want ErrBudget", err)
+	}
+	// MaxTableInput == 1 is rejected.
+	if _, err := (Config{MaxTableInput: 1}).resolve(); err == nil {
+		t.Error("MaxTableInput=1 accepted")
+	}
+	// Negative values are rejected.
+	if _, err := (Config{Workers: -1}).resolve(); err == nil {
+		t.Error("negative workers accepted")
+	}
+}
+
+func TestOrderedChunks(t *testing.T) {
+	// Emission order is chunk order regardless of completion order.
+	var got []int
+	err := orderedChunks(50, 4,
+		func(i int) (int, error) { return i * i, nil },
+		func(i, v int) error {
+			if v != i*i {
+				t.Errorf("chunk %d delivered %d", i, v)
+			}
+			got = append(got, i)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 50 {
+		t.Fatalf("emitted %d chunks", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("emission out of order at %d: %v", i, got)
+		}
+	}
+
+	// A process error cancels the run and names the chunk.
+	boom := errors.New("boom")
+	err = orderedChunks(100, 4,
+		func(i int) (int, error) {
+			if i == 13 {
+				return 0, boom
+			}
+			return i, nil
+		},
+		func(int, int) error { return nil })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+
+	// An emit error cancels the run.
+	err = orderedChunks(100, 4,
+		func(i int) (int, error) { return i, nil },
+		func(i, _ int) error {
+			if i == 7 {
+				return boom
+			}
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("emit err = %v, want boom", err)
+	}
+}
+
+func TestReservoirDeterminism(t *testing.T) {
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	whole := newReservoir(32)
+	whole.add(vals)
+	chunked := newReservoir(32)
+	for lo := 0; lo < len(vals); lo += 77 {
+		hi := lo + 77
+		if hi > len(vals) {
+			hi = len(vals)
+		}
+		chunked.add(vals[lo:hi])
+	}
+	if len(whole.vals) != len(chunked.vals) {
+		t.Fatalf("kept %d vs %d", len(whole.vals), len(chunked.vals))
+	}
+	for i := range whole.vals {
+		if math.Float64bits(whole.vals[i]) != math.Float64bits(chunked.vals[i]) {
+			t.Fatalf("sample %d differs: %v vs %v", i, whole.vals[i], chunked.vals[i])
+		}
+	}
+	if len(whole.vals) > 32 {
+		t.Fatalf("cap exceeded: %d", len(whole.vals))
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	opt := core.Options{ErrorBound: 0.001, IndexBits: 8}
+	sink := func(Plan) (Sink, error) { return nil, errors.New("unused") }
+	// Length mismatch.
+	_, err := Encode(SliceSource(make([]float64, 3)), SliceSource(make([]float64, 4)), opt, Config{}, sink)
+	if !errors.Is(err, core.ErrLength) {
+		t.Errorf("err = %v, want ErrLength", err)
+	}
+	// Non-finite data surfaces from a worker.
+	prev := []float64{1, 2, 3}
+	cur := []float64{1, math.NaN(), 3}
+	_, err = Encode(SliceSource(prev), SliceSource(cur), opt, Config{ChunkPoints: 1}, sink)
+	if !errors.Is(err, core.ErrNonFinite) {
+		t.Errorf("err = %v, want ErrNonFinite", err)
+	}
+	// Empty input produces a valid empty v1 file.
+	raw, res, err := EncodeDeltaV1("v", 0, SliceSource(nil), SliceSource(nil), opt, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ChunkCount != 0 || res.ExactCount != 0 {
+		t.Fatalf("empty encode: %+v", res)
+	}
+	if _, _, enc, err := checkpoint.UnmarshalDelta(raw); err != nil || enc.N != 0 {
+		t.Fatalf("empty v1 file does not parse: %v", err)
+	}
+}

@@ -1,0 +1,352 @@
+package chunk
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"numarck/internal/checkpoint"
+	"numarck/internal/core"
+)
+
+// orderedChunks runs process(i) for i in [0, count) across up to
+// `workers` goroutines and delivers the results to emit in chunk order.
+// A semaphore bounds the number of chunks that are "in flight"
+// (processed or processing but not yet emitted) at `workers`, so buffer
+// memory stays proportional to the worker count no matter how far a
+// fast chunk runs ahead of a slow predecessor. The first process or
+// emit error cancels the run.
+func orderedChunks[T any](count, workers int, process func(i int) (T, error), emit func(i int, v T) error) error {
+	if count == 0 {
+		return nil
+	}
+	if workers > count {
+		workers = count
+	}
+	if workers <= 1 {
+		for i := 0; i < count; i++ {
+			v, err := process(i)
+			if err != nil {
+				return fmt.Errorf("chunk %d: %w", i, err)
+			}
+			if err := emit(i, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	type result struct {
+		i   int
+		v   T
+		err error
+	}
+	jobs := make(chan int)
+	results := make(chan result, workers)
+	sem := make(chan struct{}, workers)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				// Acquire an in-flight slot BEFORE claiming a job:
+				// holding a job must imply holding a slot, or the
+				// worker owning the lowest unemitted chunk could
+				// starve while later chunks' parked results hold
+				// every slot.
+				select {
+				case sem <- struct{}{}:
+				case <-done:
+					return
+				}
+				var i int
+				var ok bool
+				select {
+				case i, ok = <-jobs:
+					if !ok {
+						return
+					}
+				case <-done:
+					return
+				}
+				v, err := process(i)
+				select {
+				case results <- result{i: i, v: v, err: err}:
+				case <-done:
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for i := 0; i < count; i++ {
+			select {
+			case jobs <- i:
+			case <-done:
+				return
+			}
+		}
+	}()
+
+	// Collector: chunks may finish out of order; park them until their
+	// turn, then emit and free their in-flight slot. Jobs are handed
+	// out in increasing order, so the lowest unemitted chunk is always
+	// either parked or being processed — emission always progresses.
+	pending := make(map[int]result, workers)
+	next := 0
+	var firstErr error
+	for received := 0; received < count; received++ {
+		r := <-results
+		if r.err != nil {
+			firstErr = fmt.Errorf("chunk %d: %w", r.i, r.err)
+			break
+		}
+		pending[r.i] = r
+		for firstErr == nil {
+			p, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			<-sem
+			if err := emit(next, p.v); err != nil {
+				firstErr = err
+			}
+			next++
+		}
+		if firstErr != nil {
+			break
+		}
+	}
+	close(done)
+	wg.Wait()
+	return firstErr
+}
+
+// chunkSpan returns the point range [lo, lo+np) of chunk i.
+func chunkSpan(n, chunkPoints, i int) (lo, np int) {
+	lo = i * chunkPoints
+	np = chunkPoints
+	if rem := n - lo; rem < np {
+		np = rem
+	}
+	return lo, np
+}
+
+// readPair reads the prev and cur windows of one chunk.
+func readPair(prev, cur Source, lo, np int) (pbuf, cbuf []float64, err error) {
+	pbuf = make([]float64, np)
+	cbuf = make([]float64, np)
+	if err := prev.ReadFloats(pbuf, lo); err != nil {
+		return nil, nil, err
+	}
+	if err := cur.ReadFloats(cbuf, lo); err != nil {
+		return nil, nil, err
+	}
+	return pbuf, cbuf, nil
+}
+
+// chunkOut is one chunk's encode result, in the shape Sink consumes.
+type chunkOut struct {
+	indices        []uint32
+	incompressible []bool
+	exact          []float64
+}
+
+// Encode runs the streaming two-pass encode of the transition
+// prev → cur: pass 1 reads every chunk once to gather the table-input
+// ratios, the bin table is fitted, newSink builds the output sink from
+// the resulting Plan, and pass 2 re-reads every chunk, assigns bins,
+// and appends the per-chunk results to the sink in chunk order. Both
+// sources must be re-readable and of equal length. The sink's own
+// finalization (Finish, Bytes) is the caller's job — the factory
+// closure keeps a reference.
+func Encode(prev, cur Source, opt core.Options, cfg Config, newSink NewSink) (*Result, error) {
+	vopt, err := opt.Validate()
+	if err != nil {
+		return nil, err
+	}
+	if prev.Len() != cur.Len() {
+		return nil, fmt.Errorf("%w: %d vs %d", core.ErrLength, prev.Len(), cur.Len())
+	}
+	n := cur.Len()
+	cfg, err = cfg.resolve()
+	if err != nil {
+		return nil, err
+	}
+	chunkCount := 0
+	if n > 0 {
+		chunkCount = (n + cfg.ChunkPoints - 1) / cfg.ChunkPoints
+	}
+
+	// Pass 1: ratios only, gathering the table input in point order.
+	// Each chunk's TableInput slice is a contiguous piece of the exact
+	// sequence the in-memory encoder hands to core.Fit.
+	res := newReservoir(cfg.MaxTableInput)
+	err = orderedChunks(chunkCount, cfg.Workers,
+		func(i int) ([]float64, error) {
+			lo, np := chunkSpan(n, cfg.ChunkPoints, i)
+			pbuf, cbuf, err := readPair(prev, cur, lo, np)
+			if err != nil {
+				return nil, err
+			}
+			ratios, err := core.ComputeRatios(pbuf, cbuf, 1)
+			if err != nil {
+				return nil, err
+			}
+			return ratios.TableInput(vopt), nil
+		},
+		func(_ int, ti []float64) error {
+			res.add(ti)
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	var bins core.Binner
+	var binRatios []float64
+	if len(res.vals) > 0 {
+		bins, err = core.Fit(res.vals, vopt)
+		if err != nil {
+			return nil, err
+		}
+		binRatios = bins.Representatives()
+		if len(binRatios) > vopt.NumBins() {
+			return nil, fmt.Errorf("chunk: internal error: %d representatives exceed %d bins", len(binRatios), vopt.NumBins())
+		}
+	}
+
+	sink, err := newSink(Plan{
+		N:           n,
+		ChunkPoints: cfg.ChunkPoints,
+		ChunkCount:  chunkCount,
+		Opt:         vopt,
+		BinRatios:   binRatios,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass 2: re-read, assign bins, stream sections out in order.
+	exactCount := 0
+	err = orderedChunks(chunkCount, cfg.Workers,
+		func(i int) (chunkOut, error) {
+			lo, np := chunkSpan(n, cfg.ChunkPoints, i)
+			pbuf, cbuf, err := readPair(prev, cur, lo, np)
+			if err != nil {
+				return chunkOut{}, err
+			}
+			ratios, err := core.ComputeRatios(pbuf, cbuf, 1)
+			if err != nil {
+				return chunkOut{}, err
+			}
+			out := chunkOut{
+				indices:        make([]uint32, np),
+				incompressible: make([]bool, np),
+			}
+			core.AssignChunk(ratios, bins, vopt, out.indices, out.incompressible)
+			for j, inc := range out.incompressible {
+				if inc {
+					out.exact = append(out.exact, cbuf[j])
+				}
+			}
+			return out, nil
+		},
+		func(_ int, out chunkOut) error {
+			exactCount += len(out.exact)
+			return sink.AppendChunk(out.indices, out.incompressible, out.exact)
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	return &Result{
+		N:               n,
+		ChunkPoints:     cfg.ChunkPoints,
+		ChunkCount:      chunkCount,
+		Workers:         cfg.Workers,
+		BinRatios:       binRatios,
+		ExactCount:      exactCount,
+		TableInputTotal: res.total,
+		TableInputUsed:  len(res.vals),
+		TableThinned:    res.thinned,
+		PeakBufferBytes: cfg.peakBufferBytes(),
+	}, nil
+}
+
+// EncodeDeltaV1 streams an encode into the backward-compatible v1 delta
+// format and returns its bytes. Only the compressed payload is
+// buffered; with the default Config the bytes are identical to
+// checkpoint.MarshalDelta of core.Encode on the same data.
+func EncodeDeltaV1(variable string, iteration int, prev, cur Source, opt core.Options, cfg Config) ([]byte, *Result, error) {
+	var asm *checkpoint.DeltaV1Assembler
+	res, err := Encode(prev, cur, opt, cfg, func(p Plan) (Sink, error) {
+		a, err := checkpoint.NewDeltaV1Assembler(variable, iteration, p.N, p.Opt, p.BinRatios)
+		asm = a
+		return a, err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	raw, err := asm.Bytes()
+	if err != nil {
+		return nil, nil, err
+	}
+	return raw, res, nil
+}
+
+// EncodeDeltaV2 streams an encode into the chunked v2 delta format on
+// w, one section per chunk, and finalizes the file. Memory use is
+// bounded by the Config budget; nothing proportional to the data size
+// is held.
+func EncodeDeltaV2(w io.Writer, variable string, iteration int, prev, cur Source, opt core.Options, cfg Config) (*Result, error) {
+	var dw *checkpoint.DeltaV2Writer
+	res, err := Encode(prev, cur, opt, cfg, func(p Plan) (Sink, error) {
+		d, err := checkpoint.NewDeltaV2Writer(w, variable, iteration, p.N, p.Opt, p.BinRatios, p.ChunkPoints)
+		dw = d
+		return d, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := dw.Finish(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// DecodeDeltaV2 streams the reconstruction of an opened v2 delta:
+// chunks are decoded concurrently (prev windows read from prev), and
+// emit receives the reconstructed values in chunk order. The emit
+// callback must copy anything it wants to keep. cfg.Workers bounds the
+// concurrency; ChunkPoints is fixed by the file.
+func DecodeDeltaV2(d *checkpoint.DeltaV2Reader, prev Source, cfg Config, emit func(vals []float64) error) error {
+	meta := d.Meta()
+	if prev.Len() != meta.N {
+		return fmt.Errorf("%w: prev has %d points, checkpoint has %d", core.ErrLength, prev.Len(), meta.N)
+	}
+	cfg, err := cfg.resolve()
+	if err != nil {
+		return err
+	}
+	return orderedChunks(meta.ChunkCount, cfg.Workers,
+		func(i int) ([]float64, error) {
+			lo, np := d.ChunkSpan(i)
+			pbuf := make([]float64, np)
+			if err := prev.ReadFloats(pbuf, lo); err != nil {
+				return nil, err
+			}
+			dst := make([]float64, np)
+			if err := d.DecodeChunkInto(i, pbuf, dst); err != nil {
+				return nil, err
+			}
+			return dst, nil
+		},
+		func(_ int, vals []float64) error {
+			return emit(vals)
+		})
+}

@@ -41,8 +41,16 @@ type Encoded struct {
 // must have the same length and contain only finite values; prev is the
 // (possibly reconstructed) previous checkpoint and cur the current one.
 func Encode(prev, cur []float64, opt Options) (*Encoded, error) {
-	return encodeWith(prev, cur, opt, func(large []float64) (binner, error) {
-		return fitBinner(large, opt)
+	// Validate before capturing opt in the fit closure: fitBinner must
+	// see the resolved defaults (notably KMeansMaxIter), or the learned
+	// table would differ from one fitted through core.Fit on validated
+	// options, breaking the in-memory/streaming byte-identity.
+	vopt, err := opt.Validate()
+	if err != nil {
+		return nil, err
+	}
+	return encodeWith(prev, cur, vopt, func(large []float64) (Binner, error) {
+		return fitBinner(large, vopt)
 	})
 }
 
@@ -70,14 +78,17 @@ func EncodeWithTable(prev, cur []float64, table []float64, opt Options) (*Encode
 		}
 	}
 	tb := newTableBinner(table)
-	return encodeWith(prev, cur, opt, func([]float64) (binner, error) {
+	return encodeWith(prev, cur, opt, func([]float64) (Binner, error) {
 		return tb, nil
 	})
 }
 
-// encodeWith is the shared encode pipeline; fit supplies the learned
-// (or fixed) partition of the large ratios.
-func encodeWith(prev, cur []float64, opt Options, fit func([]float64) (binner, error)) (*Encoded, error) {
+// encodeWith is the shared in-memory encode pipeline, built from the
+// same reusable stages the streaming encoder (internal/chunk) runs per
+// chunk: ComputeRatios → Ratios.TableInput → fit → AssignChunk. Keeping
+// both paths on the same stage functions is what makes streaming output
+// byte-identical to this path.
+func encodeWith(prev, cur []float64, opt Options, fit func([]float64) (Binner, error)) (*Encoded, error) {
 	opt, err := opt.Validate()
 	if err != nil {
 		return nil, err
@@ -95,17 +106,8 @@ func encodeWith(prev, cur []float64, opt Options, fit func([]float64) (binner, e
 		TrueRatios:     ratios.Delta,
 	}
 
-	// Gather the ratios that need a learned group. With the reserved
-	// zero index enabled (paper behaviour), those are |Δ| >= E; the
-	// ablation routes every finite ratio through binning.
-	var large []float64
-	if opt.DisableZeroIndex {
-		large = ratios.All()
-	} else {
-		large = ratios.Large(opt.ErrorBound)
-	}
-
-	var bins binner
+	large := ratios.TableInput(opt)
+	var bins Binner
 	if len(large) > 0 {
 		bins, err = fit(large)
 		if err != nil {
@@ -122,37 +124,60 @@ func encodeWith(prev, cur []float64, opt Options, fit func([]float64) (binner, e
 	// as a flag here and gathered serially below so the exact-value
 	// array keeps its point order.
 	incompressible := make([]bool, n)
-	assign := func(lo, hi int) {
-		for j := lo; j < hi; j++ {
-			if ratios.Kind[j] != RatioOK {
-				incompressible[j] = true
-				continue
-			}
-			d := ratios.Delta[j]
-			if !opt.DisableZeroIndex && math.Abs(d) < opt.ErrorBound {
-				e.Indices[j] = 0 // within tolerance of "unchanged"
-				continue
-			}
-			g := bins.Lookup(d)
-			rep := e.BinRatios[g]
-			if math.Abs(rep-d) > opt.ErrorBound {
-				// The learned distribution cannot represent this point
-				// within the bound: store it exactly. This is the
-				// mechanism that makes the bound a guarantee (§II-C).
-				incompressible[j] = true
-				continue
-			}
-			//lint:ignore bindex g+1 <= NumBins <= 2^MaxIndexBits, enforced by Options.Validate
-			e.Indices[j] = uint32(g + 1)
-		}
-	}
-	parallelRanges(n, opt.Workers, assign)
+	parallelRanges(n, opt.Workers, func(lo, hi int) {
+		assignRange(ratios, bins, e.BinRatios, opt, lo, hi, e.Indices, incompressible)
+	})
 	for j := 0; j < n; j++ {
 		if incompressible[j] {
 			e.markIncompressible(j, cur[j])
 		}
 	}
 	return e, nil
+}
+
+// assignRange runs the per-point bin-assignment stage over points
+// [lo, hi): it writes each point's index value into indices and flags
+// the points the error bound forces to be stored exactly. reps must be
+// bins.Representatives() (nil when no large ratios exist anywhere and
+// bins is nil); opt must be validated.
+func assignRange(ratios *Ratios, bins Binner, reps []float64, opt Options, lo, hi int, indices []uint32, incompressible []bool) {
+	for j := lo; j < hi; j++ {
+		if ratios.Kind[j] != RatioOK {
+			incompressible[j] = true
+			continue
+		}
+		d := ratios.Delta[j]
+		if !opt.DisableZeroIndex && math.Abs(d) < opt.ErrorBound {
+			indices[j] = 0 // within tolerance of "unchanged"
+			continue
+		}
+		g := bins.Lookup(d)
+		rep := reps[g]
+		if math.Abs(rep-d) > opt.ErrorBound {
+			// The learned distribution cannot represent this point
+			// within the bound: store it exactly. This is the
+			// mechanism that makes the bound a guarantee (§II-C).
+			incompressible[j] = true
+			continue
+		}
+		//lint:ignore bindex g+1 <= NumBins <= 2^MaxIndexBits, enforced by Options.Validate
+		indices[j] = uint32(g + 1)
+	}
+}
+
+// AssignChunk runs the bin-assignment stage over one window of points
+// whose ratios have already been computed: indices[j] and
+// incompressible[j] are written for every j in [0, len(cur)). It is the
+// chunk-local form of the assignment loop inside Encode, exported so
+// out-of-core encoders make identical per-point decisions. bins may be
+// nil only when no point anywhere has a table-input ratio. opt must be
+// validated.
+func AssignChunk(ratios *Ratios, bins Binner, opt Options, indices []uint32, incompressible []bool) {
+	var reps []float64
+	if bins != nil {
+		reps = bins.Representatives()
+	}
+	assignRange(ratios, bins, reps, opt, 0, len(indices), indices, incompressible)
 }
 
 // parallelRanges splits [0, n) into contiguous chunks across up to

@@ -113,6 +113,18 @@ func (r *Ratios) Large(bound float64) []float64 {
 	return out
 }
 
+// TableInput returns the ratios the table-learning stage must see under
+// opt: every finite ratio when the zero index is disabled (ablation),
+// otherwise the ratios with |Δ| >= E. Both the in-memory and the
+// streaming encoder gather their fit input through this method so the
+// learned tables match. opt must be validated.
+func (r *Ratios) TableInput(opt Options) []float64 {
+	if opt.DisableZeroIndex {
+		return r.All()
+	}
+	return r.Large(opt.ErrorBound)
+}
+
 // All returns every finite ratio (RatioOK points), freshly allocated.
 func (r *Ratios) All() []float64 {
 	out := make([]float64, 0, len(r.Delta))

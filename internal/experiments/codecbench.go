@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"time"
+
+	"numarck/internal/checkpoint"
+	"numarck/internal/chunk"
+	"numarck/internal/core"
+)
+
+// CodecBenchConfig sizes the codec benchmark.
+type CodecBenchConfig struct {
+	// Points is the dataset size (the CMIP5 substitute is tiled to
+	// reach it). Default 200_000.
+	Points int
+	// Iters is how many times each measurement repeats; the minimum is
+	// reported. Default 3.
+	Iters int
+	// ChunkPoints is the streaming chunk size. Default 1 << 15.
+	ChunkPoints int
+	// DecodeWorkers are the worker counts for the parallel chunked
+	// decode. Default {1, 8}.
+	DecodeWorkers []int
+	// Seed fixes the workload.
+	Seed int64
+}
+
+func (cfg CodecBenchConfig) withDefaults() CodecBenchConfig {
+	if cfg.Points <= 0 {
+		cfg.Points = 200_000
+	}
+	if cfg.Iters <= 0 {
+		cfg.Iters = 3
+	}
+	if cfg.ChunkPoints <= 0 {
+		cfg.ChunkPoints = 1 << 15
+	}
+	if len(cfg.DecodeWorkers) == 0 {
+		cfg.DecodeWorkers = []int{1, 8}
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = DefaultSeed
+	}
+	return cfg
+}
+
+// CodecDecodeTiming is one parallel-decode measurement of the chunked
+// format.
+type CodecDecodeTiming struct {
+	Workers int     `json:"workers"`
+	Ns      int64   `json:"ns_per_op"`
+	Speedup float64 `json:"speedup_vs_1"`
+}
+
+// CodecStrategyTiming is the benchmark row of one binning strategy.
+// All times are the minimum over the configured repetitions.
+type CodecStrategyTiming struct {
+	Strategy         string              `json:"strategy"`
+	EncodeInMemoryNs int64               `json:"encode_inmemory_ns"`
+	EncodeStreamNs   int64               `json:"encode_stream_ns"`
+	DecodeInMemoryNs int64               `json:"decode_inmemory_ns"`
+	DecodeChunked    []CodecDecodeTiming `json:"decode_chunked"`
+	EncodedBytes     int                 `json:"encoded_bytes"`
+	Gamma            float64             `json:"gamma"`
+}
+
+// CodecBenchResult is the machine-readable output of the codec
+// benchmark (BENCH_codec.json). NumCPU and GoMaxProcs record the
+// machine honestly: parallel-decode speedups are only meaningful when
+// the host actually has the cores.
+type CodecBenchResult struct {
+	Points      int                   `json:"points"`
+	ChunkPoints int                   `json:"chunk_points"`
+	Iters       int                   `json:"iters"`
+	NumCPU      int                   `json:"num_cpu"`
+	GoMaxProcs  int                   `json:"gomaxprocs"`
+	Rows        []CodecStrategyTiming `json:"rows"`
+}
+
+// codecDataset tiles the synthetic CMIP5 rlus transition to n points.
+func codecDataset(n int, seed int64) (prev, cur []float64, err error) {
+	series, err := CMIP5Series("rlus", 2, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	base, next := series[0], series[1]
+	prev = make([]float64, n)
+	cur = make([]float64, n)
+	for i := 0; i < n; i++ {
+		prev[i] = base[i%len(base)]
+		cur[i] = next[i%len(next)]
+	}
+	return prev, cur, nil
+}
+
+// timeMin runs fn iters times and returns the fastest wall-clock run.
+func timeMin(iters int, fn func() error) (int64, error) {
+	best := int64(math.MaxInt64)
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		if ns := time.Since(start).Nanoseconds(); ns < best {
+			best = ns
+		}
+	}
+	return best, nil
+}
+
+// RunCodecBench measures encode and decode throughput of the in-memory
+// and streaming paths for every binning strategy.
+func RunCodecBench(cfg CodecBenchConfig) (*CodecBenchResult, error) {
+	cfg = cfg.withDefaults()
+	prev, cur, err := codecDataset(cfg.Points, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &CodecBenchResult{
+		Points:      cfg.Points,
+		ChunkPoints: cfg.ChunkPoints,
+		Iters:       cfg.Iters,
+		NumCPU:      runtime.NumCPU(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+	}
+	ccfg := chunk.Config{ChunkPoints: cfg.ChunkPoints}
+	// All four strategies, not just the paper's three: equal-frequency
+	// rides through the same pipeline.
+	strategies := []core.Strategy{core.EqualWidth, core.LogScale, core.Clustering, core.EqualFrequency}
+	for _, strategy := range strategies {
+		opt := core.Options{ErrorBound: 0.001, IndexBits: 8, Strategy: strategy}
+		row := CodecStrategyTiming{Strategy: strategy.String()}
+
+		var enc *core.Encoded
+		row.EncodeInMemoryNs, err = timeMin(cfg.Iters, func() error {
+			enc, err = core.Encode(prev, cur, opt)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		row.Gamma = enc.Gamma()
+
+		var v2 bytes.Buffer
+		row.EncodeStreamNs, err = timeMin(cfg.Iters, func() error {
+			v2.Reset()
+			_, err := chunk.EncodeDeltaV2(&v2, "bench", 1, chunk.SliceSource(prev), chunk.SliceSource(cur), opt, ccfg)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		row.EncodedBytes = v2.Len()
+
+		row.DecodeInMemoryNs, err = timeMin(cfg.Iters, func() error {
+			_, err := enc.Decode(prev)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		d, err := checkpoint.OpenDeltaV2(bytes.NewReader(v2.Bytes()), int64(v2.Len()))
+		if err != nil {
+			return nil, err
+		}
+		var baseNs int64
+		for _, workers := range cfg.DecodeWorkers {
+			w := workers
+			ns, err := timeMin(cfg.Iters, func() error {
+				_, err := d.Decode(prev, w)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			t := CodecDecodeTiming{Workers: w, Ns: ns}
+			if baseNs == 0 {
+				baseNs = ns
+			}
+			if ns > 0 {
+				t.Speedup = float64(baseNs) / float64(ns)
+			}
+			row.DecodeChunked = append(row.DecodeChunked, t)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// WriteJSON emits the result as indented JSON.
+func (r *CodecBenchResult) WriteJSON(w io.Writer) error {
+	e := json.NewEncoder(w)
+	e.SetIndent("", "  ")
+	return e.Encode(r)
+}
+
+// WriteText prints a human-readable table.
+func (r *CodecBenchResult) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "codec bench: %d points, chunks of %d, min of %d runs, %d CPU (GOMAXPROCS %d)\n",
+		r.Points, r.ChunkPoints, r.Iters, r.NumCPU, r.GoMaxProcs); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "  %-16s encode mem %8.2fms  stream %8.2fms | decode mem %7.2fms",
+			row.Strategy,
+			float64(row.EncodeInMemoryNs)/1e6, float64(row.EncodeStreamNs)/1e6,
+			float64(row.DecodeInMemoryNs)/1e6); err != nil {
+			return err
+		}
+		for _, t := range row.DecodeChunked {
+			if _, err := fmt.Fprintf(w, "  v2@%dw %7.2fms (%.2fx)", t.Workers, float64(t.Ns)/1e6, t.Speedup); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "  | %d bytes, gamma %.2f%%\n", row.EncodedBytes, row.Gamma*100); err != nil {
+			return err
+		}
+	}
+	return nil
+}

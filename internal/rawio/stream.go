@@ -1,0 +1,119 @@
+package rawio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Reader reads windows of a little-endian float64 array through an
+// io.ReaderAt, so out-of-core encoders (internal/chunk) can re-read the
+// same region twice — once for table learning, once for assignment —
+// without ever holding the whole array in memory.
+type Reader struct {
+	r io.ReaderAt
+	n int
+}
+
+// NewReader wraps r, which must hold size bytes forming a whole number
+// of float64 values.
+func NewReader(r io.ReaderAt, size int64) (*Reader, error) {
+	if size < 0 || size%8 != 0 {
+		return nil, fmt.Errorf("rawio: size %d bytes is not a multiple of 8", size)
+	}
+	if size/8 > math.MaxInt32 && int64(int(size/8)) != size/8 {
+		return nil, fmt.Errorf("rawio: %d values exceed the addressable range", size/8)
+	}
+	return &Reader{r: r, n: int(size / 8)}, nil
+}
+
+// Len returns the number of float64 values.
+func (r *Reader) Len() int { return r.n }
+
+// ReadFloats fills dst with the values starting at index off. The
+// window [off, off+len(dst)) must lie within the array.
+func (r *Reader) ReadFloats(dst []float64, off int) error {
+	if off < 0 || off+len(dst) > r.n {
+		return fmt.Errorf("rawio: window [%d,%d) outside array of %d values", off, off+len(dst), r.n)
+	}
+	if len(dst) == 0 {
+		return nil
+	}
+	buf := make([]byte, 8*len(dst))
+	if _, err := r.r.ReadAt(buf, int64(off)*8); err != nil {
+		return fmt.Errorf("rawio: read window at %d: %w", off, err)
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return nil
+}
+
+// FileReader is a Reader over an open file.
+type FileReader struct {
+	Reader
+	f *os.File
+}
+
+// OpenFile opens path as a raw float64 array for windowed reads. The
+// caller must Close it.
+func OpenFile(path string) (*FileReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		//lint:ignore errcheck close-on-error of a read-only fd; the Stat error takes precedence
+		f.Close()
+		return nil, err
+	}
+	r, err := NewReader(f, info.Size())
+	if err != nil {
+		//lint:ignore errcheck close-on-error of a read-only fd; the size error takes precedence
+		f.Close()
+		return nil, err
+	}
+	return &FileReader{Reader: *r, f: f}, nil
+}
+
+// Close closes the underlying file.
+func (fr *FileReader) Close() error { return fr.f.Close() }
+
+// Writer streams float64 values to an io.Writer in the raw
+// little-endian layout, reusing one fixed-size byte buffer regardless
+// of how many values pass through.
+type Writer struct {
+	w     io.Writer
+	buf   []byte
+	count int
+}
+
+// NewWriter returns a Writer over w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w, buf: make([]byte, 8*4096)}
+}
+
+// WriteFloats appends vals to the stream.
+func (w *Writer) WriteFloats(vals []float64) error {
+	for len(vals) > 0 {
+		batch := len(w.buf) / 8
+		if batch > len(vals) {
+			batch = len(vals)
+		}
+		for i := 0; i < batch; i++ {
+			binary.LittleEndian.PutUint64(w.buf[8*i:], math.Float64bits(vals[i]))
+		}
+		if _, err := w.w.Write(w.buf[:8*batch]); err != nil {
+			return err
+		}
+		w.count += batch
+		vals = vals[batch:]
+	}
+	return nil
+}
+
+// Count returns the number of values written so far.
+func (w *Writer) Count() int { return w.count }

@@ -1,0 +1,84 @@
+package rawio
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestReaderWindows(t *testing.T) {
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = float64(i) * 1.5
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.raw")
+	if err := WriteFile(path, vals); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != 1000 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	for _, w := range [][2]int{{0, 1000}, {0, 1}, {999, 1000}, {137, 400}, {500, 500}} {
+		lo, hi := w[0], w[1]
+		dst := make([]float64, hi-lo)
+		if err := r.ReadFloats(dst, lo); err != nil {
+			t.Fatalf("window [%d,%d): %v", lo, hi, err)
+		}
+		for i := range dst {
+			if math.Float64bits(dst[i]) != math.Float64bits(vals[lo+i]) {
+				t.Fatalf("window [%d,%d): value %d differs", lo, hi, lo+i)
+			}
+		}
+	}
+	// Out-of-range windows error.
+	if err := r.ReadFloats(make([]float64, 2), 999); err == nil {
+		t.Error("window past the end accepted")
+	}
+	if err := r.ReadFloats(make([]float64, 1), -1); err == nil {
+		t.Error("negative offset accepted")
+	}
+}
+
+func TestNewReaderRejectsRaggedSize(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader(make([]byte, 12)), 12); err == nil {
+		t.Error("size not a multiple of 8 accepted")
+	}
+}
+
+func TestWriterMatchesWriteFile(t *testing.T) {
+	vals := make([]float64, 9000) // larger than the internal buffer
+	for i := range vals {
+		vals[i] = math.Sqrt(float64(i))
+	}
+	dir := t.TempDir()
+	want := filepath.Join(dir, "want.raw")
+	if err := WriteFile(want, vals); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	// Uneven batches, including empty.
+	for _, span := range [][2]int{{0, 1}, {1, 1}, {1, 5000}, {5000, 9000}} {
+		if err := w.WriteFloats(vals[span[0]:span[1]]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != len(vals) {
+		t.Fatalf("count = %d", w.Count())
+	}
+	wantRaw, err := os.ReadFile(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), wantRaw) {
+		t.Fatal("streamed bytes differ from WriteFile")
+	}
+}

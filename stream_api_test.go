@@ -1,0 +1,70 @@
+package numarck_test
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"numarck"
+	"numarck/internal/rawio"
+)
+
+// TestStreamFilesRoundTrip drives the file-to-file streaming API:
+// encode two raw files into a chunked checkpoint under a small memory
+// budget, decode it back, and check the error bound point-wise.
+func TestStreamFilesRoundTrip(t *testing.T) {
+	const n = 50_000
+	rng := rand.New(rand.NewSource(17))
+	prev := make([]float64, n)
+	cur := make([]float64, n)
+	for i := range prev {
+		prev[i] = 1 + rng.Float64()
+		cur[i] = prev[i] * (1 + 0.02*rng.NormFloat64())
+	}
+	dir := t.TempDir()
+	prevPath := filepath.Join(dir, "prev.f64")
+	curPath := filepath.Join(dir, "cur.f64")
+	ckptPath := filepath.Join(dir, "ckpt.nmk")
+	outPath := filepath.Join(dir, "out.f64")
+	if err := rawio.WriteFile(prevPath, prev); err != nil {
+		t.Fatal(err)
+	}
+	if err := rawio.WriteFile(curPath, cur); err != nil {
+		t.Fatal(err)
+	}
+
+	enc := numarck.StreamEncoder{
+		Opt:    numarck.Options{ErrorBound: 0.001, IndexBits: 8, Strategy: numarck.EqualWidth},
+		Config: numarck.StreamConfig{BudgetBytes: 256 << 10, Workers: 2},
+	}
+	res, err := enc.EncodeFiles(ckptPath, "v", 1, prevPath, curPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != n || res.ChunkCount < 2 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.PeakBufferBytes > 256<<10 {
+		t.Fatalf("peak buffers %d exceed budget", res.PeakBufferBytes)
+	}
+
+	got, err := numarck.StreamDecoder{}.DecodeFiles(ckptPath, prevPath, outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != n {
+		t.Fatalf("decoded %d points", got)
+	}
+	rec, err := rawio.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rec {
+		trueRatio := (cur[i] - prev[i]) / prev[i]
+		recRatio := (rec[i] - prev[i]) / prev[i]
+		if math.Abs(recRatio-trueRatio) > 0.001+1e-12 {
+			t.Fatalf("point %d violates the bound", i)
+		}
+	}
+}
