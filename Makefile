@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint test race fuzz-smoke verify bench bench-smoke
+.PHONY: all build vet lint docs test race fuzz-smoke verify bench bench-smoke
 
 all: verify
 
@@ -18,6 +18,11 @@ vet:
 
 lint:
 	$(GO) run ./cmd/numarcklint ./...
+
+# Documentation lint alone: fails when a package lacks a package
+# comment or an exported identifier lacks a doc comment.
+docs:
+	$(GO) run ./cmd/numarcklint -only doccomment ./...
 
 test:
 	$(GO) test ./...
@@ -35,7 +40,7 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzUnmarshalDeltaV2$$ -fuzztime=$(FUZZTIME) ./internal/checkpoint
 	$(GO) test -run=NONE -fuzz=FuzzUnmarshalFull$$ -fuzztime=$(FUZZTIME) ./internal/checkpoint
 
-verify: build vet lint test race fuzz-smoke
+verify: build vet lint docs test race fuzz-smoke
 
 # Codec benchmarks: in-memory vs streaming encode/decode per strategy
 # (machine-readable BENCH_codec.json) plus the Go micro-benchmarks of

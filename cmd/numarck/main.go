@@ -15,6 +15,10 @@
 // read in chunks under the -budget memory cap and the chunked v2
 // format is written, which decompress can later decode in parallel and
 // storectl verify can check per chunk.
+//
+// compress and decompress accept -metrics (per-stage timing and
+// counter table on stderr) and -metrics-json path (the same snapshot
+// as JSON), backed by the internal/obs recorder.
 package main
 
 import (
@@ -27,8 +31,60 @@ import (
 	"numarck/internal/chunk"
 	"numarck/internal/core"
 	"numarck/internal/ncdf"
+	"numarck/internal/obs"
 	"numarck/internal/rawio"
 )
+
+// metricsFlags registers the shared -metrics/-metrics-json flags on fs
+// and returns the destinations they select.
+func metricsFlags(fs *flag.FlagSet) *metricsOut {
+	m := &metricsOut{}
+	fs.BoolVar(&m.text, "metrics", false, "print per-stage timings and counters to stderr")
+	fs.StringVar(&m.jsonPath, "metrics-json", "", "write per-stage timings and counters as JSON to `path`")
+	return m
+}
+
+// metricsOut holds the parsed -metrics/-metrics-json destinations.
+type metricsOut struct {
+	text     bool
+	jsonPath string
+}
+
+// recorder returns a live recorder when either flag asked for metrics,
+// else nil — the pipelines' no-op state.
+func (m *metricsOut) recorder() *obs.Recorder {
+	if !m.text && m.jsonPath == "" {
+		return nil
+	}
+	return obs.NewRecorder()
+}
+
+// emit snapshots rec into the selected destinations: an aligned text
+// table on stderr, JSON to the -metrics-json path, or both. A nil rec
+// (flags off) is a no-op.
+func (m *metricsOut) emit(rec *obs.Recorder) error {
+	if rec == nil {
+		return nil
+	}
+	snap := rec.Snapshot()
+	if m.text {
+		if err := snap.WriteText(os.Stderr); err != nil {
+			return err
+		}
+	}
+	if m.jsonPath != "" {
+		f, err := os.Create(m.jsonPath)
+		if err != nil {
+			return err
+		}
+		err = snap.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}
+	return nil
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -67,6 +123,7 @@ func usage() {
   numarck inspect    -in ckpt.nmk
   numarck restart    -dir store -var name -iter n -out rec.f64
 
+compress/decompress also take -metrics and -metrics-json path
 data files are raw little-endian float64 arrays`)
 }
 
@@ -87,6 +144,7 @@ func cmdCompress(args []string) error {
 	chunkPoints := fs.Int("chunk", 0, "streaming: points per chunk (0 = default)")
 	budget := fs.Int64("budget", 0, "streaming: memory budget in bytes (0 = no cap)")
 	workers := fs.Int("workers", 0, "streaming: concurrent chunks (0 = GOMAXPROCS)")
+	metrics := metricsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -97,13 +155,17 @@ func cmdCompress(args []string) error {
 	if err != nil {
 		return err
 	}
-	opt := core.Options{ErrorBound: *e, IndexBits: *b, Strategy: strategy}
+	rec := metrics.recorder()
+	opt := core.Options{ErrorBound: *e, IndexBits: *b, Strategy: strategy, Obs: rec}
 	if *stream {
 		if *prevPath == "" || *curPath == "" {
 			return fmt.Errorf("compress -stream requires -prev and -cur files")
 		}
 		cfg := chunk.Config{ChunkPoints: *chunkPoints, Workers: *workers, BudgetBytes: *budget}
-		return streamCompress(*outPath, *variable, *iter, *prevPath, *curPath, opt, cfg)
+		if err := streamCompress(*outPath, *variable, *iter, *prevPath, *curPath, opt, cfg); err != nil {
+			return err
+		}
+		return metrics.emit(rec)
 	}
 	var prev, cur []float64
 	switch {
@@ -155,7 +217,7 @@ func cmdCompress(args []string) error {
 	}
 	fmt.Printf("compressed %d points: incompressible %.2f%%, mean err %.5f%%, max err %.5f%%, Eq.3 ratio %.2f%%, file %d bytes\n",
 		enc.N, enc.Gamma()*100, enc.MeanErrorRate()*100, enc.MaxErrorRate()*100, cr, len(raw))
-	return nil
+	return metrics.emit(rec)
 }
 
 // streamCompress runs the out-of-core encode: file sources, chunked
@@ -199,6 +261,7 @@ func cmdDecompress(args []string) error {
 	inPath := fs.String("in", "", "checkpoint file")
 	outPath := fs.String("out", "", "output values (.f64)")
 	workers := fs.Int("workers", 0, "chunked (v2) input: concurrent chunks (0 = GOMAXPROCS)")
+	metrics := metricsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -209,8 +272,12 @@ func cmdDecompress(args []string) error {
 	if err != nil {
 		return err
 	}
+	obsRec := metrics.recorder()
 	if checkpoint.IsDeltaV2(raw) {
-		return streamDecompress(raw, *prevPath, *outPath, *workers)
+		if err := streamDecompress(raw, *prevPath, *outPath, *workers, obsRec); err != nil {
+			return err
+		}
+		return metrics.emit(obsRec)
 	}
 	prev, err := rawio.ReadFile(*prevPath)
 	if err != nil {
@@ -220,6 +287,7 @@ func cmdDecompress(args []string) error {
 	if err != nil {
 		return err
 	}
+	enc.Opt.Obs = obsRec
 	rec, err := enc.Decode(prev)
 	if err != nil {
 		return err
@@ -228,12 +296,12 @@ func cmdDecompress(args []string) error {
 		return err
 	}
 	fmt.Printf("decoded %s@%d: %d points\n", variable, iter, len(rec))
-	return nil
+	return metrics.emit(obsRec)
 }
 
 // streamDecompress reconstructs a chunked v2 delta with the streaming
 // parallel decoder, never holding more than the in-flight chunks.
-func streamDecompress(raw []byte, prevPath, outPath string, workers int) error {
+func streamDecompress(raw []byte, prevPath, outPath string, workers int, rec *obs.Recorder) error {
 	d, err := checkpoint.OpenDeltaV2(bytes.NewReader(raw), int64(len(raw)))
 	if err != nil {
 		return err
@@ -249,7 +317,7 @@ func streamDecompress(raw []byte, prevPath, outPath string, workers int) error {
 		return err
 	}
 	w := rawio.NewWriter(out)
-	err = chunk.DecodeDeltaV2(d, prev, chunk.Config{Workers: workers}, func(vals []float64) error {
+	err = chunk.DecodeDeltaV2(d, prev, chunk.Config{Workers: workers, Obs: rec}, func(vals []float64) error {
 		return w.WriteFloats(vals)
 	})
 	if cerr := out.Close(); err == nil {

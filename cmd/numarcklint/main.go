@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	numarcklint [-json] [-list] [packages...]
+//	numarcklint [-json] [-list] [-only analyzer] [packages...]
 //
 // Package patterns follow the go tool's shape relative to the module
 // root: "./..." (default) analyzes everything, "./internal/core" one
@@ -42,6 +42,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
 	list := fs.Bool("list", false, "list analyzers and exit")
 	dir := fs.String("dir", ".", "directory inside the module to analyze")
+	only := fs.String("only", "", "run a single analyzer by `name` (see -list)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -52,6 +53,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%-10s %s\n", a.Name(), a.Doc())
 		}
 		return 0
+	}
+	if *only != "" {
+		var sel []analysis.Analyzer
+		for _, a := range all {
+			if a.Name() == *only {
+				sel = append(sel, a)
+			}
+		}
+		if len(sel) == 0 {
+			fmt.Fprintf(stderr, "numarcklint: unknown analyzer %q (see -list)\n", *only)
+			return 2
+		}
+		all = sel
 	}
 
 	patterns := fs.Args()

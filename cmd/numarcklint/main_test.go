@@ -32,11 +32,10 @@ const goMod = "module tinymod\n\ngo 1.22\n"
 func TestRunFindsAndSuppresses(t *testing.T) {
 	dir := writeModule(t, map[string]string{
 		"go.mod": goMod,
-		"pkg/pkg.go": `package pkg
+		"pkg/pkg.go": `// Package pkg exercises the driver end to end.
+package pkg
 
-func equal(a, b float64) bool {
-	return a == b
-}
+func equal(a, b float64) bool { return a == b }
 
 func suppressed(a, b float64) bool {
 	//lint:ignore floatcmp exactness is the contract under test
@@ -65,7 +64,8 @@ func suppressed(a, b float64) bool {
 func TestRunCleanModule(t *testing.T) {
 	dir := writeModule(t, map[string]string{
 		"go.mod": goMod,
-		"pkg/pkg.go": `package pkg
+		"pkg/pkg.go": `// Package pkg is finding-free.
+package pkg
 
 func add(a, b int) int { return a + b }
 `,
@@ -82,7 +82,8 @@ func add(a, b int) int { return a + b }
 func TestRunDroppedCheckpointError(t *testing.T) {
 	dir := writeModule(t, map[string]string{
 		"go.mod": goMod,
-		"store/store.go": `package store
+		"store/store.go": `// Package store drops an error on purpose.
+package store
 
 import "os"
 
@@ -105,7 +106,8 @@ func drop(f *os.File) {
 func TestRunJSONAndList(t *testing.T) {
 	dir := writeModule(t, map[string]string{
 		"go.mod": goMod,
-		"pkg/pkg.go": `package pkg
+		"pkg/pkg.go": `// Package pkg holds one floatcmp finding.
+package pkg
 
 func equal(a, b float64) bool { return a != b }
 `,
@@ -123,7 +125,7 @@ func equal(a, b float64) bool { return a != b }
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("-list exit = %d, want 0", code)
 	}
-	for _, name := range []string{"floatcmp", "waitgroup", "ctxleak", "errcheck", "bindex"} {
+	for _, name := range []string{"floatcmp", "waitgroup", "ctxleak", "errcheck", "bindex", "doccomment"} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, &stdout)
 		}

@@ -28,6 +28,10 @@ func TestBindex(t *testing.T) {
 	analysistest.Run(t, "testdata/bindex", analyzers.Bindex{})
 }
 
+func TestDoccomment(t *testing.T) {
+	analysistest.Run(t, "testdata/doccomment", analyzers.Doccomment{})
+}
+
 // TestAll pins the analyzer set: names must be unique, non-empty and
 // documented, so //lint:ignore targets stay stable.
 func TestAll(t *testing.T) {

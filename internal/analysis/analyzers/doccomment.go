@@ -1,0 +1,160 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"numarck/internal/analysis"
+)
+
+// Doccomment enforces the repo's documentation contract: every package
+// carries a package comment, and every exported top-level identifier —
+// functions, methods on exported receivers, types, constants and
+// variables — carries a doc comment. Only presence is checked, not the
+// golint "starts with the name" convention: the point is that no part
+// of the public surface ships undocumented, not to police phrasing.
+// Struct fields and interface methods are exempt (their enclosing
+// type's comment is the natural home), as are exported identifiers in
+// package main, which are not importable API; main packages still need
+// a package comment, since that is the command's usage text.
+type Doccomment struct{}
+
+// Name implements analysis.Analyzer.
+func (Doccomment) Name() string { return "doccomment" }
+
+// Doc implements analysis.Analyzer.
+func (Doccomment) Doc() string {
+	return "requires package comments and doc comments on exported top-level identifiers"
+}
+
+// Run implements analysis.Analyzer.
+func (Doccomment) Run(p *analysis.Pass) []analysis.Diagnostic {
+	var diags []analysis.Diagnostic
+
+	// One package comment anywhere in the package satisfies the rule;
+	// when every file lacks one, report once on the lexically-first
+	// file so the finding's position is stable across runs.
+	files := append([]*ast.File(nil), p.Files...)
+	sort.Slice(files, func(i, j int) bool {
+		return p.Position(files[i].Package).Filename < p.Position(files[j].Package).Filename
+	})
+	hasPkgDoc := false
+	for _, f := range files {
+		if hasDocText(f.Doc) {
+			hasPkgDoc = true
+			break
+		}
+	}
+	if !hasPkgDoc && len(files) > 0 {
+		diags = append(diags, p.Diagf("doccomment", files[0].Package,
+			"package %s should have a package comment introducing its purpose", files[0].Name.Name))
+	}
+
+	if p.Pkg.Name() == "main" {
+		return diags
+	}
+
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || hasDocText(d.Doc) {
+					continue
+				}
+				if d.Recv != nil {
+					base := receiverBaseName(d.Recv)
+					if base == "" || !token.IsExported(base) {
+						continue
+					}
+					diags = append(diags, p.Diagf("doccomment", d.Name.Pos(),
+						"exported method %s.%s should have a doc comment", base, d.Name.Name))
+					continue
+				}
+				diags = append(diags, p.Diagf("doccomment", d.Name.Pos(),
+					"exported function %s should have a doc comment", d.Name.Name))
+			case *ast.GenDecl:
+				// A comment on the grouped declaration documents every
+				// spec in the group, matching the const/var-block idiom.
+				if d.Tok == token.IMPORT || hasDocText(d.Doc) {
+					continue
+				}
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && !hasDocText(s.Doc) {
+							diags = append(diags, p.Diagf("doccomment", s.Name.Pos(),
+								"exported type %s should have a doc comment", s.Name.Name))
+						}
+					case *ast.ValueSpec:
+						if hasDocText(s.Doc) {
+							continue
+						}
+						kind := "const"
+						if d.Tok == token.VAR {
+							kind = "var"
+						}
+						for _, name := range s.Names {
+							if name.IsExported() {
+								diags = append(diags, p.Diagf("doccomment", name.Pos(),
+									"exported %s %s should have a doc comment", kind, name.Name))
+								break
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// hasDocText reports whether cg contains real prose. Directive
+// comments (//go:..., //lint:..., //nolint...) document nothing, so a
+// lone suppression above a declaration still counts as missing docs —
+// the diagnostic fires and the suppression layer, which requires a
+// stated reason, decides whether it stands.
+func hasDocText(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		text, isLine := strings.CutPrefix(c.Text, "//")
+		if !isLine {
+			text = strings.TrimSuffix(strings.TrimPrefix(c.Text, "/*"), "*/")
+		}
+		if isLine && (strings.HasPrefix(text, "go:") || strings.HasPrefix(text, "lint:") || strings.HasPrefix(text, "nolint")) {
+			continue
+		}
+		if strings.TrimSpace(text) != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// receiverBaseName unwraps a method receiver to the name of its base
+// type: *T, (T), T[P] and T[P1, P2] all resolve to T.
+func receiverBaseName(recv *ast.FieldList) string {
+	if len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	for {
+		switch v := t.(type) {
+		case *ast.StarExpr:
+			t = v.X
+		case *ast.ParenExpr:
+			t = v.X
+		case *ast.IndexExpr:
+			t = v.X
+		case *ast.IndexListExpr:
+			t = v.X
+		case *ast.Ident:
+			return v.Name
+		default:
+			return ""
+		}
+	}
+}

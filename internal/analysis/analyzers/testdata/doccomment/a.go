@@ -1,0 +1,50 @@
+package fixture // want `package fixture should have a package comment`
+
+// Documented is fine: the doc comment is present.
+type Documented struct {
+	Field int // struct fields are exempt
+}
+
+type Bare struct{} // want `exported type Bare should have a doc comment`
+
+type unexported struct{} // lower-case identifiers need no docs
+
+// Iface is documented; its methods are exempt.
+type Iface interface {
+	Method() error
+}
+
+// DocumentedFunc has what it needs.
+func DocumentedFunc() {}
+
+func BareFunc() {} // want `exported function BareFunc should have a doc comment`
+
+func internalHelper() {}
+
+// Size is a documented method.
+func (Documented) Size() int { return 0 }
+
+func (d *Documented) Reset() {} // want `exported method Documented.Reset should have a doc comment`
+
+// Methods on unexported receivers are not public surface.
+func (unexported) Exported() {}
+
+// Grouped constants: one comment covers the block.
+const (
+	ModeA = 1
+	ModeB = 2
+)
+
+const LooseConst = 3 // want `exported const LooseConst should have a doc comment`
+
+var (
+	Registry = map[string]int{} // want `exported var Registry should have a doc comment`
+
+	// Quota is documented per spec inside an undocumented block.
+	Quota = 10
+
+	internalState int
+)
+
+//go:generate true
+func Generated() {} // want `exported function Generated should have a doc comment`

@@ -1,0 +1,6 @@
+package fixture
+
+// Second file of the fixture: the missing-package-comment finding is
+// reported once, on the lexically-first file (a.go), never here.
+
+func AlsoBare() {} // want `exported function AlsoBare should have a doc comment`

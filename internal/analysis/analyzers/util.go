@@ -3,8 +3,9 @@
 // invariant: exact floating-point comparison discipline (floatcmp),
 // sound sync.WaitGroup use in the goroutine-parallel paths (waitgroup),
 // cancellable goroutine channel sends (ctxleak), no dropped errors on
-// the persistence paths (errcheck), and truncation-free bin-index
-// conversions (bindex).
+// the persistence paths (errcheck), truncation-free bin-index
+// conversions (bindex), and a fully documented public surface
+// (doccomment).
 package analyzers
 
 import (
@@ -22,6 +23,7 @@ func All() []analysis.Analyzer {
 		Ctxleak{},
 		Errcheck{},
 		Bindex{},
+		Doccomment{},
 	}
 }
 

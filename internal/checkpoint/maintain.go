@@ -20,6 +20,9 @@ type VerifyIssue struct {
 	Err    error
 }
 
+// String renders the issue as one line of the verify report,
+// identifying the file by variable/kind/iteration and, when the issue
+// is chunk-local, the failing chunk and its byte offset.
 func (v VerifyIssue) String() string {
 	if v.Chunk >= 0 {
 		return fmt.Sprintf("%s.%s.%06d: chunk %d at byte offset %d: %v", v.Variable, v.Kind, v.Iteration, v.Chunk, v.Offset, v.Err)

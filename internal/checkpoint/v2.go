@@ -11,6 +11,7 @@ import (
 
 	"numarck/internal/bitpack"
 	"numarck/internal/core"
+	"numarck/internal/obs"
 )
 
 // Format v2 stores a delta checkpoint as independently decodable
@@ -60,10 +61,14 @@ type ChunkError struct {
 	Err    error
 }
 
+// Error implements the error interface, locating the failure by chunk
+// index and section byte offset.
 func (e *ChunkError) Error() string {
 	return fmt.Sprintf("chunk %d at byte offset %d: %v", e.Chunk, e.Offset, e.Err)
 }
 
+// Unwrap exposes the underlying cause (always wrapping ErrCorrupt) to
+// errors.Is and errors.As.
 func (e *ChunkError) Unwrap() error { return e.Err }
 
 func chunkErr(i int, off int64, format string, args ...any) error {
@@ -99,6 +104,7 @@ type DeltaV2Writer struct {
 	dir         []dirEntry
 	pointsSeen  int
 	finished    bool
+	rec         *obs.Recorder
 }
 
 // NewDeltaV2Writer writes the v2 header and bin table and returns a
@@ -131,12 +137,16 @@ func NewDeltaV2Writer(w io.Writer, variable string, iteration, n int, opt core.O
 		ChunkPoints: chunkPoints,
 		ChunkCount:  chunkCountFor(n, chunkPoints),
 	}
+	rec := vopt.Obs
 	cw := &countingWriter{w: w}
 	// writeFile computes hdr.CRC over the "payload", which for v2 is
 	// the bin table; the chunk sections carry their own CRCs.
+	t := rec.Start()
 	if err := writeFile(cw, magicDeltaV2, hdr, table); err != nil {
 		return nil, err
 	}
+	t.Stop(obs.StageWrite)
+	rec.Add(obs.CounterBytesWritten, cw.n)
 	return &DeltaV2Writer{
 		w:           w,
 		off:         cw.n,
@@ -145,6 +155,7 @@ func NewDeltaV2Writer(w io.Writer, variable string, iteration, n int, opt core.O
 		indexBits:   vopt.IndexBits,
 		binCount:    len(binRatios),
 		dir:         make([]dirEntry, 0, hdr.ChunkCount),
+		rec:         rec,
 	}, nil
 }
 
@@ -179,10 +190,12 @@ func (w *DeltaV2Writer) AppendChunk(indices []uint32, incompressible []bool, exa
 	if len(incompressible) != np {
 		return fmt.Errorf("checkpoint: chunk %d: %d incompressible flags for %d points", len(w.dir), len(incompressible), np)
 	}
+	t := w.rec.Start()
 	packed, err := bitpack.Pack(indices, w.indexBits)
 	if err != nil {
 		return fmt.Errorf("checkpoint: pack chunk %d: %w", len(w.dir), err)
 	}
+	t.Stop(obs.StageBitpack)
 	bitmap := bitpack.NewBitmap(np)
 	nExact := 0
 	for j, inc := range incompressible {
@@ -201,14 +214,22 @@ func (w *DeltaV2Writer) AppendChunk(indices []uint32, incompressible []bool, exa
 	if len(section) > math.MaxUint32 {
 		return fmt.Errorf("checkpoint: chunk section of %d bytes exceeds format limit", len(section))
 	}
+	t = w.rec.Start()
+	crc := crc32.ChecksumIEEE(section)
+	t.Stop(obs.StageCRC)
+	t = w.rec.Start()
 	if _, err := w.w.Write(section); err != nil {
 		return err
 	}
+	t.Stop(obs.StageWrite)
+	w.rec.Add(obs.CounterBytesWritten, int64(len(section)))
+	w.rec.Add(obs.CounterSectionBytes, int64(len(section)))
+	w.rec.Add(obs.CounterChunksEncoded, 1)
 	w.dir = append(w.dir, dirEntry{
 		off: w.off,
 		//lint:ignore bindex len(section) <= math.MaxUint32 checked above
 		length: uint32(len(section)),
-		crc:    crc32.ChecksumIEEE(section),
+		crc:    crc,
 		//lint:ignore bindex the section holds 8 bytes per exact value and is <= math.MaxUint32 checked above
 		exactCount: uint32(nExact),
 	})
@@ -236,13 +257,18 @@ func (w *DeltaV2Writer) Finish() error {
 		binary.LittleEndian.PutUint32(buf[16:], e.exactCount)
 		dir = append(dir, buf[:]...)
 	}
+	t := w.rec.Start()
 	dirCRC := crc32.ChecksumIEEE(dir)
+	t.Stop(obs.StageCRC)
 	var foot [footerSize]byte
 	binary.LittleEndian.PutUint64(foot[0:], uint64(w.off))
 	binary.LittleEndian.PutUint32(foot[8:], dirCRC)
 	copy(foot[12:], footerMagic)
 	dir = append(dir, foot[:]...)
+	t = w.rec.Start()
 	_, err := w.w.Write(dir)
+	t.Stop(obs.StageWrite)
+	w.rec.Add(obs.CounterBytesWritten, int64(len(dir)))
 	return err
 }
 
@@ -274,7 +300,14 @@ type DeltaV2Reader struct {
 	r    io.ReaderAt
 	meta DeltaV2Meta
 	dir  []dirEntry
+	rec  *obs.Recorder
 }
+
+// SetRecorder attaches an instrumentation recorder: subsequent chunk
+// reads report section read/CRC/unpack timings, byte counts, and
+// decode timings into it. A nil recorder (the default) keeps every
+// site a no-op. Not safe to call concurrently with chunk reads.
+func (d *DeltaV2Reader) SetRecorder(rec *obs.Recorder) { d.rec = rec }
 
 // IsDeltaV2 reports whether raw starts like a v2 delta checkpoint.
 func IsDeltaV2(raw []byte) bool { return bytes.HasPrefix(raw, magicDeltaV2) }
@@ -455,18 +488,27 @@ func (d *DeltaV2Reader) ReadChunk(i int) (*ChunkPayload, error) {
 	ent := d.dir[i]
 	_, np := d.ChunkSpan(i)
 	section := make([]byte, ent.length)
+	t := d.rec.Start()
 	if _, err := d.r.ReadAt(section, ent.off); err != nil {
 		return nil, chunkErr(i, ent.off, "read section: %v", err)
 	}
-	if crc := crc32.ChecksumIEEE(section); crc != ent.crc {
+	t.Stop(obs.StageRead)
+	d.rec.Add(obs.CounterBytesRead, int64(len(section)))
+	d.rec.Add(obs.CounterSectionBytes, int64(len(section)))
+	t = d.rec.Start()
+	crc := crc32.ChecksumIEEE(section)
+	t.Stop(obs.StageCRC)
+	if crc != ent.crc {
 		return nil, chunkErr(i, ent.off, "section CRC %08x, directory says %08x", crc, ent.crc)
 	}
 	idxBytes := bitpack.PackedLen(np, d.meta.Opt.IndexBits)
 	mapBytes := (np + 7) / 8
+	t = d.rec.Start()
 	indices, err := bitpack.Unpack(section[:idxBytes], np, d.meta.Opt.IndexBits)
 	if err != nil {
 		return nil, chunkErr(i, ent.off, "%v", err)
 	}
+	t.Stop(obs.StageBitpack)
 	bitmap, err := bitpack.BitmapFromBytes(section[idxBytes:idxBytes+mapBytes], np)
 	if err != nil {
 		return nil, chunkErr(i, ent.off, "%v", err)
@@ -495,6 +537,7 @@ func (d *DeltaV2Reader) DecodeChunkInto(i int, prev, dst []float64) error {
 	if err != nil {
 		return err
 	}
+	t := d.rec.Start()
 	exactIdx := 0
 	for j := 0; j < np; j++ {
 		if p.Incompressible.Get(j) {
@@ -509,6 +552,8 @@ func (d *DeltaV2Reader) DecodeChunkInto(i int, prev, dst []float64) error {
 		}
 		dst[j] = prev[j] * (1 + d.meta.BinRatios[idx-1])
 	}
+	t.Stop(obs.StageDecode)
+	d.rec.Add(obs.CounterChunksDecoded, 1)
 	return nil
 }
 
@@ -552,6 +597,9 @@ func (d *DeltaV2Reader) Decode(prev []float64, workers int) ([]float64, error) {
 			return nil, err
 		}
 	}
+	d.rec.Add(obs.CounterDecodes, 1)
+	d.rec.Add(obs.CounterPointsDecoded, int64(d.meta.N))
+	d.rec.SetMax(obs.GaugeWorkers, int64(workers))
 	return out, nil
 }
 
@@ -702,6 +750,7 @@ type DeltaV1Assembler struct {
 	bitmap     *bitpack.Bitmap
 	exact      []float64
 	pointsSeen int
+	rec        *obs.Recorder
 }
 
 // NewDeltaV1Assembler prepares an assembler for n points encoded under
@@ -729,6 +778,7 @@ func NewDeltaV1Assembler(variable string, iteration, n int, opt core.Options, bi
 		binRatios: binRatios,
 		packer:    p,
 		bitmap:    bitpack.NewBitmap(n),
+		rec:       vopt.Obs,
 	}, nil
 }
 
@@ -742,10 +792,13 @@ func (a *DeltaV1Assembler) AppendChunk(indices []uint32, incompressible []bool, 
 	if a.pointsSeen+len(indices) > a.n {
 		return fmt.Errorf("checkpoint: %d points appended to a %d-point assembler", a.pointsSeen+len(indices), a.n)
 	}
+	t := a.rec.Start()
 	if err := a.packer.AppendAll(indices); err != nil {
 		return err
 	}
 	a.packed.Write(a.packer.Drain())
+	t.Stop(obs.StageBitpack)
+	a.rec.Add(obs.CounterChunksEncoded, 1)
 	nExact := 0
 	for j, inc := range incompressible {
 		if inc {
@@ -766,6 +819,7 @@ func (a *DeltaV1Assembler) Bytes() ([]byte, error) {
 	if a.pointsSeen != a.n {
 		return nil, fmt.Errorf("checkpoint: %d of %d points appended", a.pointsSeen, a.n)
 	}
+	t := a.rec.Start()
 	a.packed.Write(a.packer.Close())
 	payload := make([]byte, 0, 8*len(a.binRatios)+a.packed.Len()+len(a.bitmap.Bytes())+8*len(a.exact))
 	payload = appendFloats(payload, a.binRatios)
@@ -787,5 +841,7 @@ func (a *DeltaV1Assembler) Bytes() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	t.Stop(obs.StageWrite)
+	a.rec.Add(obs.CounterBytesWritten, int64(buf.Len()))
 	return buf.Bytes(), nil
 }

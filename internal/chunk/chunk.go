@@ -20,6 +20,7 @@ import (
 
 	"numarck/internal/checkpoint"
 	"numarck/internal/core"
+	"numarck/internal/obs"
 )
 
 // Source is a re-readable float64 array. The encoder reads every window
@@ -99,6 +100,13 @@ type Config struct {
 	// stored exactly — but the learned table, and therefore the bytes,
 	// may differ from the in-memory encode.
 	MaxTableInput int
+
+	// Obs, when non-nil, receives the pipeline's per-chunk stage
+	// timings (read, ratio, assign, decode), worker queue-wait times,
+	// and chunk/byte counters. It is also handed down to the checkpoint
+	// writer or reader of the run, so one recorder sees the whole
+	// streaming path. Nil keeps instrumentation a no-op.
+	Obs *obs.Recorder
 }
 
 // resolve validates cfg, fills defaults, and applies the budget.

@@ -1,12 +1,15 @@
 package chunk
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"runtime/pprof"
 	"sync"
 
 	"numarck/internal/checkpoint"
 	"numarck/internal/core"
+	"numarck/internal/obs"
 )
 
 // orderedChunks runs process(i) for i in [0, count) across up to
@@ -16,7 +19,14 @@ import (
 // memory stays proportional to the worker count no matter how far a
 // fast chunk runs ahead of a slow predecessor. The first process or
 // emit error cancels the run.
-func orderedChunks[T any](count, workers int, process func(i int) (T, error), emit func(i int, v T) error) error {
+//
+// label names the pipeline pass in profiles: each worker goroutine runs
+// under the pprof label numarck_pipeline=<label>, so CPU profiles of a
+// streaming run attribute samples to encode-pass1/encode-pass2/decode.
+// rec (nil-safe) receives the time workers spend blocked waiting for an
+// in-flight slot as StageQueueWait — the backpressure signal of an
+// emitter slower than its producers.
+func orderedChunks[T any](count, workers int, label string, rec *obs.Recorder, process func(i int) (T, error), emit func(i int, v T) error) error {
 	if count == 0 {
 		return nil
 	}
@@ -46,38 +56,43 @@ func orderedChunks[T any](count, workers int, process func(i int) (T, error), em
 	sem := make(chan struct{}, workers)
 	done := make(chan struct{})
 	var wg sync.WaitGroup
+	labels := pprof.Labels("numarck_pipeline", label)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
-				// Acquire an in-flight slot BEFORE claiming a job:
-				// holding a job must imply holding a slot, or the
-				// worker owning the lowest unemitted chunk could
-				// starve while later chunks' parked results hold
-				// every slot.
-				select {
-				case sem <- struct{}{}:
-				case <-done:
-					return
-				}
-				var i int
-				var ok bool
-				select {
-				case i, ok = <-jobs:
-					if !ok {
+			pprof.Do(context.Background(), labels, func(context.Context) {
+				for {
+					// Acquire an in-flight slot BEFORE claiming a job:
+					// holding a job must imply holding a slot, or the
+					// worker owning the lowest unemitted chunk could
+					// starve while later chunks' parked results hold
+					// every slot.
+					t := rec.Start()
+					select {
+					case sem <- struct{}{}:
+						t.Stop(obs.StageQueueWait)
+					case <-done:
 						return
 					}
-				case <-done:
-					return
+					var i int
+					var ok bool
+					select {
+					case i, ok = <-jobs:
+						if !ok {
+							return
+						}
+					case <-done:
+						return
+					}
+					v, err := process(i)
+					select {
+					case results <- result{i: i, v: v, err: err}:
+					case <-done:
+						return
+					}
 				}
-				v, err := process(i)
-				select {
-				case results <- result{i: i, v: v, err: err}:
-				case <-done:
-					return
-				}
-			}
+			})
 		}()
 	}
 	go func() {
@@ -177,6 +192,17 @@ func Encode(prev, cur Source, opt core.Options, cfg Config, newSink NewSink) (*R
 	if err != nil {
 		return nil, err
 	}
+	// One recorder serves both layers: setting either Config.Obs or
+	// Options.Obs instruments the pipeline and the sinks alike.
+	rec := cfg.Obs
+	if rec == nil {
+		rec = vopt.Obs
+	} else if vopt.Obs == nil {
+		vopt.Obs = rec
+	}
+	rec.SetMax(obs.GaugeWorkers, int64(cfg.Workers))
+	rec.SetMax(obs.GaugeChunkPoints, int64(cfg.ChunkPoints))
+	rec.SetMax(obs.GaugePeakBufferBytes, cfg.peakBufferBytes())
 	chunkCount := 0
 	if n > 0 {
 		chunkCount = (n + cfg.ChunkPoints - 1) / cfg.ChunkPoints
@@ -186,17 +212,22 @@ func Encode(prev, cur Source, opt core.Options, cfg Config, newSink NewSink) (*R
 	// Each chunk's TableInput slice is a contiguous piece of the exact
 	// sequence the in-memory encoder hands to core.Fit.
 	res := newReservoir(cfg.MaxTableInput)
-	err = orderedChunks(chunkCount, cfg.Workers,
+	err = orderedChunks(chunkCount, cfg.Workers, "encode-pass1", rec,
 		func(i int) ([]float64, error) {
 			lo, np := chunkSpan(n, cfg.ChunkPoints, i)
+			t := rec.Start()
 			pbuf, cbuf, err := readPair(prev, cur, lo, np)
 			if err != nil {
 				return nil, err
 			}
+			t.Stop(obs.StageRead)
+			rec.Add(obs.CounterBytesRead, 16*int64(np))
+			t = rec.Start()
 			ratios, err := core.ComputeRatios(pbuf, cbuf, 1)
 			if err != nil {
 				return nil, err
 			}
+			t.Stop(obs.StageRatio)
 			return ratios.TableInput(vopt), nil
 		},
 		func(_ int, ti []float64) error {
@@ -207,6 +238,7 @@ func Encode(prev, cur Source, opt core.Options, cfg Config, newSink NewSink) (*R
 		return nil, err
 	}
 
+	t := rec.Start()
 	var bins core.Binner
 	var binRatios []float64
 	if len(res.vals) > 0 {
@@ -219,6 +251,9 @@ func Encode(prev, cur Source, opt core.Options, cfg Config, newSink NewSink) (*R
 			return nil, fmt.Errorf("chunk: internal error: %d representatives exceed %d bins", len(binRatios), vopt.NumBins())
 		}
 	}
+	t.Stop(obs.StageTable)
+	rec.Add(obs.CounterTableInput, res.total)
+	rec.SetMax(obs.GaugeBinCount, int64(len(binRatios)))
 
 	sink, err := newSink(Plan{
 		N:           n,
@@ -233,27 +268,34 @@ func Encode(prev, cur Source, opt core.Options, cfg Config, newSink NewSink) (*R
 
 	// Pass 2: re-read, assign bins, stream sections out in order.
 	exactCount := 0
-	err = orderedChunks(chunkCount, cfg.Workers,
+	err = orderedChunks(chunkCount, cfg.Workers, "encode-pass2", rec,
 		func(i int) (chunkOut, error) {
 			lo, np := chunkSpan(n, cfg.ChunkPoints, i)
+			t := rec.Start()
 			pbuf, cbuf, err := readPair(prev, cur, lo, np)
 			if err != nil {
 				return chunkOut{}, err
 			}
+			t.Stop(obs.StageRead)
+			rec.Add(obs.CounterBytesRead, 16*int64(np))
+			t = rec.Start()
 			ratios, err := core.ComputeRatios(pbuf, cbuf, 1)
 			if err != nil {
 				return chunkOut{}, err
 			}
+			t.Stop(obs.StageRatio)
 			out := chunkOut{
 				indices:        make([]uint32, np),
 				incompressible: make([]bool, np),
 			}
+			t = rec.Start()
 			core.AssignChunk(ratios, bins, vopt, out.indices, out.incompressible)
 			for j, inc := range out.incompressible {
 				if inc {
 					out.exact = append(out.exact, cbuf[j])
 				}
 			}
+			t.Stop(obs.StageAssign)
 			return out, nil
 		},
 		func(_ int, out chunkOut) error {
@@ -263,6 +305,9 @@ func Encode(prev, cur Source, opt core.Options, cfg Config, newSink NewSink) (*R
 	if err != nil {
 		return nil, err
 	}
+	rec.Add(obs.CounterEncodes, 1)
+	rec.Add(obs.CounterPointsEncoded, int64(n))
+	rec.Add(obs.CounterExactValues, int64(exactCount))
 
 	return &Result{
 		N:               n,
@@ -333,13 +378,21 @@ func DecodeDeltaV2(d *checkpoint.DeltaV2Reader, prev Source, cfg Config, emit fu
 	if err != nil {
 		return err
 	}
-	return orderedChunks(meta.ChunkCount, cfg.Workers,
+	rec := cfg.Obs
+	if rec != nil {
+		d.SetRecorder(rec)
+		rec.SetMax(obs.GaugeWorkers, int64(cfg.Workers))
+	}
+	err = orderedChunks(meta.ChunkCount, cfg.Workers, "decode", rec,
 		func(i int) ([]float64, error) {
 			lo, np := d.ChunkSpan(i)
+			t := rec.Start()
 			pbuf := make([]float64, np)
 			if err := prev.ReadFloats(pbuf, lo); err != nil {
 				return nil, err
 			}
+			t.Stop(obs.StageRead)
+			rec.Add(obs.CounterBytesRead, 8*int64(np))
 			dst := make([]float64, np)
 			if err := d.DecodeChunkInto(i, pbuf, dst); err != nil {
 				return nil, err
@@ -349,4 +402,10 @@ func DecodeDeltaV2(d *checkpoint.DeltaV2Reader, prev Source, cfg Config, emit fu
 		func(_ int, vals []float64) error {
 			return emit(vals)
 		})
+	if err != nil {
+		return err
+	}
+	rec.Add(obs.CounterDecodes, 1)
+	rec.Add(obs.CounterPointsDecoded, int64(meta.N))
+	return nil
 }

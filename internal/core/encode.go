@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"numarck/internal/bitpack"
+	"numarck/internal/obs"
 	"numarck/internal/stats"
 )
 
@@ -93,10 +94,13 @@ func encodeWith(prev, cur []float64, opt Options, fit func([]float64) (Binner, e
 	if err != nil {
 		return nil, err
 	}
+	rec := opt.Obs
+	t := rec.Start()
 	ratios, err := ComputeRatios(prev, cur, opt.Workers)
 	if err != nil {
 		return nil, err
 	}
+	t.Stop(obs.StageRatio)
 	n := len(cur)
 	e := &Encoded{
 		Opt:            opt,
@@ -106,6 +110,7 @@ func encodeWith(prev, cur []float64, opt Options, fit func([]float64) (Binner, e
 		TrueRatios:     ratios.Delta,
 	}
 
+	t = rec.Start()
 	large := ratios.TableInput(opt)
 	var bins Binner
 	if len(large) > 0 {
@@ -118,11 +123,15 @@ func encodeWith(prev, cur []float64, opt Options, fit func([]float64) (Binner, e
 			return nil, fmt.Errorf("core: internal error: %d representatives exceed %d bins", len(e.BinRatios), opt.NumBins())
 		}
 	}
+	t.Stop(obs.StageTable)
+	rec.Add(obs.CounterTableInput, int64(len(large)))
+	rec.SetMax(obs.GaugeBinCount, int64(len(e.BinRatios)))
 
 	// Assignment pass, parallel over point ranges: every binner's
 	// Lookup is read-only after fitting. Incompressibility is recorded
 	// as a flag here and gathered serially below so the exact-value
 	// array keeps its point order.
+	t = rec.Start()
 	incompressible := make([]bool, n)
 	parallelRanges(n, opt.Workers, func(lo, hi int) {
 		assignRange(ratios, bins, e.BinRatios, opt, lo, hi, e.Indices, incompressible)
@@ -132,6 +141,10 @@ func encodeWith(prev, cur []float64, opt Options, fit func([]float64) (Binner, e
 			e.markIncompressible(j, cur[j])
 		}
 	}
+	t.Stop(obs.StageAssign)
+	rec.Add(obs.CounterEncodes, 1)
+	rec.Add(obs.CounterPointsEncoded, int64(n))
+	rec.Add(obs.CounterExactValues, int64(len(e.Exact)))
 	return e, nil
 }
 
@@ -229,6 +242,8 @@ func (e *Encoded) Decode(prev []float64) ([]float64, error) {
 	if len(prev) != e.N {
 		return nil, fmt.Errorf("%w: prev has %d points, encoded has %d", ErrLength, len(prev), e.N)
 	}
+	rec := e.Opt.Obs
+	t := rec.Start()
 	out := make([]float64, e.N)
 	exactIdx := 0
 	for j := 0; j < e.N; j++ {
@@ -254,6 +269,9 @@ func (e *Encoded) Decode(prev []float64) ([]float64, error) {
 	if exactIdx != len(e.Exact) {
 		return nil, fmt.Errorf("core: corrupt encoding: %d exact values stored, %d consumed", len(e.Exact), exactIdx)
 	}
+	t.Stop(obs.StageDecode)
+	rec.Add(obs.CounterDecodes, 1)
+	rec.Add(obs.CounterPointsDecoded, int64(e.N))
 	return out, nil
 }
 

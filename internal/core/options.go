@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"fmt"
+
+	"numarck/internal/obs"
 )
 
 // Strategy selects how the distribution of change ratios is learned and
@@ -104,6 +106,15 @@ type Options struct {
 	// the paper always reserves index 0). With it set, the index space
 	// still reserves 0 but small ratios go through the binning path.
 	DisableZeroIndex bool
+
+	// Obs, when non-nil, receives per-stage timings and counters from
+	// every pipeline the options flow through: core Encode/Decode, the
+	// streaming chunk pipeline, and the checkpoint writers. Nil (the
+	// default) keeps every instrumentation site a single-branch no-op.
+	// It rides in Options so one recorder follows the encode through
+	// all layers without widening any signatures; it is never
+	// serialized.
+	Obs *obs.Recorder
 }
 
 // ErrBadOptions reports an invalid Options value.

@@ -12,6 +12,7 @@ import (
 	"numarck/internal/checkpoint"
 	"numarck/internal/chunk"
 	"numarck/internal/core"
+	"numarck/internal/obs"
 )
 
 // CodecBenchConfig sizes the codec benchmark.
@@ -59,7 +60,12 @@ type CodecDecodeTiming struct {
 }
 
 // CodecStrategyTiming is the benchmark row of one binning strategy.
-// All times are the minimum over the configured repetitions.
+// All times are the minimum over the configured repetitions. The
+// per-stage maps come from one extra instrumented (internal/obs) run
+// of each path after the timed repetitions, so the recorder overhead —
+// tiny as it is — never pollutes the headline numbers; their keys are
+// the obs stage names (ratio, table, assign, bitpack, crc, read,
+// write, queue-wait, decode) and values are total nanoseconds.
 type CodecStrategyTiming struct {
 	Strategy         string              `json:"strategy"`
 	EncodeInMemoryNs int64               `json:"encode_inmemory_ns"`
@@ -68,6 +74,24 @@ type CodecStrategyTiming struct {
 	DecodeChunked    []CodecDecodeTiming `json:"decode_chunked"`
 	EncodedBytes     int                 `json:"encoded_bytes"`
 	Gamma            float64             `json:"gamma"`
+	// EncodeStreamStages breaks the streaming encode into per-stage
+	// totals (ns by stage name).
+	EncodeStreamStages map[string]int64 `json:"encode_stream_stage_ns,omitempty"`
+	// DecodeStreamStages breaks the single-worker chunked decode into
+	// per-stage totals (ns by stage name).
+	DecodeStreamStages map[string]int64 `json:"decode_stream_stage_ns,omitempty"`
+}
+
+// stageTotals flattens a snapshot into a stage-name → total-ns map,
+// dropping stages the run never touched.
+func stageTotals(rec *obs.Recorder) map[string]int64 {
+	totals := map[string]int64{}
+	for _, st := range rec.Snapshot().Stages {
+		if st.Count > 0 {
+			totals[st.Name] = st.TotalNs
+		}
+	}
+	return totals
 }
 
 // CodecBenchResult is the machine-readable output of the codec
@@ -158,6 +182,17 @@ func RunCodecBench(cfg CodecBenchConfig) (*CodecBenchResult, error) {
 		}
 		row.EncodedBytes = v2.Len()
 
+		// One extra instrumented run for the per-stage breakdown, after
+		// the timed repetitions so the headline min stays clean.
+		encRec := obs.NewRecorder()
+		var instrumented bytes.Buffer
+		icfg := ccfg
+		icfg.Obs = encRec
+		if _, err := chunk.EncodeDeltaV2(&instrumented, "bench", 1, chunk.SliceSource(prev), chunk.SliceSource(cur), opt, icfg); err != nil {
+			return nil, err
+		}
+		row.EncodeStreamStages = stageTotals(encRec)
+
 		row.DecodeInMemoryNs, err = timeMin(cfg.Iters, func() error {
 			_, err := enc.Decode(prev)
 			return err
@@ -189,6 +224,13 @@ func RunCodecBench(cfg CodecBenchConfig) (*CodecBenchResult, error) {
 			}
 			row.DecodeChunked = append(row.DecodeChunked, t)
 		}
+
+		decRec := obs.NewRecorder()
+		err = chunk.DecodeDeltaV2(d, chunk.SliceSource(prev), chunk.Config{Workers: 1, Obs: decRec}, func([]float64) error { return nil })
+		if err != nil {
+			return nil, err
+		}
+		row.DecodeStreamStages = stageTotals(decRec)
 		res.Rows = append(res.Rows, row)
 	}
 	return res, nil

@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestObserveAccumulates(t *testing.T) {
+	r := NewRecorder()
+	r.Observe(StageAssign, 100*time.Nanosecond)
+	r.Observe(StageAssign, 300*time.Nanosecond)
+	r.Observe(StageCRC, time.Microsecond)
+
+	s := r.Snapshot()
+	st := s.Stage("assign")
+	if st.Count != 2 || st.TotalNs != 400 || st.MaxNs != 300 {
+		t.Fatalf("assign stage = %+v, want count 2 total 400 max 300", st)
+	}
+	if got := s.Stage("crc").TotalNs; got != 1000 {
+		t.Fatalf("crc total = %d, want 1000", got)
+	}
+	if s.Stage("ratio").Count != 0 {
+		t.Fatalf("unobserved stage should be zero")
+	}
+	if got := s.StageTotalNs(); got != 1400 {
+		t.Fatalf("StageTotalNs = %d, want 1400", got)
+	}
+}
+
+func TestCountersAndGauges(t *testing.T) {
+	r := NewRecorder()
+	r.Add(CounterBytesWritten, 10)
+	r.Add(CounterBytesWritten, 32)
+	r.SetMax(GaugePeakBufferBytes, 100)
+	r.SetMax(GaugePeakBufferBytes, 50) // lower: must not shrink
+	s := r.Snapshot()
+	if got := s.Counters["bytes_written"]; got != 42 {
+		t.Fatalf("bytes_written = %d, want 42", got)
+	}
+	if got := s.Gauges["peak_buffer_bytes"]; got != 100 {
+		t.Fatalf("peak_buffer_bytes = %d, want 100", got)
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2},
+		{1023, 9}, {1024, 10},
+		{1 << 39, 39}, {1 << 45, NumBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.ns); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+}
+
+func TestHistogramBucketsSumToCount(t *testing.T) {
+	r := NewRecorder()
+	durs := []time.Duration{0, time.Nanosecond, 100 * time.Nanosecond,
+		time.Microsecond, time.Millisecond, 3 * time.Millisecond}
+	for _, d := range durs {
+		r.Observe(StageTable, d)
+	}
+	st := r.Snapshot().Stage("table")
+	var inBuckets int64
+	for _, b := range st.Buckets {
+		inBuckets += b.Count
+	}
+	if inBuckets != st.Count || st.Count != int64(len(durs)) {
+		t.Fatalf("buckets hold %d of %d observations", inBuckets, st.Count)
+	}
+	for i := 1; i < len(st.Buckets); i++ {
+		if st.Buckets[i].LoNs <= st.Buckets[i-1].LoNs {
+			t.Fatalf("buckets not ascending: %+v", st.Buckets)
+		}
+	}
+}
+
+func TestTimerRecords(t *testing.T) {
+	r := NewRecorder()
+	tm := r.Start()
+	time.Sleep(time.Millisecond)
+	tm.Stop(StageRead)
+	st := r.Snapshot().Stage("read")
+	if st.Count != 1 || st.TotalNs < int64(time.Millisecond)/2 {
+		t.Fatalf("timer recorded %+v, want one ~1ms observation", st)
+	}
+}
+
+// TestNilSafe pins the no-op contract: every method of a nil Recorder
+// must be callable.
+func TestNilSafe(t *testing.T) {
+	var r *Recorder
+	r.Add(CounterEncodes, 1)
+	r.SetMax(GaugeWorkers, 8)
+	r.Observe(StageRatio, time.Second)
+	r.Start().Stop(StageWrite)
+	s := r.Snapshot()
+	if s.WallNs != 0 || len(s.Stages) != 0 || len(s.Counters) != 0 || len(s.Gauges) != 0 {
+		t.Fatalf("nil Recorder snapshot not empty: %+v", s)
+	}
+}
+
+// TestNilRecorderAllocFree measures the promised zero-allocation
+// fast path of uninstrumented callers.
+func TestNilRecorderAllocFree(t *testing.T) {
+	var r *Recorder
+	allocs := testing.AllocsPerRun(1000, func() {
+		tm := r.Start()
+		r.Add(CounterPointsEncoded, 4096)
+		r.SetMax(GaugeBinCount, 255)
+		r.Observe(StageAssign, time.Microsecond)
+		tm.Stop(StageAssign)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil Recorder path allocates %v times per run, want 0", allocs)
+	}
+}
+
+// TestLiveRecorderAllocFree: the hot-path update methods must not
+// allocate on a live Recorder either — only Start (reading the clock)
+// and Snapshot may.
+func TestLiveRecorderAllocFree(t *testing.T) {
+	r := NewRecorder()
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Add(CounterPointsEncoded, 4096)
+		r.SetMax(GaugeBinCount, 255)
+		r.Observe(StageAssign, time.Microsecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("live Recorder update path allocates %v times per run, want 0", allocs)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRecorder()
+	r.Observe(StageBitpack, 5*time.Microsecond)
+	r.Add(CounterChunksEncoded, 7)
+	r.SetMax(GaugeChunkPoints, 1<<15)
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if back.Stage("bitpack").Count != 1 {
+		t.Fatalf("round-tripped snapshot lost bitpack stage: %+v", back)
+	}
+	if back.Counters["chunks_encoded"] != 7 || back.Gauges["chunk_points"] != 1<<15 {
+		t.Fatalf("round-tripped snapshot lost counters/gauges: %+v", back)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := NewRecorder()
+	r.Observe(StageWrite, 2*time.Millisecond)
+	r.Add(CounterBytesWritten, 1234)
+	r.SetMax(GaugeWorkers, 4)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"wall time", "stage write", "bytes_written", "1234", "workers"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestStageNamesComplete pins that every enum value has a distinct
+// name, so snapshots never collapse two stages into one key.
+func TestStageNamesComplete(t *testing.T) {
+	seen := map[string]bool{}
+	for s := Stage(0); s < numStages; s++ {
+		n := s.String()
+		if n == "" || n == "unknown" || seen[n] {
+			t.Errorf("stage %d has bad or duplicate name %q", s, n)
+		}
+		seen[n] = true
+	}
+	for c := Counter(0); c < numCounters; c++ {
+		n := c.String()
+		if n == "" || n == "unknown" || seen[n] {
+			t.Errorf("counter %d has bad or duplicate name %q", c, n)
+		}
+		seen[n] = true
+	}
+	for g := Gauge(0); g < numGauges; g++ {
+		n := g.String()
+		if n == "" || n == "unknown" || seen[n] {
+			t.Errorf("gauge %d has bad or duplicate name %q", g, n)
+		}
+		seen[n] = true
+	}
+}

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// StageSnapshot is the point-in-time view of one stage's timing.
+type StageSnapshot struct {
+	// Name is the stage's snapshot name (Stage.String).
+	Name string `json:"name"`
+	// Count is how many times the stage ran.
+	Count int64 `json:"count"`
+	// TotalNs is the summed wall time of every run, in nanoseconds.
+	// Concurrent runs both count in full, so across parallel workers
+	// the per-stage totals may exceed Snapshot.WallNs.
+	TotalNs int64 `json:"total_ns"`
+	// MaxNs is the slowest single run, in nanoseconds.
+	MaxNs int64 `json:"max_ns"`
+	// Buckets is the latency histogram: only the non-empty log2
+	// buckets, in ascending duration order.
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// BucketCount is one non-empty latency histogram bucket.
+type BucketCount struct {
+	// LoNs is the bucket's inclusive lower duration bound in
+	// nanoseconds; the bucket covers [LoNs, 2*LoNs).
+	LoNs int64 `json:"lo_ns"`
+	// Count is the number of observations that fell in the bucket.
+	Count int64 `json:"count"`
+}
+
+// Snapshot is a consistent-enough point-in-time copy of a Recorder:
+// each value is read atomically, though distinct values may be split
+// across concurrent updates. Taken when the pipeline is quiescent
+// (after an encode returns) it is exact.
+type Snapshot struct {
+	// WallNs is the time since the Recorder was created (0 for a zero
+	// or nil Recorder).
+	WallNs int64 `json:"wall_ns"`
+	// Stages holds the stages that ran at least once.
+	Stages []StageSnapshot `json:"stages"`
+	// Counters holds the non-zero counters, keyed by Counter.String.
+	Counters map[string]int64 `json:"counters"`
+	// Gauges holds the non-zero gauges, keyed by Gauge.String.
+	Gauges map[string]int64 `json:"gauges"`
+}
+
+// Snapshot captures the Recorder's current state. On a nil Recorder it
+// returns the zero Snapshot. Nil-safe.
+func (r *Recorder) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters: map[string]int64{},
+		Gauges:   map[string]int64{},
+	}
+	if r == nil {
+		return s
+	}
+	if !r.start.IsZero() {
+		s.WallNs = time.Since(r.start).Nanoseconds()
+	}
+	for i := Stage(0); i < numStages; i++ {
+		st := &r.stages[i]
+		count := st.count.Load()
+		if count == 0 {
+			continue
+		}
+		ss := StageSnapshot{
+			Name:    i.String(),
+			Count:   count,
+			TotalNs: st.totalNs.Load(),
+			MaxNs:   st.maxNs.Load(),
+		}
+		for b := 0; b < NumBuckets; b++ {
+			if c := st.buckets[b].Load(); c > 0 {
+				ss.Buckets = append(ss.Buckets, BucketCount{LoNs: int64(1) << uint(b), Count: c})
+			}
+		}
+		s.Stages = append(s.Stages, ss)
+	}
+	for i := Counter(0); i < numCounters; i++ {
+		if v := r.counters[i].Load(); v != 0 {
+			s.Counters[i.String()] = v
+		}
+	}
+	for i := Gauge(0); i < numGauges; i++ {
+		if v := r.gauges[i].Load(); v != 0 {
+			s.Gauges[i.String()] = v
+		}
+	}
+	return s
+}
+
+// Stage returns the snapshot of the named stage, or a zero
+// StageSnapshot when the stage never ran.
+func (s Snapshot) Stage(name string) StageSnapshot {
+	for _, st := range s.Stages {
+		if st.Name == name {
+			return st
+		}
+	}
+	return StageSnapshot{}
+}
+
+// StageTotalNs sums TotalNs across every recorded stage.
+func (s Snapshot) StageTotalNs() int64 {
+	var total int64
+	for _, st := range s.Stages {
+		total += st.TotalNs
+	}
+	return total
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	e := json.NewEncoder(w)
+	e.SetIndent("", "  ")
+	return e.Encode(s)
+}
+
+// WriteText writes the snapshot as an aligned human-readable table:
+// one row per stage (count, total, share of the summed stage time,
+// mean, max), then the counters and gauges sorted by name.
+func (s Snapshot) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "wall time %s\n", fmtNs(s.WallNs)); err != nil {
+		return err
+	}
+	total := s.StageTotalNs()
+	for _, st := range s.Stages {
+		share := 0.0
+		if total > 0 {
+			share = float64(st.TotalNs) / float64(total) * 100
+		}
+		mean := int64(0)
+		if st.Count > 0 {
+			mean = st.TotalNs / st.Count
+		}
+		_, err := fmt.Fprintf(w, "  stage %-10s %8d calls  total %10s (%5.1f%%)  mean %10s  max %10s\n",
+			st.Name, st.Count, fmtNs(st.TotalNs), share, fmtNs(mean), fmtNs(st.MaxNs))
+		if err != nil {
+			return err
+		}
+	}
+	if err := writeKV(w, "counter", s.Counters); err != nil {
+		return err
+	}
+	return writeKV(w, "gauge", s.Gauges)
+}
+
+// writeKV prints one sorted name→value section of the text rendering.
+func writeKV(w io.Writer, kind string, m map[string]int64) error {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		if _, err := fmt.Fprintf(w, "  %s %-19s %12d\n", kind, k, m[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fmtNs renders a nanosecond count with a readable unit.
+func fmtNs(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}

@@ -6,6 +6,8 @@ import (
 	"io"
 	"math"
 	"os"
+
+	"numarck/internal/obs"
 )
 
 // Reader reads windows of a little-endian float64 array through an
@@ -13,9 +15,18 @@ import (
 // same region twice — once for table learning, once for assignment —
 // without ever holding the whole array in memory.
 type Reader struct {
-	r io.ReaderAt
-	n int
+	r   io.ReaderAt
+	n   int
+	rec *obs.Recorder
 }
+
+// SetRecorder attaches an instrumentation recorder: subsequent
+// ReadFloats calls report their wall time as StageRead and their byte
+// volume as CounterBytesRead. Leave it unset when the reader feeds the
+// chunk pipeline — the pipeline times and counts its own source reads,
+// and attaching the same recorder at both layers would double-count.
+// Not safe to call concurrently with reads.
+func (r *Reader) SetRecorder(rec *obs.Recorder) { r.rec = rec }
 
 // NewReader wraps r, which must hold size bytes forming a whole number
 // of float64 values.
@@ -41,6 +52,7 @@ func (r *Reader) ReadFloats(dst []float64, off int) error {
 	if len(dst) == 0 {
 		return nil
 	}
+	t := r.rec.Start()
 	buf := make([]byte, 8*len(dst))
 	if _, err := r.r.ReadAt(buf, int64(off)*8); err != nil {
 		return fmt.Errorf("rawio: read window at %d: %w", off, err)
@@ -48,6 +60,8 @@ func (r *Reader) ReadFloats(dst []float64, off int) error {
 	for i := range dst {
 		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
 	}
+	t.Stop(obs.StageRead)
+	r.rec.Add(obs.CounterBytesRead, 8*int64(len(dst)))
 	return nil
 }
 
@@ -89,7 +103,14 @@ type Writer struct {
 	w     io.Writer
 	buf   []byte
 	count int
+	rec   *obs.Recorder
 }
+
+// SetRecorder attaches an instrumentation recorder: subsequent
+// WriteFloats calls report their wall time as StageWrite and their
+// byte volume as CounterBytesWritten. Not safe to call concurrently
+// with writes.
+func (w *Writer) SetRecorder(rec *obs.Recorder) { w.rec = rec }
 
 // NewWriter returns a Writer over w.
 func NewWriter(w io.Writer) *Writer {
@@ -98,6 +119,9 @@ func NewWriter(w io.Writer) *Writer {
 
 // WriteFloats appends vals to the stream.
 func (w *Writer) WriteFloats(vals []float64) error {
+	t := w.rec.Start()
+	defer t.Stop(obs.StageWrite)
+	w.rec.Add(obs.CounterBytesWritten, 8*int64(len(vals)))
 	for len(vals) > 0 {
 		batch := len(w.buf) / 8
 		if batch > len(vals) {

@@ -1,0 +1,30 @@
+package numarck
+
+import "numarck/internal/obs"
+
+// Recorder accumulates per-stage timings, counters, and gauges from
+// every pipeline it is attached to (Encode, StreamEncoder,
+// StreamDecoder). It is safe for concurrent use and nil-safe: a nil
+// *Recorder is the valid "off" state and costs instrumented code one
+// predictable branch per site. See internal/obs for the full contract.
+type Recorder = obs.Recorder
+
+// MetricsSnapshot is a point-in-time view of a Recorder, serializable
+// as JSON (WriteJSON) or an aligned text table (WriteText).
+type MetricsSnapshot = obs.Snapshot
+
+// NewRecorder returns an empty Recorder anchored at the current time.
+func NewRecorder() *Recorder { return obs.NewRecorder() }
+
+// WithRecorder returns a copy of opt that reports per-stage timings
+// and counters into rec. Passing the result to Encode (or setting it
+// as StreamEncoder.Opt) instruments the whole pipeline the options
+// flow through:
+//
+//	rec := numarck.NewRecorder()
+//	enc, err := numarck.Encode(prev, cur, numarck.WithRecorder(opt, rec))
+//	rec.Snapshot().WriteText(os.Stderr)
+func WithRecorder(opt Options, rec *Recorder) Options {
+	opt.Obs = rec
+	return opt
+}

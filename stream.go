@@ -42,12 +42,21 @@ type StreamEncoder struct {
 	Opt Options
 	// Config tunes chunking, parallelism, and memory.
 	Config StreamConfig
+	// Recorder, when non-nil, receives per-stage timings (ratio, table
+	// learning, assignment, bitpack, CRC, IO, queue wait) and
+	// chunk/byte counters from the whole streaming pipeline. Nil keeps
+	// instrumentation a no-op.
+	Recorder *Recorder
 }
 
 // Encode streams the encode of prev → cur as a chunked v2 delta file
 // to w.
 func (e StreamEncoder) Encode(w io.Writer, variable string, iteration int, prev, cur Source) (*StreamResult, error) {
-	return chunk.EncodeDeltaV2(w, variable, iteration, prev, cur, e.Opt, e.Config)
+	cfg := e.Config
+	if e.Recorder != nil {
+		cfg.Obs = e.Recorder
+	}
+	return chunk.EncodeDeltaV2(w, variable, iteration, prev, cur, e.Opt, cfg)
 }
 
 // EncodeFiles streams the encode of the transition between two raw
@@ -86,6 +95,10 @@ type StreamDecoder struct {
 	// Config bounds the decode parallelism (Workers); chunk size is
 	// fixed by the file.
 	Config StreamConfig
+	// Recorder, when non-nil, receives per-stage decode timings
+	// (section reads, CRC checks, index unpacking, reconstruction) and
+	// chunk/byte counters. Nil keeps instrumentation a no-op.
+	Recorder *Recorder
 }
 
 // Decode reads a v2 delta from r (size bytes long), reconstructs it on
@@ -96,7 +109,11 @@ func (d StreamDecoder) Decode(r io.ReaderAt, size int64, prev Source, emit func(
 	if err != nil {
 		return err
 	}
-	return chunk.DecodeDeltaV2(dr, prev, d.Config, emit)
+	cfg := d.Config
+	if d.Recorder != nil {
+		cfg.Obs = d.Recorder
+	}
+	return chunk.DecodeDeltaV2(dr, prev, cfg, emit)
 }
 
 // DecodeFiles reconstructs deltaPath on top of the raw float64 file at
