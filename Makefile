@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint docs test race fuzz-smoke verify bench bench-smoke
+.PHONY: all build vet lint docs test race crash-test fuzz-smoke verify bench bench-smoke
 
 all: verify
 
@@ -30,17 +30,26 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The seeded crash-consistency matrix: fault-injection unit tests plus
+# the kill-at-every-mutating-op store matrix and the salvage-decode
+# tests. Deterministic (seeded schedules, no timing dependence) and
+# fast enough to run on every change.
+crash-test:
+	$(GO) test -count=1 -run 'TestInjector|TestWriteFileAtomic|TestOS' ./internal/faultfs
+	$(GO) test -count=1 -run 'TestCrash|TestRecoveryScan|TestDecodeRecover|TestRestartSalvage' ./internal/checkpoint
+
 # One short burst per fuzz target; -run=NONE skips the unit tests so
-# the smoke stays fast. Targets: bit-level pack/unpack round-trips and
-# the checkpoint parsers on corrupt input.
+# the smoke stays fast. Targets: bit-level pack/unpack round-trips, the
+# checkpoint parsers on corrupt input, and the degraded-mode decode.
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzRoundTrip$$ -fuzztime=$(FUZZTIME) ./internal/bitpack
 	$(GO) test -run=NONE -fuzz=FuzzRoundTrip64$$ -fuzztime=$(FUZZTIME) ./internal/bitpack
 	$(GO) test -run=NONE -fuzz=FuzzUnmarshalDelta$$ -fuzztime=$(FUZZTIME) ./internal/checkpoint
 	$(GO) test -run=NONE -fuzz=FuzzUnmarshalDeltaV2$$ -fuzztime=$(FUZZTIME) ./internal/checkpoint
 	$(GO) test -run=NONE -fuzz=FuzzUnmarshalFull$$ -fuzztime=$(FUZZTIME) ./internal/checkpoint
+	$(GO) test -run=NONE -fuzz=FuzzRecoverDeltaV2$$ -fuzztime=$(FUZZTIME) ./internal/checkpoint
 
-verify: build vet lint docs test race fuzz-smoke
+verify: build vet lint docs test race crash-test fuzz-smoke
 
 # Codec benchmarks: in-memory vs streaming encode/decode per strategy
 # (machine-readable BENCH_codec.json) plus the Go micro-benchmarks of

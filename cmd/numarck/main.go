@@ -7,9 +7,19 @@
 //	numarck compress   -prev prev.f64 -cur cur.f64 -out ckpt.nmk [-e 0.001] [-b 8] [-strategy clustering] [-var name] [-iter n]
 //	numarck compress   -prev prev.f64 -cur cur.f64 -out ckpt.nmk -stream [-chunk points] [-budget bytes]
 //	numarck compress   -nc data.nc -var rlus -from 4 -to 5 -out ckpt.nmk
-//	numarck decompress -prev prev.f64 -in ckpt.nmk -out rec.f64 [-workers n]
+//	numarck decompress -prev prev.f64 -in ckpt.nmk -out rec.f64 [-workers n] [-recover]
 //	numarck inspect    -in ckpt.nmk
-//	numarck restart    -dir store -var dens -iter 12 -out rec.f64
+//	numarck restart    -dir store -var dens -iter 12 -out rec.f64 [-recover]
+//	numarck verify     -dir store
+//
+// -recover turns on degraded-mode decode for chunked (v2) deltas:
+// chunks whose CRC fails are quarantined, every healthy chunk decodes,
+// and the exact lost point ranges (which keep the previous iteration's
+// values in the output) are reported on stderr. Without it, any
+// corruption fails the command — fail-closed is the default. verify
+// prints a chain health report: the Open-time recovery scan's findings,
+// deep per-file and journal checks, quarantined files, and the latest
+// restorable iteration per variable.
 //
 // With -stream, compress runs the out-of-core pipeline: the inputs are
 // read in chunks under the -budget memory cap and the chunked v2
@@ -23,6 +33,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -101,6 +112,8 @@ func main() {
 		err = cmdInspect(os.Args[2:])
 	case "restart":
 		err = cmdRestart(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -119,9 +132,15 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   numarck compress   -prev prev.f64 -cur cur.f64 -out ckpt.nmk [-e 0.001] [-b 8] [-strategy clustering] [-var name] [-iter n]
   numarck compress   -prev prev.f64 -cur cur.f64 -out ckpt.nmk -stream [-chunk points] [-budget bytes]
-  numarck decompress -prev prev.f64 -in ckpt.nmk -out rec.f64 [-workers n]
+  numarck decompress -prev prev.f64 -in ckpt.nmk -out rec.f64 [-workers n] [-recover]
   numarck inspect    -in ckpt.nmk
-  numarck restart    -dir store -var name -iter n -out rec.f64
+  numarck restart    -dir store -var name -iter n -out rec.f64 [-recover]
+  numarck verify     -dir store
+
+-recover salvages chunk-local corruption in chunked (v2) deltas:
+healthy chunks decode, lost point ranges keep the previous iteration's
+values and are reported; without it any corruption fails the command.
+verify prints a chain health report for a checkpoint store.
 
 compress/decompress also take -metrics and -metrics-json path
 data files are raw little-endian float64 arrays`)
@@ -261,6 +280,7 @@ func cmdDecompress(args []string) error {
 	inPath := fs.String("in", "", "checkpoint file")
 	outPath := fs.String("out", "", "output values (.f64)")
 	workers := fs.Int("workers", 0, "chunked (v2) input: concurrent chunks (0 = GOMAXPROCS)")
+	salvage := fs.Bool("recover", false, "chunked (v2) input: salvage healthy chunks past corruption")
 	metrics := metricsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -274,10 +294,19 @@ func cmdDecompress(args []string) error {
 	}
 	obsRec := metrics.recorder()
 	if checkpoint.IsDeltaV2(raw) {
+		if *salvage {
+			if err := salvageDecompress(raw, *prevPath, *outPath, *workers, obsRec); err != nil {
+				return err
+			}
+			return metrics.emit(obsRec)
+		}
 		if err := streamDecompress(raw, *prevPath, *outPath, *workers, obsRec); err != nil {
 			return err
 		}
 		return metrics.emit(obsRec)
+	}
+	if *salvage {
+		return fmt.Errorf("-recover needs a chunked (v2) input: %s has a single whole-payload CRC, nothing chunk-local to salvage", *inPath)
 	}
 	prev, err := rawio.ReadFile(*prevPath)
 	if err != nil {
@@ -328,6 +357,37 @@ func streamDecompress(raw []byte, prevPath, outPath string, workers int, rec *ob
 	}
 	meta := d.Meta()
 	fmt.Printf("decoded %s@%d: %d points from %d chunks\n", meta.Variable, meta.Iteration, w.Count(), meta.ChunkCount)
+	return nil
+}
+
+// salvageDecompress is streamDecompress in degraded mode: corrupt
+// chunks are quarantined, healthy ones decoded, and the lost point
+// ranges (which keep prev's values in the output) reported on stderr.
+func salvageDecompress(raw []byte, prevPath, outPath string, workers int, rec *obs.Recorder) error {
+	d, err := checkpoint.OpenDeltaV2(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		return err
+	}
+	prev, err := rawio.ReadFile(prevPath)
+	if err != nil {
+		return err
+	}
+	out, err := d.DecodeRecover(prev, workers, checkpoint.RecoverOptions{Salvage: true, Obs: rec})
+	var pde *checkpoint.PartialDataError
+	if err != nil && !errors.As(err, &pde) {
+		return err
+	}
+	if err := rawio.WriteFile(outPath, out); err != nil {
+		return err
+	}
+	meta := d.Meta()
+	if pde == nil {
+		fmt.Printf("decoded %s@%d: %d points (no corruption found)\n", meta.Variable, meta.Iteration, len(out))
+		return nil
+	}
+	fmt.Fprintf(os.Stderr, "numarck: %v\n", pde)
+	fmt.Printf("salvaged %s@%d: %d of %d points (%d lost, holding previous-iteration values)\n",
+		meta.Variable, meta.Iteration, len(out)-pde.LostPoints(), len(out), pde.LostPoints())
 	return nil
 }
 
@@ -395,6 +455,7 @@ func cmdRestart(args []string) error {
 	variable := fs.String("var", "", "variable name")
 	iter := fs.Int("iter", -1, "iteration to reconstruct")
 	outPath := fs.String("out", "", "output values (.f64)")
+	salvage := fs.Bool("recover", false, "salvage healthy chunks of corrupt v2 deltas in the chain")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -405,13 +466,78 @@ func cmdRestart(args []string) error {
 	if err != nil {
 		return err
 	}
-	data, err := st.Restart(*variable, *iter)
+	if rep := st.Recovery(); !rep.Clean() {
+		fmt.Fprintf(os.Stderr, "numarck: recovery scan: %s\n", rep)
+	}
+	var data []float64
+	var pde *checkpoint.PartialDataError
+	if *salvage {
+		data, pde, err = st.RestartSalvage(*variable, *iter)
+	} else {
+		data, err = st.Restart(*variable, *iter)
+	}
 	if err != nil {
 		return err
 	}
 	if err := rawio.WriteFile(*outPath, data); err != nil {
 		return err
 	}
+	if pde != nil {
+		fmt.Fprintf(os.Stderr, "numarck: %v\n", pde)
+		fmt.Printf("reconstructed %s@%d: %d points (%d stale after salvage)\n", *variable, *iter, len(data), pde.LostPoints())
+		return nil
+	}
 	fmt.Printf("reconstructed %s@%d: %d points\n", *variable, *iter, len(data))
 	return nil
+}
+
+// cmdVerify prints a chain health report for a checkpoint store: the
+// Open-time recovery scan's findings, every issue the deep Verify pass
+// found (parse, CRC, chain-gap, and journal cross-check), the contents
+// of quarantine/, and the latest restorable iteration per variable.
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	dir := fs.String("dir", "", "checkpoint store directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("verify requires -dir")
+	}
+	st, err := checkpoint.Open(*dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recovery scan: %s\n", st.Recovery())
+	issues, err := st.Verify()
+	if err != nil {
+		return err
+	}
+	for _, is := range issues {
+		fmt.Printf("issue: %s\n", is)
+	}
+	quarantined, err := st.Quarantined()
+	if err != nil {
+		return err
+	}
+	for _, name := range quarantined {
+		fmt.Printf("quarantined: %s\n", name)
+	}
+	vars, err := st.Variables()
+	if err != nil {
+		return err
+	}
+	for _, v := range vars {
+		latest, err := st.LatestRestorable(v)
+		if err != nil {
+			fmt.Printf("%s: not restorable (%v)\n", v, err)
+			continue
+		}
+		fmt.Printf("%s: restorable through iteration %d\n", v, latest)
+	}
+	if len(issues) == 0 && len(quarantined) == 0 && st.Recovery().Clean() {
+		fmt.Println("store is healthy")
+		return nil
+	}
+	return fmt.Errorf("store has %d issue(s), %d quarantined file(s)", len(issues), len(quarantined))
 }

@@ -175,3 +175,118 @@ func TestCompressFromNetCDF(t *testing.T) {
 		t.Error("unknown nc variable accepted")
 	}
 }
+
+// corruptOneByte flips a byte at 60% of the file — inside a chunk
+// section for any realistically sized v2 delta.
+func corruptOneByte(t *testing.T, path string) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)*3/5] ^= 0x20
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecompressRecoverSalvagesCorruptV2(t *testing.T) {
+	dir := t.TempDir()
+	prevPath, curPath, prev, _ := writeSeries(t, dir)
+	ckPath := filepath.Join(dir, "ck.nmk")
+	recPath := filepath.Join(dir, "rec.f64")
+	err := cmdCompress([]string{
+		"-prev", prevPath, "-cur", curPath, "-out", ckPath,
+		"-stream", "-chunk", "256",
+	})
+	if err != nil {
+		t.Fatalf("compress -stream: %v", err)
+	}
+	corruptOneByte(t, ckPath)
+
+	// Fail-closed by default.
+	if err := cmdDecompress([]string{"-prev", prevPath, "-in", ckPath, "-out", recPath}); err == nil {
+		t.Fatal("decompress of corrupt v2 without -recover succeeded")
+	}
+	// Salvage mode writes the output and keeps going.
+	if err := cmdDecompress([]string{"-prev", prevPath, "-in", ckPath, "-out", recPath, "-recover"}); err != nil {
+		t.Fatalf("decompress -recover: %v", err)
+	}
+	rec, err := rawio.ReadFile(recPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec) != len(prev) {
+		t.Fatalf("salvaged output has %d points, want %d", len(rec), len(prev))
+	}
+}
+
+func TestVerifyCommand(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	st, err := checkpoint.Create(dir, core.Options{ErrorBound: 0.001, IndexBits: 8, Strategy: core.Clustering})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetDeltaFormat(2, 256); err != nil {
+		t.Fatal(err)
+	}
+	_, _, prev, cur := writeSeries(t, t.TempDir())
+	if err := st.WriteFull("dens", 0, prev); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.WriteDelta("dens", 1, prev, cur); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdVerify([]string{"-dir", dir}); err != nil {
+		t.Fatalf("verify of healthy store: %v", err)
+	}
+	// Truncate the delta: verify must quarantine it and report unhealth.
+	path := filepath.Join(dir, "dens.delta.000001.nmk")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdVerify([]string{"-dir", dir}); err == nil {
+		t.Fatal("verify of damaged store reported healthy")
+	}
+	if err := cmdVerify([]string{}); err == nil {
+		t.Fatal("verify without -dir should fail")
+	}
+}
+
+func TestRestartRecoverCommand(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	st, err := checkpoint.Create(dir, core.Options{ErrorBound: 0.001, IndexBits: 8, Strategy: core.Clustering})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetDeltaFormat(2, 256); err != nil {
+		t.Fatal(err)
+	}
+	_, _, prev, cur := writeSeries(t, t.TempDir())
+	if err := st.WriteFull("dens", 0, prev); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.WriteDelta("dens", 1, prev, cur); err != nil {
+		t.Fatal(err)
+	}
+	corruptOneByte(t, filepath.Join(dir, "dens.delta.000001.nmk"))
+
+	outPath := filepath.Join(t.TempDir(), "rec.f64")
+	if err := cmdRestart([]string{"-dir", dir, "-var", "dens", "-iter", "1", "-out", outPath}); err == nil {
+		t.Fatal("restart over corrupt delta without -recover succeeded")
+	}
+	if err := cmdRestart([]string{"-dir", dir, "-var", "dens", "-iter", "1", "-out", outPath, "-recover"}); err != nil {
+		t.Fatalf("restart -recover: %v", err)
+	}
+	rec, err := rawio.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec) != len(prev) {
+		t.Fatalf("salvaged restart has %d points, want %d", len(rec), len(prev))
+	}
+}

@@ -1,0 +1,301 @@
+package checkpoint
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"numarck/internal/faultfs"
+)
+
+// copyDir clones the flat store directory (and quarantine/ if present)
+// so each crash-matrix iteration starts from an identical pre-state.
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range entries {
+		if de.IsDir() {
+			copyDir(t, filepath.Join(src, de.Name()), filepath.Join(dst, de.Name()))
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(src, de.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, de.Name()), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// seedStore builds the crash-matrix pre-state: full@0, delta@1, delta@2
+// for one variable, plus the iteration data for later writes.
+func seedStore(t *testing.T, dir string, format int) [][]float64 {
+	t.Helper()
+	series := genSeries(3000, 5, 99)
+	st, err := Create(dir, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetDeltaFormat(format, 512); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteFull("dens", 0, series[0]); err != nil {
+		t.Fatal(err)
+	}
+	prev := series[0]
+	for i := 1; i <= 2; i++ {
+		if _, err := st.WriteDelta("dens", i, prev, series[i]); err != nil {
+			t.Fatal(err)
+		}
+		// Replay so the next delta encodes against the decoded values,
+		// like the Writer does.
+		enc, err := st.ReadDelta("dens", i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, err = enc.Decode(prev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return series
+}
+
+// bitsEqual compares two float slices exactly.
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCrashMatrixWrite is the systematic crash-consistency test: it
+// counts the mutating filesystem operations one checkpoint write
+// performs, then for every k kills the simulated process at operation k
+// and reopens the store on the clean filesystem. The invariant at every
+// crash point: the store opens, its recovery scan absorbs all damage,
+// the chain verifies clean, the pre-existing data restarts
+// byte-identically, and the interrupted checkpoint is either fully
+// present or fully absent — never torn.
+func TestCrashMatrixWrite(t *testing.T) {
+	for _, format := range []int{1, 2} {
+		base := t.TempDir()
+		series := seedStore(t, base, format)
+
+		// Baseline: the pre-state's restart values, and the op count of
+		// the next write measured with a passthrough injector.
+		stBase, err := Open(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want2, err := stBase.Restart("dens", 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		probeDir := t.TempDir()
+		copyDir(t, base, probeDir)
+		probe := faultfs.NewInjector(faultfs.OS(), 1)
+		stProbe, err := OpenFS(probeDir, probe, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := stProbe.SetDeltaFormat(format, 512); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := stProbe.WriteDelta("dens", 3, want2, series[3]); err != nil {
+			t.Fatal(err)
+		}
+		want3, err := stProbe.Restart("dens", 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := probe.MutatingOps()
+		if m < 5 {
+			t.Fatalf("format %d: write path performed only %d mutating ops", format, m)
+		}
+
+		for k := 0; k < m; k++ {
+			dir := t.TempDir()
+			copyDir(t, base, dir)
+			inj := faultfs.NewInjector(faultfs.OS(), int64(1000+k))
+			st, err := OpenFS(dir, inj, nil)
+			if err != nil {
+				t.Fatalf("format %d k=%d: open pre-crash: %v", format, k, err)
+			}
+			if err := st.SetDeltaFormat(format, 512); err != nil {
+				t.Fatal(err)
+			}
+			inj.SetCrashAt(k)
+			if _, err := st.WriteDelta("dens", 3, want2, series[3]); !errors.Is(err, faultfs.ErrCrashed) {
+				t.Fatalf("format %d k=%d: write survived the crash point: %v", format, k, err)
+			}
+
+			// "Reboot": reopen on the clean filesystem.
+			st2, err := Open(dir)
+			if err != nil {
+				t.Fatalf("format %d k=%d: reopen after crash: %v", format, k, err)
+			}
+			issues, err := st2.Verify()
+			if err != nil {
+				t.Fatalf("format %d k=%d: verify: %v", format, k, err)
+			}
+			if len(issues) > 0 {
+				t.Fatalf("format %d k=%d: chain not clean after recovery: %v (report %s)",
+					format, k, issues, st2.Recovery())
+			}
+			got2, err := st2.Restart("dens", 2)
+			if err != nil {
+				t.Fatalf("format %d k=%d: pre-existing chain broken: %v", format, k, err)
+			}
+			if !bitsEqual(got2, want2) {
+				t.Fatalf("format %d k=%d: pre-existing data changed", format, k)
+			}
+			// Complete-or-absent for the interrupted checkpoint.
+			entries, err := st2.List("dens")
+			if err != nil {
+				t.Fatal(err)
+			}
+			has3 := false
+			for _, e := range entries {
+				if e.Kind == "delta" && e.Iteration == 3 {
+					has3 = true
+				}
+			}
+			if has3 {
+				got3, err := st2.Restart("dens", 3)
+				if err != nil {
+					t.Fatalf("format %d k=%d: delta@3 present but unreadable: %v", format, k, err)
+				}
+				if !bitsEqual(got3, want3) {
+					t.Fatalf("format %d k=%d: delta@3 present but wrong", format, k)
+				}
+			}
+		}
+	}
+}
+
+// TestCrashMatrixCreate kills store creation at every mutating op and
+// checks a reopen attempt never sees a half-initialized store: either
+// ErrNotFound (no manifest committed) or a fully working store.
+func TestCrashMatrixCreate(t *testing.T) {
+	probe := faultfs.NewInjector(faultfs.OS(), 1)
+	if _, err := CreateFS(t.TempDir(), opts(), probe); err != nil {
+		t.Fatal(err)
+	}
+	m := probe.MutatingOps()
+	for k := 0; k < m; k++ {
+		dir := t.TempDir()
+		inj := faultfs.NewInjector(faultfs.OS(), int64(k))
+		inj.SetCrashAt(k)
+		if _, err := CreateFS(dir, opts(), inj); !errors.Is(err, faultfs.ErrCrashed) {
+			t.Fatalf("k=%d: create survived crash: %v", k, err)
+		}
+		st, err := Open(dir)
+		switch {
+		case errors.Is(err, ErrNotFound):
+			// Manifest never committed: the clean pre-state.
+		case err == nil:
+			// Manifest committed: the store must be fully usable.
+			if err := st.WriteFull("dens", 0, genSeries(100, 1, 1)[0]); err != nil {
+				t.Fatalf("k=%d: adopted store cannot write: %v", k, err)
+			}
+			if _, err := st.Restart("dens", 0); err != nil {
+				t.Fatalf("k=%d: adopted store cannot restart: %v", k, err)
+			}
+		default:
+			t.Fatalf("k=%d: reopen after create crash: %v", k, err)
+		}
+	}
+}
+
+// TestRecoveryScanTornFile plants a truncated (torn) checkpoint file
+// with no journal record — the signature of a torn rename-less write
+// from a legacy store — and checks Open quarantines it instead of
+// failing, leaving the rest of the chain restorable.
+func TestRecoveryScanTornFile(t *testing.T) {
+	dir := t.TempDir()
+	seedStore(t, dir, 2)
+	// Truncate delta@2 behind the journal's back and corrupt its record
+	// by rewriting the file shorter.
+	path := filepath.Join(dir, fileName("dens", "delta", 2))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open with torn file: %v", err)
+	}
+	rep := st.Recovery()
+	if len(rep.Quarantined) != 1 || rep.Quarantined[0] != fileName("dens", "delta", 2) {
+		t.Fatalf("quarantined = %v, want the torn delta", rep.Quarantined)
+	}
+	if rep.Clean() {
+		t.Fatal("report should not be clean")
+	}
+	q, err := st.Quarantined()
+	if err != nil || len(q) != 1 {
+		t.Fatalf("Quarantined() = %v, %v", q, err)
+	}
+	// The chain up to the last good file still restarts.
+	if _, err := st.Restart("dens", 1); err != nil {
+		t.Fatalf("restart pre-torn iteration: %v", err)
+	}
+	// And the torn iteration is now an honest chain error, not a parse
+	// explosion.
+	if _, err := st.Restart("dens", 2); !errors.Is(err, ErrChain) && !errors.Is(err, ErrNotFound) {
+		t.Fatalf("restart at torn iteration = %v", err)
+	}
+	// A second open is clean: the damage was already absorbed.
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Recovery().Clean() {
+		t.Fatalf("second open not clean: %s", st2.Recovery())
+	}
+}
+
+// TestRecoveryScanAdoptsLegacyStore deletes the MANIFEST from a healthy
+// store — the layout of stores written before the journal existed — and
+// checks Open adopts every file and rebuilds the journal.
+func TestRecoveryScanAdoptsLegacyStore(t *testing.T) {
+	dir := t.TempDir()
+	seedStore(t, dir, 1)
+	if err := os.Remove(filepath.Join(dir, "MANIFEST")); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(st.Recovery().Adopted); got != 3 {
+		t.Fatalf("adopted %d files, want 3 (%s)", got, st.Recovery())
+	}
+	if _, err := st.Restart("dens", 2); err != nil {
+		t.Fatalf("legacy store restart: %v", err)
+	}
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Recovery().Clean() {
+		t.Fatalf("journal rebuild did not stick: %s", st2.Recovery())
+	}
+}

@@ -31,6 +31,36 @@ var (
 // ErrCorrupt reports an unreadable checkpoint file.
 var ErrCorrupt = errors.New("checkpoint: corrupt file")
 
+// ErrTruncated reports a file shorter than its own framing claims —
+// the signature of a torn write rather than in-place corruption.
+// Truncation errors wrap both ErrTruncated and ErrCorrupt, so
+// errors.Is(err, ErrCorrupt) still matches; recovery scans use the
+// distinction to classify a file as a quarantine candidate from a
+// crashed writer instead of a genuine format violation.
+var ErrTruncated = errors.New("checkpoint: truncated file")
+
+// truncatedErr wraps a truncation finding with both sentinel errors.
+func truncatedErr(format string, args ...any) error {
+	return fmt.Errorf("%w: %w: "+format, append([]any{ErrCorrupt, ErrTruncated}, args...)...)
+}
+
+// readErr classifies an io error from a positioned read: a short read
+// (io.EOF / io.ErrUnexpectedEOF) means the file ends before its framing
+// says it should — truncation — while anything else is a plain corrupt
+// read. The underlying error stays wrapped for errors.Is.
+func readErr(what string, err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("%w: %w: %s: %w", ErrCorrupt, ErrTruncated, what, err)
+	}
+	return fmt.Errorf("%w: %s: %w", ErrCorrupt, what, err)
+}
+
+// pathErr wraps err with the failing operation and file path, the one
+// error style every store-level failure uses.
+func pathErr(op, path string, err error) error {
+	return fmt.Errorf("checkpoint: %s %s: %w", op, path, err)
+}
+
 // fileHeader is the JSON header of both file kinds.
 type fileHeader struct {
 	Variable  string `json:"variable"`
@@ -79,6 +109,11 @@ func writeFile(w io.Writer, magic []byte, hdr fileHeader, payload []byte) error 
 func readFile(data, magic []byte) (fileHeader, []byte, error) {
 	var hdr fileHeader
 	if len(data) < len(magic)+4 {
+		// A correct magic prefix on a too-short file is a torn write;
+		// anything else is not one of our files at all.
+		if n := min(len(data), len(magic)); bytes.Equal(data[:n], magic[:n]) {
+			return hdr, nil, truncatedErr("%d bytes is shorter than the file frame", len(data))
+		}
 		return hdr, nil, fmt.Errorf("%w: shorter than header", ErrCorrupt)
 	}
 	if !bytes.Equal(data[:len(magic)], magic) {
@@ -87,8 +122,11 @@ func readFile(data, magic []byte) (fileHeader, []byte, error) {
 	off := len(magic)
 	hlen := int(binary.LittleEndian.Uint32(data[off : off+4]))
 	off += 4
-	if hlen < 2 || off+hlen > len(data) {
+	if hlen < 2 {
 		return hdr, nil, fmt.Errorf("%w: header length %d", ErrCorrupt, hlen)
+	}
+	if off+hlen > len(data) {
+		return hdr, nil, truncatedErr("header of %d bytes overruns %d-byte file", hlen, len(data))
 	}
 	if err := json.Unmarshal(data[off:off+hlen], &hdr); err != nil {
 		return hdr, nil, fmt.Errorf("%w: header: %v", ErrCorrupt, err)
@@ -186,9 +224,11 @@ func UnmarshalDelta(raw []byte) (variable string, iteration int, enc *core.Encod
 	idxBytes := bitpack.PackedLen(hdr.N, hdr.IndexBits)
 	mapBytes := (hdr.N + 7) / 8
 	exactBytes := 8 * hdr.ExactCount
-	if len(payload) != binBytes+idxBytes+mapBytes+exactBytes {
-		return "", 0, nil, fmt.Errorf("%w: payload %d bytes, want %d", ErrCorrupt,
-			len(payload), binBytes+idxBytes+mapBytes+exactBytes)
+	if want := binBytes + idxBytes + mapBytes + exactBytes; len(payload) != want {
+		if len(payload) < want {
+			return "", 0, nil, truncatedErr("payload %d bytes, want %d", len(payload), want)
+		}
+		return "", 0, nil, fmt.Errorf("%w: payload %d bytes, want %d", ErrCorrupt, len(payload), want)
 	}
 	bins := readFloats(payload[:binBytes], hdr.BinCount)
 	indices, err := bitpack.Unpack(payload[binBytes:binBytes+idxBytes], hdr.N, hdr.IndexBits)

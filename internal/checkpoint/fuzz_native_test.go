@@ -2,6 +2,8 @@ package checkpoint
 
 import (
 	"bytes"
+	"errors"
+	"math"
 	"testing"
 
 	"numarck/internal/core"
@@ -107,6 +109,60 @@ func FuzzUnmarshalFull(f *testing.F) {
 		_, _, data, err := UnmarshalFull(raw)
 		if err == nil && data == nil {
 			t.Error("nil data with nil error")
+		}
+	})
+}
+
+// FuzzRecoverDeltaV2 exercises the degraded-mode decode against
+// mutated v2 bytes: DecodeRecover must never panic, every point it
+// reports lost must hold prev's value exactly (data from a failed-CRC
+// chunk must never leak into the output), and every point it does not
+// report lost must be a real decode.
+func FuzzRecoverDeltaV2(f *testing.F) {
+	f.Add(seedDeltaV2(f))
+	f.Add([]byte{})
+	f.Add([]byte("NMRKD2"))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		d, err := OpenDeltaV2(bytesReaderAt(raw), int64(len(raw)))
+		if err != nil {
+			return // structurally rejected before any chunk work
+		}
+		meta := d.Meta()
+		if meta.N > 1<<16 {
+			return // bound the allocation the fuzzer can request
+		}
+		prev := make([]float64, meta.N)
+		for i := range prev {
+			prev[i] = 100 + float64(i)
+		}
+		out, err := d.DecodeRecover(prev, 2, RecoverOptions{Salvage: true})
+		if err == nil {
+			return // fully healthy mutant
+		}
+		var pde *PartialDataError
+		if !errors.As(err, &pde) {
+			return // non-chunk-local failure: fail-closed, nothing to check
+		}
+		if out == nil {
+			t.Fatal("PartialDataError without salvaged data")
+		}
+		inLost := func(i int) bool {
+			for _, r := range pde.Lost {
+				if i >= r.Lo && i < r.Hi {
+					return true
+				}
+			}
+			return false
+		}
+		for i := range out {
+			if inLost(i) && math.Float64bits(out[i]) != math.Float64bits(prev[i]) {
+				t.Fatalf("lost point %d holds data from a failed chunk", i)
+			}
+		}
+		for _, r := range pde.Lost {
+			if r.Lo < 0 || r.Hi > meta.N || r.Lo >= r.Hi {
+				t.Fatalf("lost range %v out of bounds for %d points", r, meta.N)
+			}
 		}
 	})
 }

@@ -3,8 +3,11 @@ package checkpoint
 import (
 	"errors"
 	"fmt"
-	"os"
+	"hash/crc32"
+	"path/filepath"
 	"sort"
+
+	"numarck/internal/faultfs"
 )
 
 // VerifyIssue describes one problem Verify found.
@@ -45,10 +48,12 @@ func newIssue(variable, kind string, iteration int, err error) VerifyIssue {
 }
 
 // Verify walks every checkpoint file in the store, parses it, and
-// checks its CRC and header identity. It returns all issues found (nil
-// means the store is clean). Chain gaps are reported per variable: a
-// delta with no reachable full checkpoint makes its iteration
-// unrestorable.
+// checks its CRC and header identity, then cross-checks the MANIFEST
+// journal against the directory: a journaled file that is missing, or
+// whose bytes no longer match the journaled length and CRC, is an
+// issue. It returns all issues found (nil means the store is clean).
+// Chain gaps are reported per variable: a delta with no reachable full
+// checkpoint makes its iteration unrestorable.
 func (st *Store) Verify() ([]VerifyIssue, error) {
 	vars, err := st.Variables()
 	if err != nil {
@@ -90,6 +95,54 @@ func (st *Store) Verify() ([]VerifyIssue, error) {
 			}
 		}
 	}
+	jissues, err := st.verifyJournal()
+	if err != nil {
+		return nil, err
+	}
+	return append(issues, jissues...), nil
+}
+
+// verifyJournal is Verify's deep journal cross-check: every live "add"
+// record must name a file that exists and whose bytes hash to the
+// journaled length and CRC. The Open-time recovery scan deliberately
+// checks only lengths (to stay O(files)); this is where the CRCs are
+// re-read.
+func (st *Store) verifyJournal() ([]VerifyIssue, error) {
+	journal, exists, _, err := replayJournal(st.fs, st.dir)
+	if err != nil {
+		return nil, err
+	}
+	if !exists {
+		return nil, nil
+	}
+	names := make([]string, 0, len(journal))
+	for name := range journal {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var issues []VerifyIssue
+	for _, name := range names {
+		e, ok := parseName(name)
+		if !ok {
+			continue
+		}
+		je := journal[name]
+		raw, err := faultfs.ReadFile(st.fs, filepath.Join(st.dir, name))
+		if err != nil {
+			issues = append(issues, newIssue(e.Variable, e.Kind, e.Iteration,
+				fmt.Errorf("journaled file unreadable: %w", err)))
+			continue
+		}
+		if int64(len(raw)) != je.Len {
+			issues = append(issues, newIssue(e.Variable, e.Kind, e.Iteration,
+				fmt.Errorf("%w: journal records %d bytes, file has %d", ErrCorrupt, je.Len, len(raw))))
+			continue
+		}
+		if crc := crc32.ChecksumIEEE(raw); crc != je.CRC {
+			issues = append(issues, newIssue(e.Variable, e.Kind, e.Iteration,
+				fmt.Errorf("%w: journal CRC %08x, file CRC %08x", ErrCorrupt, je.CRC, crc)))
+		}
+	}
 	return issues, nil
 }
 
@@ -122,7 +175,7 @@ func (st *Store) Stats() ([]VariableStats, error) {
 		}
 		s := VariableStats{Variable: v, FirstIter: -1}
 		for _, e := range entries {
-			info, err := os.Stat(st.path(v, e.Kind, e.Iteration))
+			info, err := st.fs.Stat(st.path(v, e.Kind, e.Iteration))
 			if err != nil {
 				return nil, err
 			}
@@ -205,11 +258,20 @@ func (st *Store) GC(keepFrom int) (removed int, err error) {
 		}
 		for _, e := range entries {
 			if e.Iteration < baseFull {
-				if err := os.Remove(st.path(v, e.Kind, e.Iteration)); err != nil {
+				name := fileName(v, e.Kind, e.Iteration)
+				if err := st.fs.Remove(st.path(v, e.Kind, e.Iteration)); err != nil {
+					return removed, pathErr("remove", st.path(v, e.Kind, e.Iteration), err)
+				}
+				if err := appendJournal(st.fs, st.dir, journalRecord{Op: "drop", Name: name}); err != nil {
 					return removed, err
 				}
 				removed++
 			}
+		}
+	}
+	if removed > 0 {
+		if err := st.fs.SyncDir(st.dir); err != nil {
+			return removed, pathErr("sync", st.dir, err)
 		}
 	}
 	return removed, nil

@@ -185,3 +185,64 @@ func TestGCIdempotent(t *testing.T) {
 		t.Errorf("second GC removed %d files", removed)
 	}
 }
+
+// TestGCWithQuarantinedBase checks retention safety when recovery has
+// quarantined a base full checkpoint: pruning must fall back to the
+// last good base and never delete it, keeping the surviving prefix of
+// the chain restorable.
+func TestGCWithQuarantinedBase(t *testing.T) {
+	st, _ := buildStore(t)
+	// Tear variable a's full@3; the reopen quarantines it, leaving
+	// full@0 as a's only (and last good) base.
+	path := st.path("a", "full", 3)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st2.Recovery().Quarantined) != 1 {
+		t.Fatalf("recovery = %s, want one quarantined file", st2.Recovery())
+	}
+	// GC(4): variable b prunes up to its full@3, but variable a's last
+	// good base is full@0, which must survive along with its chain.
+	if _, err := st2.GC(4); err != nil {
+		t.Fatal(err)
+	}
+	for _, iter := range []int{0, 1, 2} {
+		if _, err := st2.Restart("a", iter); err != nil {
+			t.Fatalf("restart a@%d after GC with quarantined base: %v", iter, err)
+		}
+	}
+	latest, err := st2.LatestRestorable("a")
+	if err != nil || latest != 2 {
+		t.Fatalf("LatestRestorable(a) = %d, %v; want 2", latest, err)
+	}
+	// Variable b, whose base is intact, pruned normally.
+	if _, err := st2.Restart("b", 1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("restart b@1 after GC: %v", err)
+	}
+	if _, err := st2.Restart("b", 4); err != nil {
+		t.Fatalf("restart b@4 after GC: %v", err)
+	}
+	// Verify still reports a's chain gap honestly (deltas 4-5 lost
+	// their base to quarantine), and nothing else: GC kept the journal
+	// in sync with the directory.
+	issues, err := st2.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, is := range issues {
+		if is.Variable != "a" || !errors.Is(is.Err, ErrChain) {
+			t.Fatalf("unexpected post-GC issue: %v", is)
+		}
+	}
+	if len(issues) == 0 {
+		t.Fatal("Verify hid the chain gap behind the quarantined base")
+	}
+}

@@ -1,0 +1,207 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"numarck/internal/core"
+	"numarck/internal/obs"
+)
+
+// RecoverOptions selects how chunk-local corruption in a v2 delta is
+// handled during decode. The zero value is fail-closed: the first bad
+// chunk fails the whole decode, today's default behavior.
+type RecoverOptions struct {
+	// Salvage decodes every healthy chunk, fills the points of bad
+	// chunks with the previous iteration's values (never with bytes
+	// from a chunk whose CRC or structure check failed), and reports
+	// the damage through a *PartialDataError instead of failing.
+	Salvage bool
+	// Obs receives recovery counters (chunks_quarantined). Nil is the
+	// no-op state.
+	Obs *obs.Recorder
+}
+
+// ChunkStatus is one chunk's outcome in a salvage decode.
+type ChunkStatus struct {
+	// Chunk is the chunk index.
+	Chunk int
+	// Start and Points delimit the chunk's half-open point range
+	// [Start, Start+Points).
+	Start, Points int
+	// Err is nil for a healthy chunk; otherwise the chunk-local
+	// failure (CRC mismatch, truncated section, structural violation).
+	Err error
+}
+
+// Range is a half-open index interval [Lo, Hi).
+type Range struct {
+	Lo, Hi int
+}
+
+// String renders the range in interval notation.
+func (r Range) String() string { return fmt.Sprintf("[%d,%d)", r.Lo, r.Hi) }
+
+// PartialDataError reports a degraded-mode decode that salvaged only
+// part of the data: which chunks failed, and exactly which point
+// indices hold stale (previous-iteration) values instead of decoded
+// ones. It wraps ErrCorrupt, so errors.Is(err, ErrCorrupt) matches.
+type PartialDataError struct {
+	// Variable and Iteration identify the damaged checkpoint (the last
+	// damaged one, when a restart chain accumulated losses).
+	Variable  string
+	Iteration int
+	// Chunks holds the per-chunk status of every chunk of that
+	// checkpoint, healthy and failed, in chunk order.
+	Chunks []ChunkStatus
+	// Lost is the merged, sorted set of point ranges whose values were
+	// not recovered anywhere in the operation.
+	Lost []Range
+}
+
+// Error summarizes the damage: failed chunk count and lost ranges.
+func (e *PartialDataError) Error() string {
+	failed := 0
+	for _, c := range e.Chunks {
+		if c.Err != nil {
+			failed++
+		}
+	}
+	ranges := make([]string, len(e.Lost))
+	for i, r := range e.Lost {
+		ranges[i] = r.String()
+	}
+	return fmt.Sprintf("checkpoint: partial data for %s@%d: %d bad chunk(s), lost points %s",
+		e.Variable, e.Iteration, failed, strings.Join(ranges, " "))
+}
+
+// Unwrap marks the error as corruption for errors.Is.
+func (e *PartialDataError) Unwrap() error { return ErrCorrupt }
+
+// LostPoints returns the total number of unrecovered points.
+func (e *PartialDataError) LostPoints() int {
+	n := 0
+	for _, r := range e.Lost {
+		n += r.Hi - r.Lo
+	}
+	return n
+}
+
+// mergeRanges folds r into sorted, disjoint, coalesced ranges.
+func mergeRanges(ranges []Range) []Range {
+	if len(ranges) < 2 {
+		return ranges
+	}
+	sorted := append([]Range(nil), ranges...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j].Lo < sorted[j-1].Lo; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	out := sorted[:1]
+	for _, r := range sorted[1:] {
+		if last := &out[len(out)-1]; r.Lo <= last.Hi {
+			if r.Hi > last.Hi {
+				last.Hi = r.Hi
+			}
+		} else {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// mergePartial accumulates a new delta's damage into the running
+// restart-chain report: lost ranges union (a point lost at any
+// iteration of the chain is stale in the final state), chunk statuses
+// track the most recent damaged checkpoint.
+func mergePartial(acc, next *PartialDataError, variable string) *PartialDataError {
+	if acc == nil {
+		next.Variable = variable
+		return next
+	}
+	acc.Variable = variable
+	acc.Iteration = next.Iteration
+	acc.Chunks = next.Chunks
+	acc.Lost = mergeRanges(append(acc.Lost, next.Lost...))
+	return acc
+}
+
+// DecodeRecover reconstructs all points from prev like Decode, but
+// under ropt's degraded-mode contract: with Salvage set, a chunk whose
+// section fails its CRC or structure check is quarantined — its point
+// range keeps prev's values, nothing from the bad section is used —
+// while every healthy chunk decodes normally, and the damage comes
+// back as a *PartialDataError alongside the salvaged data. Without
+// Salvage it behaves exactly like Decode. Non-chunk-local failures
+// (wrong prev length) still fail closed either way.
+func (d *DeltaV2Reader) DecodeRecover(prev []float64, workers int, ropt RecoverOptions) ([]float64, error) {
+	if !ropt.Salvage {
+		return d.Decode(prev, workers)
+	}
+	if len(prev) != d.meta.N {
+		return nil, fmt.Errorf("%w: prev has %d points, encoded has %d", core.ErrLength, len(prev), d.meta.N)
+	}
+	out := make([]float64, d.meta.N)
+	m := d.meta.ChunkCount
+	if workers <= 0 || workers > m {
+		workers = m
+	}
+	statuses := make([]ChunkStatus, m)
+	if m > 0 {
+		jobs := make(chan int)
+		done := make(chan struct{}, workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer func() { done <- struct{}{} }()
+				for i := range jobs {
+					start, np := d.ChunkSpan(i)
+					err := d.DecodeChunkInto(i, prev[start:start+np], out[start:start+np])
+					if err != nil {
+						// Quarantine the chunk: pass the previous
+						// iteration's values through for its range.
+						copy(out[start:start+np], prev[start:start+np])
+					}
+					statuses[i] = ChunkStatus{Chunk: i, Start: start, Points: np, Err: err}
+				}
+			}()
+		}
+		for i := 0; i < m; i++ {
+			jobs <- i
+		}
+		close(jobs)
+		for w := 0; w < workers; w++ {
+			<-done
+		}
+	}
+	var lost []Range
+	for _, s := range statuses {
+		if s.Err == nil {
+			continue
+		}
+		// Only chunk-local damage is salvageable; anything else (an
+		// fs-level read failure, a caller bug) fails the whole decode.
+		var ce *ChunkError
+		if !errors.As(s.Err, &ce) {
+			return nil, s.Err
+		}
+		lost = append(lost, Range{Lo: s.Start, Hi: s.Start + s.Points})
+	}
+	rec := ropt.Obs
+	if rec == nil {
+		rec = d.rec
+	}
+	if len(lost) == 0 {
+		rec.Add(obs.CounterDecodes, 1)
+		rec.Add(obs.CounterPointsDecoded, int64(d.meta.N))
+		return out, nil
+	}
+	rec.Add(obs.CounterChunksQuarantined, int64(len(lost)))
+	return out, &PartialDataError{
+		Variable:  d.meta.Variable,
+		Iteration: d.meta.Iteration,
+		Chunks:    statuses,
+		Lost:      mergeRanges(lost),
+	}
+}

@@ -1,0 +1,244 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"numarck/internal/faultfs"
+	"numarck/internal/obs"
+)
+
+// RecoveryReport summarizes what the Open-time recovery scan found and
+// did. A clean reopen after a graceful shutdown has every slice empty
+// and TornJournalTail false.
+type RecoveryReport struct {
+	// Scanned is the number of checkpoint files examined.
+	Scanned int
+	// Adopted lists committed files the journal had no record of (the
+	// crash window between rename and journal append); the scan
+	// validated and re-recorded them.
+	Adopted []string
+	// Quarantined lists torn or corrupt files moved to quarantine/.
+	Quarantined []string
+	// TempsRemoved lists leftover atomic-write temporaries (.tmp) from
+	// interrupted writes, deleted by the scan.
+	TempsRemoved []string
+	// Missing lists journaled files absent from the directory; their
+	// records were dropped.
+	Missing []string
+	// TornJournalTail reports that the journal's final record was torn
+	// by a crash mid-append (the record is ignored; the affected file,
+	// if committed, is re-adopted).
+	TornJournalTail bool
+}
+
+// Clean reports whether the scan found nothing to repair.
+func (r *RecoveryReport) Clean() bool {
+	return r == nil || (len(r.Adopted) == 0 && len(r.Quarantined) == 0 &&
+		len(r.TempsRemoved) == 0 && len(r.Missing) == 0 && !r.TornJournalTail)
+}
+
+// String renders the report as a one-line summary.
+func (r *RecoveryReport) String() string {
+	if r.Clean() {
+		return fmt.Sprintf("clean (%d files)", r.scannedCount())
+	}
+	return fmt.Sprintf("%d files: %d adopted, %d quarantined, %d temps removed, %d missing, torn journal tail %v",
+		r.scannedCount(), len(r.Adopted), len(r.Quarantined), len(r.TempsRemoved), len(r.Missing), r.TornJournalTail)
+}
+
+// scannedCount is Scanned on a possibly-nil report.
+func (r *RecoveryReport) scannedCount() int {
+	if r == nil {
+		return 0
+	}
+	return r.Scanned
+}
+
+// recoverScan reconciles the MANIFEST journal with the directory
+// contents. It never fails the store for a bad checkpoint file: torn
+// and corrupt files are quarantined, uncommitted temporaries removed,
+// committed-but-unjournaled files adopted, and journaled-but-missing
+// files dropped from the journal. Only filesystem-level failures (the
+// scan itself cannot read the directory or move a file) are errors.
+func (st *Store) recoverScan() (*RecoveryReport, error) {
+	report := &RecoveryReport{}
+	// A store with no journal at all is a legacy layout: every file
+	// lands in the adoption path below and the journal gets built.
+	journal, _, tornTail, err := replayJournal(st.fs, st.dir)
+	if err != nil {
+		return nil, err
+	}
+	report.TornJournalTail = tornTail
+	if tornTail {
+		// Appending after a torn line would concatenate into it; compact
+		// the journal to its live entries before the scan adds records.
+		if err := rewriteJournal(st.fs, st.dir, journal); err != nil {
+			return nil, err
+		}
+	}
+
+	entries, err := st.fs.ReadDir(st.dir)
+	if err != nil {
+		return nil, pathErr("scan", st.dir, err)
+	}
+	torn := 0
+	onDisk := map[string]bool{}
+	for _, de := range entries {
+		name := de.Name()
+		if de.IsDir() || name == manifestName || name == journalName {
+			continue
+		}
+		if strings.HasSuffix(name, ".tmp") {
+			// An atomic write that never reached its rename: the commit
+			// did not happen, so the temp is garbage by construction.
+			if err := st.fs.Remove(filepath.Join(st.dir, name)); err != nil {
+				return nil, pathErr("remove temp", filepath.Join(st.dir, name), err)
+			}
+			report.TempsRemoved = append(report.TempsRemoved, name)
+			torn++
+			continue
+		}
+		if _, ok := parseName(name); !ok {
+			continue // not a checkpoint file; leave it alone
+		}
+		report.Scanned++
+		je, journaled := journal[name]
+		switch {
+		case journaled:
+			// The journal records the committed length; a shorter file
+			// is torn, any other mismatch is corruption. Content CRC is
+			// deliberately not re-checked here (Open stays O(files), and
+			// every read path CRC-checks anyway); Verify does the deep
+			// cross-check.
+			info, err := st.fs.Stat(filepath.Join(st.dir, name))
+			if err != nil {
+				return nil, pathErr("stat", filepath.Join(st.dir, name), err)
+			}
+			if info.Size() != je.Len {
+				if info.Size() < je.Len {
+					torn++
+				}
+				if err := st.quarantine(name); err != nil {
+					return nil, err
+				}
+				if err := appendJournal(st.fs, st.dir, journalRecord{Op: "drop", Name: name}); err != nil {
+					return nil, err
+				}
+				// Drop the replayed entry too, or the missing-file pass
+				// below would report (and drop) it a second time.
+				delete(journal, name)
+				report.Quarantined = append(report.Quarantined, name)
+				continue
+			}
+			onDisk[name] = true
+		default:
+			// Legacy store or the rename-vs-journal crash window: adopt
+			// the file if it parses, quarantine it otherwise.
+			raw, err := faultfs.ReadFile(st.fs, filepath.Join(st.dir, name))
+			if err != nil {
+				return nil, pathErr("read", filepath.Join(st.dir, name), err)
+			}
+			if perr := structuralCheck(raw); perr != nil {
+				if errors.Is(perr, ErrTruncated) {
+					torn++
+				}
+				if err := st.quarantine(name); err != nil {
+					return nil, err
+				}
+				report.Quarantined = append(report.Quarantined, name)
+				continue
+			}
+			if err := appendJournal(st.fs, st.dir, journalRecord{
+				Op: "add", Name: name, Len: int64(len(raw)), CRC: crc32.ChecksumIEEE(raw),
+			}); err != nil {
+				return nil, err
+			}
+			report.Adopted = append(report.Adopted, name)
+		}
+	}
+	// Journaled files that are gone from the directory: drop their
+	// records so the journal converges back to the truth.
+	var missing []string
+	for name := range journal {
+		if !onDisk[name] {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		if err := appendJournal(st.fs, st.dir, journalRecord{Op: "drop", Name: name}); err != nil {
+			return nil, err
+		}
+		report.Missing = append(report.Missing, name)
+	}
+	if !report.Clean() {
+		if err := st.fs.SyncDir(st.dir); err != nil {
+			return nil, pathErr("sync", st.dir, err)
+		}
+	}
+	st.rec.Add(obs.CounterRecoveryScans, 1)
+	st.rec.Add(obs.CounterTornFilesDetected, int64(torn))
+	return report, nil
+}
+
+// structuralCheck parses raw just deeply enough to know the file is a
+// complete, internally consistent checkpoint: frame, header, and the
+// CRC-covered regions (whole payload for v1, bin table and directory
+// for v2 — a torn v2 file always fails here because its directory and
+// footer live at the end).
+func structuralCheck(raw []byte) error {
+	switch {
+	case bytes.HasPrefix(raw, magicFull):
+		_, _, err := readFile(raw, magicFull)
+		return err
+	case IsDeltaV2(raw):
+		_, err := OpenDeltaV2(bytes.NewReader(raw), int64(len(raw)))
+		return err
+	default:
+		_, _, _, err := UnmarshalDelta(raw)
+		return err
+	}
+}
+
+// quarantine moves a bad checkpoint file into the quarantine/
+// subdirectory, preserving it for inspection without letting it break
+// the chain scan. An existing quarantined file of the same name is
+// overwritten (rename semantics), which keeps quarantine idempotent.
+func (st *Store) quarantine(name string) error {
+	qdir := filepath.Join(st.dir, quarantineDir)
+	if err := st.fs.MkdirAll(qdir, 0o755); err != nil {
+		return pathErr("quarantine", qdir, err)
+	}
+	src := filepath.Join(st.dir, name)
+	if err := st.fs.Rename(src, filepath.Join(qdir, name)); err != nil {
+		return pathErr("quarantine", src, err)
+	}
+	return nil
+}
+
+// Quarantined lists the files currently held in quarantine/, sorted by
+// name. An absent quarantine directory means none.
+func (st *Store) Quarantined() ([]string, error) {
+	qdir := filepath.Join(st.dir, quarantineDir)
+	if _, err := st.fs.Stat(qdir); err != nil {
+		return nil, nil
+	}
+	entries, err := st.fs.ReadDir(qdir)
+	if err != nil {
+		return nil, pathErr("list", qdir, err)
+	}
+	var out []string
+	for _, de := range entries {
+		if !de.IsDir() {
+			out = append(out, de.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

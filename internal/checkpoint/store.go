@@ -1,30 +1,52 @@
 package checkpoint
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"os"
+	"hash/crc32"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 
 	"numarck/internal/core"
+	"numarck/internal/faultfs"
+	"numarck/internal/obs"
 )
 
 // Store is a directory-backed checkpoint store. Files are named
 // <variable>.<kind>.<iteration>.nmk with kind "full" or "delta", plus a
-// manifest.json recording the encoding options.
+// manifest.json recording the encoding options and a MANIFEST journal
+// recording the committed chain (file names, lengths, CRCs).
+//
+// Every write is crash-safe: file bytes go to a .tmp sibling, are
+// fsynced, renamed into place, and the directory is fsynced before the
+// journal records the commit — so after a crash at any point, reopening
+// the store sees either the complete new checkpoint or the clean
+// pre-write state, never a torn file in the chain. Open runs a recovery
+// scan that reconciles the journal with the directory, adopts committed
+// files the journal missed, quarantines torn or corrupt files into
+// quarantine/, and removes stale temporaries; the scan's findings are
+// available from Recovery.
 type Store struct {
 	dir string
+	fs  faultfs.FS
 	opt core.Options
+	// rec receives recovery counters (recovery_scans,
+	// torn_files_detected) and any store-level instrumentation. Nil is
+	// the no-op state.
+	rec *obs.Recorder
 	// deltaFormat is the file format version new delta checkpoints are
 	// written with: 1 (default, single-section) or 2 (chunked, parallel
 	// decodable). Reads sniff the magic, so stores may mix both.
 	deltaFormat int
 	// chunkPoints is the chunk granularity for v2 deltas.
 	chunkPoints int
+	// recovery is the report of the Open-time recovery scan (nil for a
+	// store handle from Create, which starts empty).
+	recovery *RecoveryReport
 }
 
 // manifest is the store-level metadata file.
@@ -37,6 +59,10 @@ type manifest struct {
 
 const manifestName = "manifest.json"
 
+// quarantineDir is the store subdirectory torn and corrupt files are
+// moved into, preserving the evidence without breaking the chain scan.
+const quarantineDir = "quarantine"
+
 // ErrNotFound reports a missing checkpoint or store.
 var ErrNotFound = errors.New("checkpoint: not found")
 
@@ -45,17 +71,24 @@ var ErrNotFound = errors.New("checkpoint: not found")
 var ErrChain = errors.New("checkpoint: broken restart chain")
 
 // Create initializes a store in dir (created if absent; an existing
-// manifest is an error to avoid silently mixing encodings).
+// manifest is an error to avoid silently mixing encodings) on the real
+// filesystem.
 func Create(dir string, opt core.Options) (*Store, error) {
+	return CreateFS(dir, opt, faultfs.OS())
+}
+
+// CreateFS is Create on an explicit filesystem, the entry point
+// fault-injection tests use to crash the store mid-write.
+func CreateFS(dir string, opt core.Options, fsys faultfs.FS) (*Store, error) {
 	opt, err := opt.Validate()
 	if err != nil {
 		return nil, err
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("checkpoint: create store: %w", err)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, pathErr("create store", dir, err)
 	}
 	mpath := filepath.Join(dir, manifestName)
-	if _, err := os.Stat(mpath); err == nil {
+	if _, err := fsys.Stat(mpath); err == nil {
 		return nil, fmt.Errorf("checkpoint: store already exists at %s", dir)
 	}
 	m := manifest{
@@ -68,20 +101,46 @@ func Create(dir string, opt core.Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := os.WriteFile(mpath, data, 0o644); err != nil {
-		return nil, fmt.Errorf("checkpoint: write manifest: %w", err)
+	if err := faultfs.WriteFileAtomic(fsys, dir, mpath, data); err != nil {
+		return nil, pathErr("write manifest", mpath, err)
 	}
-	return &Store{dir: dir, opt: opt}, nil
+	// Seed an empty journal so a reopened store can tell "new-format
+	// store, nothing committed yet" from a legacy store with no journal.
+	jf, err := fsys.Append(filepath.Join(dir, journalName))
+	if err != nil {
+		return nil, pathErr("create journal", filepath.Join(dir, journalName), err)
+	}
+	jerr := jf.Sync()
+	if cerr := jf.Close(); jerr == nil {
+		jerr = cerr
+	}
+	if jerr != nil {
+		return nil, pathErr("create journal", filepath.Join(dir, journalName), jerr)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return nil, pathErr("sync", dir, err)
+	}
+	return &Store{dir: dir, fs: fsys, opt: opt}, nil
 }
 
-// Open opens an existing store.
+// Open opens an existing store on the real filesystem and runs the
+// recovery scan.
 func Open(dir string) (*Store, error) {
-	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	return OpenFS(dir, faultfs.OS(), nil)
+}
+
+// OpenFS is Open on an explicit filesystem with an optional
+// instrumentation recorder: the recovery scan reports its counters
+// (recovery_scans, torn_files_detected) into rec. Nil rec keeps
+// instrumentation a no-op.
+func OpenFS(dir string, fsys faultfs.FS, rec *obs.Recorder) (*Store, error) {
+	mpath := filepath.Join(dir, manifestName)
+	if _, err := fsys.Stat(mpath); err != nil {
+		return nil, fmt.Errorf("%w: no store at %s", ErrNotFound, dir)
+	}
+	data, err := faultfs.ReadFile(fsys, mpath)
 	if err != nil {
-		if os.IsNotExist(err) {
-			return nil, fmt.Errorf("%w: no store at %s", ErrNotFound, dir)
-		}
-		return nil, err
+		return nil, pathErr("read", mpath, err)
 	}
 	var m manifest
 	if err := json.Unmarshal(data, &m); err != nil {
@@ -99,11 +158,26 @@ func Open(dir string) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: manifest options: %v", ErrCorrupt, err)
 	}
-	return &Store{dir: dir, opt: opt}, nil
+	st := &Store{dir: dir, fs: fsys, opt: opt, rec: rec}
+	report, err := st.recoverScan()
+	if err != nil {
+		return nil, err
+	}
+	st.recovery = report
+	return st, nil
 }
 
 // Options returns the store's encoding options.
 func (st *Store) Options() core.Options { return st.opt }
+
+// Recovery returns the Open-time recovery scan report, or nil for a
+// store handle created by Create (which starts empty and needs no
+// scan).
+func (st *Store) Recovery() *RecoveryReport { return st.recovery }
+
+// SetRecorder attaches an instrumentation recorder to subsequent store
+// operations (salvage decodes, future scans). Nil detaches.
+func (st *Store) SetRecorder(rec *obs.Recorder) { st.rec = rec }
 
 // SetDeltaFormat selects the file format for delta checkpoints written
 // from now on: 1 is the original single-section layout, 2 the chunked
@@ -123,7 +197,31 @@ func (st *Store) SetDeltaFormat(version, chunkPoints int) error {
 func (st *Store) Dir() string { return st.dir }
 
 func (st *Store) path(variable, kind string, iteration int) string {
-	return filepath.Join(st.dir, fmt.Sprintf("%s.%s.%06d.nmk", variable, kind, iteration))
+	return filepath.Join(st.dir, fileName(variable, kind, iteration))
+}
+
+// fileName renders the store file name of one checkpoint.
+func fileName(variable, kind string, iteration int) string {
+	return fmt.Sprintf("%s.%s.%06d.nmk", variable, kind, iteration)
+}
+
+// commitFile durably writes one checkpoint file: atomic
+// write-temp/fsync/rename/fsync-dir, then a journal append recording
+// the commit. A crash between the rename and the journal append leaves
+// a committed file the journal missed; the next recovery scan adopts
+// it, so the chain invariant (complete new checkpoint or clean
+// pre-write state) holds at every crash point.
+func (st *Store) commitFile(name string, raw []byte) error {
+	path := filepath.Join(st.dir, name)
+	if err := faultfs.WriteFileAtomic(st.fs, st.dir, path, raw); err != nil {
+		return pathErr("commit", path, err)
+	}
+	return appendJournal(st.fs, st.dir, journalRecord{
+		Op:   "add",
+		Name: name,
+		Len:  int64(len(raw)),
+		CRC:  crc32.ChecksumIEEE(raw),
+	})
 }
 
 // WriteFull stores data as a lossless full checkpoint.
@@ -132,7 +230,7 @@ func (st *Store) WriteFull(variable string, iteration int, data []float64) error
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(st.path(variable, "full", iteration), raw, 0o644)
+	return st.commitFile(fileName(variable, "full", iteration), raw)
 }
 
 // WriteDelta encodes the transition prev → cur with the store's options
@@ -164,7 +262,7 @@ func (st *Store) WriteEncodedDelta(variable string, iteration int, enc *core.Enc
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(st.path(variable, "delta", iteration), raw, 0o644)
+	return st.commitFile(fileName(variable, "delta", iteration), raw)
 }
 
 // Entry describes one stored checkpoint file.
@@ -176,12 +274,15 @@ type Entry struct {
 
 // List returns all entries for a variable, sorted by iteration.
 func (st *Store) List(variable string) ([]Entry, error) {
-	names, err := os.ReadDir(st.dir)
+	names, err := st.fs.ReadDir(st.dir)
 	if err != nil {
-		return nil, err
+		return nil, pathErr("list", st.dir, err)
 	}
 	var out []Entry
 	for _, de := range names {
+		if de.IsDir() {
+			continue
+		}
 		e, ok := parseName(de.Name())
 		if ok && e.Variable == variable {
 			out = append(out, e)
@@ -193,12 +294,15 @@ func (st *Store) List(variable string) ([]Entry, error) {
 
 // Variables returns the distinct variable names present in the store.
 func (st *Store) Variables() ([]string, error) {
-	names, err := os.ReadDir(st.dir)
+	names, err := st.fs.ReadDir(st.dir)
 	if err != nil {
-		return nil, err
+		return nil, pathErr("list", st.dir, err)
 	}
 	seen := map[string]bool{}
 	for _, de := range names {
+		if de.IsDir() {
+			continue
+		}
 		if e, ok := parseName(de.Name()); ok {
 			seen[e.Variable] = true
 		}
@@ -234,18 +338,30 @@ func parseName(name string) (Entry, bool) {
 	}, true
 }
 
+// readFileAt loads one checkpoint file's bytes through the store's
+// filesystem, mapping absence to ErrNotFound with the checkpoint
+// identity in the message.
+func (st *Store) readFileAt(variable, kind string, iteration int) ([]byte, error) {
+	path := st.path(variable, kind, iteration)
+	if _, err := st.fs.Stat(path); err != nil {
+		return nil, fmt.Errorf("%w: %s checkpoint %s@%d", ErrNotFound, kind, variable, iteration)
+	}
+	raw, err := faultfs.ReadFile(st.fs, path)
+	if err != nil {
+		return nil, pathErr("read", path, err)
+	}
+	return raw, nil
+}
+
 // ReadFull loads a full checkpoint.
 func (st *Store) ReadFull(variable string, iteration int) ([]float64, error) {
-	raw, err := os.ReadFile(st.path(variable, "full", iteration))
+	raw, err := st.readFileAt(variable, "full", iteration)
 	if err != nil {
-		if os.IsNotExist(err) {
-			return nil, fmt.Errorf("%w: full checkpoint %s@%d", ErrNotFound, variable, iteration)
-		}
 		return nil, err
 	}
 	v, it, data, err := UnmarshalFull(raw)
 	if err != nil {
-		return nil, err
+		return nil, pathErr("parse", st.path(variable, "full", iteration), err)
 	}
 	if v != variable || it != iteration {
 		return nil, fmt.Errorf("%w: file claims %s@%d, expected %s@%d", ErrCorrupt, v, it, variable, iteration)
@@ -255,11 +371,8 @@ func (st *Store) ReadFull(variable string, iteration int) ([]float64, error) {
 
 // ReadDelta loads a delta checkpoint's encoding.
 func (st *Store) ReadDelta(variable string, iteration int) (*core.Encoded, error) {
-	raw, err := os.ReadFile(st.path(variable, "delta", iteration))
+	raw, err := st.readFileAt(variable, "delta", iteration)
 	if err != nil {
-		if os.IsNotExist(err) {
-			return nil, fmt.Errorf("%w: delta checkpoint %s@%d", ErrNotFound, variable, iteration)
-		}
 		return nil, err
 	}
 	var v string
@@ -271,7 +384,7 @@ func (st *Store) ReadDelta(variable string, iteration int) (*core.Encoded, error
 		v, it, enc, err = UnmarshalDelta(raw)
 	}
 	if err != nil {
-		return nil, err
+		return nil, pathErr("parse", st.path(variable, "delta", iteration), err)
 	}
 	if v != variable || it != iteration {
 		return nil, fmt.Errorf("%w: file claims %s@%d, expected %s@%d", ErrCorrupt, v, it, variable, iteration)
@@ -283,12 +396,17 @@ func (st *Store) ReadDelta(variable string, iteration int) (*core.Encoded, error
 // the latest full checkpoint at or before it and replays every delta in
 // between (§II-D). Missing intermediate deltas are an ErrChain.
 func (st *Store) Restart(variable string, iteration int) ([]float64, error) {
+	data, _, err := st.restart(variable, iteration, RecoverOptions{})
+	return data, err
+}
+
+func (st *Store) restart(variable string, iteration int, ropt RecoverOptions) ([]float64, *PartialDataError, error) {
 	entries, err := st.List(variable)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if len(entries) == 0 {
-		return nil, fmt.Errorf("%w: variable %s", ErrNotFound, variable)
+		return nil, nil, fmt.Errorf("%w: variable %s", ErrNotFound, variable)
 	}
 	// Latest full checkpoint at or before the target.
 	fullIter := -1
@@ -298,36 +416,89 @@ func (st *Store) Restart(variable string, iteration int) ([]float64, error) {
 		}
 	}
 	if fullIter < 0 {
-		return nil, fmt.Errorf("%w: no full checkpoint at or before iteration %d for %s", ErrNotFound, iteration, variable)
+		return nil, nil, fmt.Errorf("%w: no full checkpoint at or before iteration %d for %s", ErrNotFound, iteration, variable)
 	}
 	data, err := st.ReadFull(variable, fullIter)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// Replay deltas (fullIter, iteration]. Every present delta in that
 	// range must chain from the previous one without gaps.
+	var partial *PartialDataError
 	expected := fullIter + 1
 	for _, e := range entries {
 		if e.Kind != "delta" || e.Iteration <= fullIter || e.Iteration > iteration {
 			continue
 		}
 		if e.Iteration != expected {
-			return nil, fmt.Errorf("%w: expected delta %d for %s, found %d", ErrChain, expected, variable, e.Iteration)
+			return nil, nil, fmt.Errorf("%w: expected delta %d for %s, found %d", ErrChain, expected, variable, e.Iteration)
 		}
-		enc, err := st.ReadDelta(variable, e.Iteration)
+		data, partial, err = st.replayDelta(variable, e.Iteration, data, ropt, partial)
 		if err != nil {
-			return nil, err
-		}
-		data, err = enc.Decode(data)
-		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		expected++
 	}
 	if expected != iteration+1 {
-		return nil, fmt.Errorf("%w: chain for %s ends at %d, wanted %d", ErrChain, variable, expected-1, iteration)
+		return nil, nil, fmt.Errorf("%w: chain for %s ends at %d, wanted %d", ErrChain, variable, expected-1, iteration)
 	}
-	return data, nil
+	return data, partial, nil
+}
+
+// replayDelta applies one delta on top of data. In salvage mode a v2
+// delta with bad chunks contributes its healthy chunks and accumulates
+// the lost point ranges into partial; fail-closed mode (and any
+// non-chunk-local failure) surfaces the error.
+func (st *Store) replayDelta(variable string, iteration int, data []float64, ropt RecoverOptions, partial *PartialDataError) ([]float64, *PartialDataError, error) {
+	if !ropt.Salvage {
+		enc, err := st.ReadDelta(variable, iteration)
+		if err != nil {
+			return nil, nil, err
+		}
+		out, err := enc.Decode(data)
+		return out, partial, err
+	}
+	raw, err := st.readFileAt(variable, "delta", iteration)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !IsDeltaV2(raw) {
+		// v1 files have one whole-payload CRC: nothing chunk-local to
+		// salvage, so fail-closed even in salvage mode.
+		v, it, enc, err := UnmarshalDelta(raw)
+		if err != nil {
+			return nil, nil, pathErr("parse", st.path(variable, "delta", iteration), err)
+		}
+		if v != variable || it != iteration {
+			return nil, nil, fmt.Errorf("%w: file claims %s@%d, expected %s@%d", ErrCorrupt, v, it, variable, iteration)
+		}
+		out, err := enc.Decode(data)
+		return out, partial, err
+	}
+	d, err := OpenDeltaV2(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		return nil, nil, pathErr("parse", st.path(variable, "delta", iteration), err)
+	}
+	out, err := d.DecodeRecover(data, 0, RecoverOptions{Salvage: true, Obs: st.rec})
+	if err != nil {
+		var pde *PartialDataError
+		if !errors.As(err, &pde) {
+			return nil, nil, err
+		}
+		partial = mergePartial(partial, pde, variable)
+	}
+	return out, partial, nil
+}
+
+// RestartSalvage is Restart in degraded mode: chunk-local corruption in
+// v2 deltas is quarantined instead of failing the restart, the healthy
+// chunks are replayed, and the returned PartialDataError (nil when the
+// chain was fully healthy) carries the union of lost point ranges
+// across the whole chain — exactly which indices hold stale values.
+// Failures that are not chunk-local (a corrupt full checkpoint, a
+// corrupt v1 delta, a chain gap) still fail closed.
+func (st *Store) RestartSalvage(variable string, iteration int) ([]float64, *PartialDataError, error) {
+	return st.restart(variable, iteration, RecoverOptions{Salvage: true})
 }
 
 // Writer appends iterations of a multi-variable simulation to a store,

@@ -317,11 +317,11 @@ func IsDeltaV2(raw []byte) bool { return bytes.HasPrefix(raw, magicDeltaV2) }
 func OpenDeltaV2(r io.ReaderAt, size int64) (*DeltaV2Reader, error) {
 	headMax := int64(len(magicDeltaV2) + 4)
 	if size < headMax+footerSize {
-		return nil, fmt.Errorf("%w: %d bytes is shorter than a v2 file", ErrCorrupt, size)
+		return nil, truncatedErr("%d bytes is shorter than a v2 file", size)
 	}
 	head := make([]byte, headMax)
 	if _, err := r.ReadAt(head, 0); err != nil {
-		return nil, fmt.Errorf("%w: header: %v", ErrCorrupt, err)
+		return nil, readErr("header", err)
 	}
 	if !bytes.Equal(head[:len(magicDeltaV2)], magicDeltaV2) {
 		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, head[:len(magicDeltaV2)])
@@ -332,7 +332,7 @@ func OpenDeltaV2(r io.ReaderAt, size int64) (*DeltaV2Reader, error) {
 	}
 	hj := make([]byte, hlen)
 	if _, err := r.ReadAt(hj, headMax); err != nil {
-		return nil, fmt.Errorf("%w: header: %v", ErrCorrupt, err)
+		return nil, readErr("header", err)
 	}
 	var hdr fileHeader
 	if err := json.Unmarshal(hj, &hdr); err != nil {
@@ -372,7 +372,7 @@ func OpenDeltaV2(r io.ReaderAt, size int64) (*DeltaV2Reader, error) {
 	}
 	table := make([]byte, tableLen)
 	if _, err := r.ReadAt(table, tableOff); err != nil {
-		return nil, fmt.Errorf("%w: bin table: %v", ErrCorrupt, err)
+		return nil, readErr("bin table", err)
 	}
 	if crc := crc32.ChecksumIEEE(table); crc != hdr.CRC {
 		return nil, fmt.Errorf("%w: bin table CRC %08x, header says %08x", ErrCorrupt, crc, hdr.CRC)
@@ -387,7 +387,7 @@ func OpenDeltaV2(r io.ReaderAt, size int64) (*DeltaV2Reader, error) {
 	// Footer → directory.
 	foot := make([]byte, footerSize)
 	if _, err := r.ReadAt(foot, size-footerSize); err != nil {
-		return nil, fmt.Errorf("%w: footer: %v", ErrCorrupt, err)
+		return nil, readErr("footer", err)
 	}
 	if !bytes.Equal(foot[12:], footerMagic) {
 		return nil, fmt.Errorf("%w: bad footer magic %q", ErrCorrupt, foot[12:])
@@ -399,7 +399,7 @@ func OpenDeltaV2(r io.ReaderAt, size int64) (*DeltaV2Reader, error) {
 	}
 	dirRaw := make([]byte, dirLen)
 	if _, err := r.ReadAt(dirRaw, int64(dirOff)); err != nil {
-		return nil, fmt.Errorf("%w: directory: %v", ErrCorrupt, err)
+		return nil, readErr("directory", err)
 	}
 	if crc := crc32.ChecksumIEEE(dirRaw); crc != binary.LittleEndian.Uint32(foot[8:]) {
 		return nil, fmt.Errorf("%w: directory CRC %08x, footer says %08x", ErrCorrupt, crc, binary.LittleEndian.Uint32(foot[8:]))

@@ -1,0 +1,136 @@
+// Package faultfs abstracts the handful of filesystem operations the
+// checkpoint store needs for crash-safe writes (open, create, append,
+// rename, remove, sync, directory sync) behind a small FS interface,
+// with two implementations: OS, the real filesystem, and Injector, a
+// wrapper that fails operations on a deterministic seeded schedule so
+// tests can drive every crash point of the write path — the Nth write,
+// a torn write that truncates mid-buffer, a bit-flip on read, an error
+// on sync or rename, or a full crash after which nothing succeeds.
+package faultfs
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+)
+
+// File is the open-file surface the store uses: sequential and random
+// reads, writes, durability (Sync), and metadata.
+type File interface {
+	io.Reader
+	io.ReaderAt
+	io.Writer
+	io.Closer
+	// Sync flushes the file's contents to stable storage.
+	Sync() error
+	// Stat returns the file's metadata.
+	Stat() (fs.FileInfo, error)
+}
+
+// FS is the filesystem surface of the checkpoint store. Every
+// store-side disk access goes through it, so a test can substitute an
+// Injector and observe exactly which operation sequence a store write
+// performs — and fail any prefix of it.
+type FS interface {
+	// Open opens an existing file for reading.
+	Open(name string) (File, error)
+	// Create creates or truncates a file for writing.
+	Create(name string) (File, error)
+	// Append opens a file for appending, creating it if absent.
+	Append(name string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// MkdirAll creates a directory and any missing parents.
+	MkdirAll(name string, perm fs.FileMode) error
+	// ReadDir lists a directory.
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// Stat returns file metadata.
+	Stat(name string) (fs.FileInfo, error)
+	// SyncDir fsyncs a directory, making preceding renames and removes
+	// in it durable.
+	SyncDir(name string) error
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+// OS returns the real filesystem: every method maps 1:1 onto the os
+// package, and SyncDir opens the directory and fsyncs it.
+func OS() FS { return osFS{} }
+
+func (osFS) Open(name string) (File, error)   { return os.Open(name) }
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
+
+func (osFS) Append(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+}
+
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) MkdirAll(name string, perm fs.FileMode) error { return os.MkdirAll(name, perm) }
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error)   { return os.ReadDir(name) }
+func (osFS) Stat(name string) (fs.FileInfo, error)        { return os.Stat(name) }
+
+func (osFS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// ReadFile reads a whole file through fsys.
+func ReadFile(fsys FS, name string) ([]byte, error) {
+	f, err := fsys.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, fmt.Errorf("faultfs: read %s: %w", name, err)
+	}
+	return data, nil
+}
+
+// WriteFileAtomic writes data to name crash-safely: it writes to
+// name+".tmp" in the same directory, fsyncs the file, renames it over
+// name, and fsyncs the parent directory dir. After a crash at any point
+// the destination holds either its old contents or the complete new
+// ones, never a torn mix; at worst a stale .tmp file is left behind.
+func WriteFileAtomic(fsys FS, dir, name string, data []byte) error {
+	tmp := name + ".tmp"
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("faultfs: create %s: %w", tmp, err)
+	}
+	_, werr := f.Write(data)
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		// Best-effort cleanup; the recovery scan removes survivors.
+		_ = fsys.Remove(tmp)
+		return fmt.Errorf("faultfs: write %s: %w", tmp, werr)
+	}
+	if err := fsys.Rename(tmp, name); err != nil {
+		_ = fsys.Remove(tmp)
+		return fmt.Errorf("faultfs: rename %s: %w", name, err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("faultfs: sync dir %s: %w", dir, err)
+	}
+	return nil
+}

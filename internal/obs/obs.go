@@ -108,6 +108,14 @@ const (
 	// CounterSectionBytes counts bytes of chunk sections only (the v2
 	// payload without header, table, directory, footer).
 	CounterSectionBytes
+	// CounterRecoveryScans counts store-open recovery scans.
+	CounterRecoveryScans
+	// CounterTornFilesDetected counts truncated checkpoint files and
+	// leftover write temporaries found by recovery scans.
+	CounterTornFilesDetected
+	// CounterChunksQuarantined counts chunks skipped by degraded-mode
+	// (salvage) decodes because their CRC or structure check failed.
+	CounterChunksQuarantined
 
 	numCounters
 )
@@ -119,6 +127,7 @@ var counterNames = [numCounters]string{
 	"chunks_encoded", "chunks_decoded",
 	"exact_values", "table_input",
 	"bytes_read", "bytes_written", "section_bytes",
+	"recovery_scans", "torn_files_detected", "chunks_quarantined",
 }
 
 // String returns the counter's snapshot name.

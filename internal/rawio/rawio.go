@@ -8,15 +8,54 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 )
 
-// WriteFile writes vals to path as little-endian float64s.
+// WriteFile writes vals to path as little-endian float64s. The write is
+// atomic and durable: bytes go to a .tmp sibling that is fsynced and
+// renamed over path, so a crash leaves either the complete new file or
+// the previous one, never a torn mix.
 func WriteFile(path string, vals []float64) error {
 	buf := make([]byte, 8*len(vals))
 	for i, v := range vals {
 		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
 	}
-	return os.WriteFile(path, buf, 0o644)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(buf)
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		//lint:ignore errcheck best-effort cleanup of a failed temp file
+		os.Remove(tmp)
+		return werr
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		//lint:ignore errcheck best-effort cleanup of a failed temp file
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	if cerr := d.Close(); serr == nil {
+		serr = cerr
+	}
+	return serr
 }
 
 // ReadFile reads a little-endian float64 array from path.

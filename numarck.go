@@ -32,6 +32,7 @@ package numarck
 import (
 	"numarck/internal/checkpoint"
 	"numarck/internal/core"
+	"numarck/internal/faultfs"
 )
 
 // Options configures an encode. See core.Options for field docs.
@@ -77,8 +78,45 @@ func CreateStore(dir string, opt Options) (*Store, error) {
 	return checkpoint.Create(dir, opt)
 }
 
-// OpenStore opens an existing checkpoint store.
+// OpenStore opens an existing checkpoint store, running the crash
+// recovery scan; its findings are available from (*Store).Recovery.
 func OpenStore(dir string) (*Store, error) { return checkpoint.Open(dir) }
+
+// OpenStoreObserved is OpenStore with an instrumentation recorder: the
+// recovery scan and any degraded-mode decodes report their counters
+// (recovery_scans, torn_files_detected, chunks_quarantined) into rec.
+func OpenStoreObserved(dir string, rec *Recorder) (*Store, error) {
+	return checkpoint.OpenFS(dir, faultfs.OS(), rec)
+}
+
+// RecoverOptions selects fail-closed (zero value) or salvage handling
+// of chunk-local corruption during decode.
+type RecoverOptions = checkpoint.RecoverOptions
+
+// PartialDataError reports a salvage decode that lost data: which
+// chunks failed and exactly which point index ranges hold stale values.
+type PartialDataError = checkpoint.PartialDataError
+
+// ChunkStatus is one chunk's outcome in a salvage decode.
+type ChunkStatus = checkpoint.ChunkStatus
+
+// Range is a half-open point index interval [Lo, Hi).
+type Range = checkpoint.Range
+
+// RecoveryReport summarizes what a store's Open-time recovery scan
+// found and repaired.
+type RecoveryReport = checkpoint.RecoveryReport
+
+// VerifyIssue is one problem found by (*Store).Verify.
+type VerifyIssue = checkpoint.VerifyIssue
+
+// ErrStoreCorrupt matches any checkpoint corruption error, including
+// *PartialDataError, via errors.Is.
+var ErrStoreCorrupt = checkpoint.ErrCorrupt
+
+// ErrStoreTruncated matches errors caused by a truncated (torn)
+// checkpoint file, a quarantine candidate, via errors.Is.
+var ErrStoreTruncated = checkpoint.ErrTruncated
 
 // NewWriter wraps a store for sequential appending; fullEvery is the
 // full-checkpoint period (<= 0 means only the first write is full).

@@ -153,3 +153,46 @@ func TestNilRecorderStreams(t *testing.T) {
 		t.Fatalf("instrumented encode produced different bytes (%d vs %d)", observed.Len(), plain.Len())
 	}
 }
+
+// TestRecoveryCountersZeroOnCleanRun checks the durability counter
+// family stays at zero across a healthy write/reopen/restart cycle: a
+// clean store must report no recovery work beyond the scan itself, and
+// no quarantined chunks or torn files ever.
+func TestRecoveryCountersZeroOnCleanRun(t *testing.T) {
+	dir := t.TempDir() + "/store"
+	st, err := numarck.CreateStore(dir, numarck.Options{ErrorBound: 0.001, IndexBits: 8, Strategy: numarck.EqualWidth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev, cur := observeDataset(3000)
+	if err := st.WriteFull("obs", 0, prev); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.WriteDelta("obs", 1, prev, cur); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := numarck.NewRecorder()
+	st2, err := numarck.OpenStoreObserved(dir, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Recovery().Clean() {
+		t.Fatalf("clean store reported recovery work: %s", st2.Recovery())
+	}
+	if _, err := st2.Restart("obs", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, pde, err := st2.RestartSalvage("obs", 1); err != nil || pde != nil {
+		t.Fatalf("salvage restart of clean store: pde=%v err=%v", pde, err)
+	}
+	snap := rec.Snapshot()
+	if got := snap.Counters["recovery_scans"]; got != 1 {
+		t.Errorf("recovery_scans = %d, want 1 (the open-time scan)", got)
+	}
+	for _, c := range []string{"chunks_quarantined", "torn_files_detected"} {
+		if got := snap.Counters[c]; got != 0 {
+			t.Errorf("%s = %d on a clean run, want 0", c, got)
+		}
+	}
+}

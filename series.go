@@ -75,6 +75,26 @@ func (s *Series) ReconstructAll() ([][]float64, error) {
 	return out, nil
 }
 
+// Validate checks the series' structural invariants without decoding:
+// a non-empty first iteration, no nil deltas, and every delta sized to
+// the series' point count. A series that fails Validate will fail (or
+// silently corrupt) Reconstruct; calling it after deserializing or
+// assembling a Series by hand catches the damage up front.
+func (s *Series) Validate() error {
+	if len(s.First) == 0 {
+		return fmt.Errorf("%w: empty first iteration", ErrSeries)
+	}
+	for k, enc := range s.Deltas {
+		if enc == nil {
+			return fmt.Errorf("%w: delta %d is nil", ErrSeries, k)
+		}
+		if enc.N != len(s.First) {
+			return fmt.Errorf("%w: delta %d encodes %d points, series has %d", ErrSeries, k, enc.N, len(s.First))
+		}
+	}
+	return nil
+}
+
 // StorageBytes returns the in-memory storage model of the series: the
 // raw first iteration plus each delta's encoded payload.
 func (s *Series) StorageBytes() int {

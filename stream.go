@@ -1,12 +1,14 @@
 package numarck
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
 
 	"numarck/internal/checkpoint"
 	"numarck/internal/chunk"
+	"numarck/internal/obs"
 	"numarck/internal/rawio"
 )
 
@@ -114,6 +116,67 @@ func (d StreamDecoder) Decode(r io.ReaderAt, size int64, prev Source, emit func(
 		cfg.Obs = d.Recorder
 	}
 	return chunk.DecodeDeltaV2(dr, prev, cfg, emit)
+}
+
+// DecodeRecover is Decode in degraded mode: a chunk whose section
+// fails its CRC or structure check is quarantined — its point range is
+// emitted with prev's values instead of decoded ones, nothing from the
+// bad section is used — while every healthy chunk decodes normally.
+// Chunks are processed sequentially in point order. The returned
+// *PartialDataError is nil when the file was fully healthy; otherwise
+// it carries per-chunk statuses and the exact lost index ranges.
+// Failures that are not chunk-local (an unreadable header, a length
+// mismatch with prev) fail the whole decode as in Decode.
+func (d StreamDecoder) DecodeRecover(r io.ReaderAt, size int64, prev Source, emit func(vals []float64) error) (*PartialDataError, error) {
+	dr, err := checkpoint.OpenDeltaV2(r, size)
+	if err != nil {
+		return nil, err
+	}
+	if d.Recorder != nil {
+		dr.SetRecorder(d.Recorder)
+	}
+	meta := dr.Meta()
+	if prev.Len() != meta.N {
+		return nil, fmt.Errorf("numarck: prev has %d points, checkpoint has %d", prev.Len(), meta.N)
+	}
+	var (
+		statuses []ChunkStatus
+		lost     []Range
+		pbuf     = make([]float64, meta.ChunkPoints)
+		dbuf     = make([]float64, meta.ChunkPoints)
+	)
+	for i := 0; i < meta.ChunkCount; i++ {
+		start, np := dr.ChunkSpan(i)
+		pw, dw := pbuf[:np], dbuf[:np]
+		if err := prev.ReadFloats(pw, start); err != nil {
+			return nil, err
+		}
+		cerr := dr.DecodeChunkInto(i, pw, dw)
+		if cerr != nil {
+			var ce *checkpoint.ChunkError
+			if !errors.As(cerr, &ce) {
+				return nil, cerr
+			}
+			copy(dw, pw)
+			lost = append(lost, Range{Lo: start, Hi: start + np})
+		}
+		statuses = append(statuses, ChunkStatus{Chunk: i, Start: start, Points: np, Err: cerr})
+		if err := emit(dw); err != nil {
+			return nil, err
+		}
+	}
+	if len(lost) == 0 {
+		return nil, nil
+	}
+	if d.Recorder != nil {
+		d.Recorder.Add(obs.CounterChunksQuarantined, int64(len(lost)))
+	}
+	return &PartialDataError{
+		Variable:  meta.Variable,
+		Iteration: meta.Iteration,
+		Chunks:    statuses,
+		Lost:      lost,
+	}, nil
 }
 
 // DecodeFiles reconstructs deltaPath on top of the raw float64 file at
