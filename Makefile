@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint docs test race crash-test fuzz-smoke verify bench bench-smoke
+.PHONY: all build vet lint lint-fix sarif docs test race race-pipeline crash-test fuzz-smoke verify bench bench-smoke
 
 all: verify
 
@@ -19,6 +19,16 @@ vet:
 lint:
 	$(GO) run ./cmd/numarcklint ./...
 
+# Apply the analyzers' suggested fixes (error-verb rewrites, stale
+# suppression deletions), then report whatever remains.
+lint-fix:
+	$(GO) run ./cmd/numarcklint -fix ./...
+
+# Lint with a SARIF 2.1.0 log on the side, for CI code-scanning
+# annotations. Exit status still reflects unsuppressed findings.
+sarif:
+	$(GO) run ./cmd/numarcklint -sarif numarcklint.sarif ./...
+
 # Documentation lint alone: fails when a package lacks a package
 # comment or an exported identifier lacks a doc comment.
 docs:
@@ -30,6 +40,12 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Focused race run over the goroutine-heavy pipeline and store packages
+# with a higher -count: the bounded-worker pool and the crash-injection
+# store are where interleavings actually vary between runs.
+race-pipeline:
+	$(GO) test -race -count=3 ./internal/chunk ./internal/checkpoint
+
 # The seeded crash-consistency matrix: fault-injection unit tests plus
 # the kill-at-every-mutating-op store matrix and the salvage-decode
 # tests. Deterministic (seeded schedules, no timing dependence) and
@@ -37,6 +53,7 @@ race:
 crash-test:
 	$(GO) test -count=1 -run 'TestInjector|TestWriteFileAtomic|TestOS' ./internal/faultfs
 	$(GO) test -count=1 -run 'TestCrash|TestRecoveryScan|TestDecodeRecover|TestRestartSalvage' ./internal/checkpoint
+	$(GO) test -count=1 -run 'TestWriteFileCrashMatrix' ./internal/rawio
 
 # One short burst per fuzz target; -run=NONE skips the unit tests so
 # the smoke stays fast. Targets: bit-level pack/unpack round-trips, the

@@ -5,21 +5,29 @@
 //
 // Usage:
 //
-//	numarcklint [-json] [-list] [-only analyzer] [packages...]
+//	numarcklint [-json] [-list] [-only a,b,...] [-sarif file] [-fix] [packages...]
 //
 // Package patterns follow the go tool's shape relative to the module
 // root: "./..." (default) analyzes everything, "./internal/core" one
 // package, "./internal/..." a subtree. Test files and testdata trees
 // are not analyzed.
 //
+// -only restricts the run to a comma-separated list of analyzer names
+// (see -list). -sarif additionally writes the findings as a SARIF 2.1.0
+// log to the given file, for CI code-scanning annotations. -fix applies
+// the suggested fixes the analyzers attach (error-verb rewrites,
+// suppression cleanups) and re-reports what remains.
+//
 // Findings can be silenced in source with
 //
-//	//lint:ignore <analyzer> <reason>
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
 //
-// on the finding's line or the line above it; the reason is mandatory.
+// on the finding's line or the line above it; the reason is mandatory,
+// and a suppression that no longer matches any finding is itself a
+// finding.
 //
-// Exit status: 0 when clean, 1 when there are findings, 2 on usage or
-// load errors (parse failures, type errors).
+// Exit status: 0 when clean, 1 when there are unsuppressed findings,
+// 2 on usage or load errors (parse failures, type errors).
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"numarck/internal/analysis"
 	"numarck/internal/analysis/analyzers"
@@ -42,7 +51,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
 	list := fs.Bool("list", false, "list analyzers and exit")
 	dir := fs.String("dir", ".", "directory inside the module to analyze")
-	only := fs.String("only", "", "run a single analyzer by `name` (see -list)")
+	only := fs.String("only", "", "run only the named analyzers (comma-separated, see -list)")
+	sarif := fs.String("sarif", "", "also write findings as SARIF 2.1.0 to `file`")
+	fix := fs.Bool("fix", false, "apply suggested fixes, then report what remains")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -50,19 +61,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 	all := analyzers.All()
 	if *list {
 		for _, a := range all {
-			fmt.Fprintf(stdout, "%-10s %s\n", a.Name(), a.Doc())
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name(), a.Doc())
 		}
 		return 0
 	}
 	if *only != "" {
-		var sel []analysis.Analyzer
+		byName := map[string]analysis.Analyzer{}
 		for _, a := range all {
-			if a.Name() == *only {
-				sel = append(sel, a)
+			byName[a.Name()] = a
+		}
+		var sel []analysis.Analyzer
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
 			}
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(stderr, "numarcklint: unknown analyzer %q (see -list)\n", name)
+				return 2
+			}
+			sel = append(sel, a)
 		}
 		if len(sel) == 0 {
-			fmt.Fprintf(stderr, "numarcklint: unknown analyzer %q (see -list)\n", *only)
+			fmt.Fprintf(stderr, "numarcklint: -only names no analyzers\n")
 			return 2
 		}
 		all = sel
@@ -78,21 +100,48 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "numarcklint: %v\n", err)
 		return 2
 	}
-	var pkgs []*analysis.Package
-	for _, p := range mod.Packages {
-		for _, pat := range patterns {
-			if mod.Match(p, pat) {
-				pkgs = append(pkgs, p)
-				break
-			}
-		}
-	}
+	pkgs := selectPackages(mod, patterns)
 	if len(pkgs) == 0 {
 		fmt.Fprintf(stderr, "numarcklint: no packages match %v\n", patterns)
 		return 2
 	}
 
 	res := analysis.Run(mod, pkgs, all)
+	if *fix && res.Fixable() > 0 {
+		files, applied, skipped, err := analysis.ApplyFixes(res.Diagnostics)
+		if err != nil {
+			fmt.Fprintf(stderr, "numarcklint: applying fixes: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "numarcklint: applied %d fix(es) in %d file(s), %d skipped\n",
+			applied, files, skipped)
+		// Re-analyze: the fixes moved positions and may have resolved
+		// (or, for suppression deletions, surfaced) findings.
+		mod, err = analysis.Load(*dir)
+		if err != nil {
+			fmt.Fprintf(stderr, "numarcklint: reload after fixes: %v\n", err)
+			return 2
+		}
+		pkgs = selectPackages(mod, patterns)
+		res = analysis.Run(mod, pkgs, all)
+	}
+
+	if *sarif != "" {
+		f, err := os.Create(*sarif)
+		if err != nil {
+			fmt.Fprintf(stderr, "numarcklint: %v\n", err)
+			return 2
+		}
+		werr := res.WriteSARIF(f, mod.RootDir, all)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(stderr, "numarcklint: writing SARIF: %v\n", werr)
+			return 2
+		}
+	}
+
 	if *jsonOut {
 		if err := res.WriteJSON(stdout); err != nil {
 			fmt.Fprintf(stderr, "numarcklint: %v\n", err)
@@ -110,4 +159,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// selectPackages filters the module's packages by the CLI patterns.
+func selectPackages(mod *analysis.Module, patterns []string) []*analysis.Package {
+	var pkgs []*analysis.Package
+	for _, p := range mod.Packages {
+		for _, pat := range patterns {
+			if mod.Match(p, pat) {
+				pkgs = append(pkgs, p)
+				break
+			}
+		}
+	}
+	return pkgs
 }

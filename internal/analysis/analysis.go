@@ -4,10 +4,19 @@
 // keeps its zero-dependency constraint.
 //
 // The framework loads and type-checks every package in the module
-// (Load), runs a set of Analyzers over them in parallel (Run), honours
-// `//lint:ignore <analyzer> <reason>` suppressions, and renders
-// position-accurate diagnostics as text or JSON. cmd/numarcklint is the
-// command-line driver; the repo-specific analyzers live in the
+// (Load) and runs a set of Analyzers over them in two phases. The fact
+// phase visits every package in dependency order and lets analyzers
+// implementing FactComputer export facts about functions, types and
+// fields into a module-wide table (Facts), with a static call graph
+// (CallGraph) built from the type-checker's resolution maps — the
+// substrate for interprocedural reasoning such as "this function
+// transitively reaches a mutating os call". The diagnostic phase then
+// runs every analyzer over the selected packages in parallel, honours
+// `//lint:ignore <analyzer> <reason>` suppressions (and reports unused
+// ones), and renders position-accurate diagnostics as text, JSON or
+// SARIF 2.1. Diagnostics may carry mechanical SuggestedFixes, applied
+// in place by ApplyFixes (the driver's -fix mode). cmd/numarcklint is
+// the command-line driver; the repo-specific analyzers live in the
 // analyzers subpackage.
 //
 // NUMARCK's correctness contract — exact error-bound enforcement over
@@ -50,6 +59,13 @@ type Pass struct {
 	// Info holds the type-checker's expression, definition and use
 	// maps for the package.
 	Info *types.Info
+	// Facts is the module-wide fact table. During ComputeFacts it is
+	// writable and imported packages' facts are complete; during Run it
+	// is read-only and the whole module's facts are complete.
+	Facts *Facts
+	// Graph is the module-wide static call graph, immutable for the
+	// whole run.
+	Graph *CallGraph
 }
 
 // Position resolves a token.Pos against the pass's file set.
@@ -70,6 +86,40 @@ type Diagnostic struct {
 	File string `json:"file"`
 	Line int    `json:"line"`
 	Col  int    `json:"col"`
+
+	// Fixes are mechanical rewrites that resolve the finding, applied
+	// by ApplyFixes under the driver's -fix flag. Empty for findings
+	// that need human judgement.
+	Fixes []SuggestedFix `json:"fixes,omitempty"`
+}
+
+// SuggestedFix is one mechanical text edit: replace the byte range
+// [Start, End) of File with NewText. Offsets are byte offsets within
+// the file's current contents, as produced by token.Position.Offset.
+type SuggestedFix struct {
+	// Message says what the fix does, e.g. "replace %v with %w".
+	Message string `json:"fix_message"`
+	// File is the path of the file to edit.
+	File string `json:"fix_file"`
+	// Start and End delimit the replaced byte range.
+	Start int `json:"fix_start"`
+	End   int `json:"fix_end"`
+	// NewText replaces the range.
+	NewText string `json:"fix_new_text"`
+}
+
+// FixAt builds a SuggestedFix replacing the source range [pos, end)
+// with newText, resolving offsets through the pass's file set.
+func (p *Pass) FixAt(pos, end token.Pos, message, newText string) SuggestedFix {
+	start := p.Fset.Position(pos)
+	stop := p.Fset.Position(end)
+	return SuggestedFix{
+		Message: message,
+		File:    start.Filename,
+		Start:   start.Offset,
+		End:     stop.Offset,
+		NewText: newText,
+	}
 }
 
 // Diagf constructs a Diagnostic at pos, resolving it through the pass.

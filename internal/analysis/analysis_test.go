@@ -160,26 +160,26 @@ var b = 2 //lint:ignore demo end-of-line form
 	if len(sups) != 2 {
 		t.Fatalf("got %d suppressions, want 2", len(sups))
 	}
-	file := sups[0].file
+	file := sups[0].pos.Filename
 	mk := func(an string, line int) Diagnostic {
 		return Diagnostic{Analyzer: an, File: file, Line: line}
 	}
-	if !suppressed(mk("demo", 4), sups) {
+	if suppressing(mk("demo", 4), sups) == nil {
 		t.Error("line below standalone directive not suppressed")
 	}
-	if !suppressed(mk("other", 4), sups) {
+	if suppressing(mk("other", 4), sups) == nil {
 		t.Error("second analyzer in comma list not suppressed")
 	}
-	if !suppressed(mk("demo", 6), sups) {
+	if suppressing(mk("demo", 6), sups) == nil {
 		t.Error("end-of-line directive did not suppress its own line")
 	}
-	if suppressed(mk("demo", 5), sups) {
+	if suppressing(mk("demo", 5), sups) != nil {
 		t.Error("suppression leaked past its line+1 window")
 	}
-	if suppressed(mk("unrelated", 4), sups) {
+	if suppressing(mk("unrelated", 4), sups) != nil {
 		t.Error("suppression silenced an analyzer it does not name")
 	}
-	if suppressed(Diagnostic{Analyzer: "demo", File: "elsewhere.go", Line: 4}, sups) {
+	if suppressing(Diagnostic{Analyzer: "demo", File: "elsewhere.go", Line: 4}, sups) != nil {
 		t.Error("suppression crossed a file boundary")
 	}
 }

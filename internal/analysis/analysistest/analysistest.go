@@ -4,6 +4,16 @@
 // internal/analysis/analyzers has a fixture under its testdata
 // directory, so detection-logic regressions fail the analyzer's own
 // tests.
+//
+// A fixture directory may contain subdirectories; each is type-checked
+// first as a helper package importable from the fixture as
+// "fixture/<subdir>" — how fixtures model cross-package scenarios such
+// as a registry package whose constants the analyzer requires, or a
+// callee package a fact must propagate out of. If the analyzer
+// implements analysis.FactComputer, its fact phase runs over the helper
+// packages and then the fixture, mirroring the engine's
+// dependency-order walk, before diagnostics are collected from the
+// fixture package alone.
 package analysistest
 
 import (
@@ -37,22 +47,28 @@ type want struct {
 // double-escaping in patterns full of parentheses.
 var wantRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
 
-// Run loads the fixture package in dir, runs a over it, and reports
-// any mismatch between findings and // want expectations as test
-// errors: a finding with no matching want, or a want no finding
-// matched.
+// Run loads the fixture package in dir (and any helper sub-packages),
+// runs a over it, and reports any mismatch between findings and
+// // want expectations as test errors: a finding with no matching want,
+// or a want no finding matched.
 func Run(t *testing.T, dir string, a analysis.Analyzer) {
 	t.Helper()
-	pass, err := loadFixture(dir)
+	passes, err := loadFixture(dir)
 	if err != nil {
 		t.Fatalf("analysistest: %v", err)
 	}
-	wants, err := collectWants(pass.Fset, pass.Files)
+	main := passes[len(passes)-1]
+	wants, err := collectWants(main.Fset, main.Files)
 	if err != nil {
 		t.Fatalf("analysistest: %v", err)
 	}
 
-	diags := a.Run(pass)
+	if fc, ok := a.(analysis.FactComputer); ok {
+		for _, p := range passes {
+			fc.ComputeFacts(p)
+		}
+	}
+	diags := a.Run(main)
 	sort.Slice(diags, func(i, j int) bool {
 		if diags[i].Line != diags[j].Line {
 			return diags[i].Line < diags[j].Line
@@ -85,50 +101,118 @@ func Run(t *testing.T, dir string, a analysis.Analyzer) {
 	}
 }
 
-// loadFixture parses and type-checks the single package in dir. The
-// standard library resolves through the source importer, so fixtures
-// may import sync, io, context, etc.
-func loadFixture(dir string) (*analysis.Pass, error) {
+// fixtureImporter resolves "fixture/..." imports from the helper
+// packages checked so far and everything else (the standard library)
+// through the source importer.
+type fixtureImporter struct {
+	checked  map[string]*types.Package
+	fallback types.Importer
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := fi.checked[path]; ok {
+		return p, nil
+	}
+	return fi.fallback.Import(path)
+}
+
+// loadFixture parses and type-checks the package in dir plus any helper
+// packages in its immediate subdirectories. The returned passes share
+// one file set, fact table and call graph; helper packages come first,
+// the fixture package last. The standard library resolves through the
+// source importer, so fixtures may import sync, io, context, etc.
+func loadFixture(dir string) ([]*analysis.Pass, error) {
 	fset := token.NewFileSet()
+	imp := &fixtureImporter{
+		checked:  map[string]*types.Package{},
+		fallback: importer.ForCompiler(fset, "source", nil),
+	}
+
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
-	var files []*ast.File
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
-			continue
-		}
-		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+	type loaded struct {
+		path  string
+		files []*ast.File
+		pkg   *types.Package
+		info  *types.Info
+	}
+	var pkgs []loaded
+
+	check := func(pkgDir, pkgPath string) error {
+		sub, err := os.ReadDir(pkgDir)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		files = append(files, f)
+		var files []*ast.File
+		for _, e := range sub {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(pkgDir, e.Name()), nil, parser.ParseComments)
+			if err != nil {
+				return err
+			}
+			files = append(files, f)
+		}
+		if len(files) == 0 {
+			return fmt.Errorf("no .go files in %s", pkgDir)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(pkgPath, fset, files, info)
+		if err != nil {
+			return fmt.Errorf("type-check fixture %s: %w", pkgDir, err)
+		}
+		imp.checked[pkgPath] = tpkg
+		pkgs = append(pkgs, loaded{path: pkgPath, files: files, pkg: tpkg, info: info})
+		return nil
 	}
-	if len(files) == 0 {
-		return nil, fmt.Errorf("no .go files in %s", dir)
+
+	for _, e := range entries {
+		if e.IsDir() {
+			if err := check(filepath.Join(dir, e.Name()), "fixture/"+e.Name()); err != nil {
+				return nil, err
+			}
+		}
 	}
-	info := &types.Info{
-		Types:      map[ast.Expr]types.TypeAndValue{},
-		Defs:       map[*ast.Ident]types.Object{},
-		Uses:       map[*ast.Ident]types.Object{},
-		Selections: map[*ast.SelectorExpr]*types.Selection{},
-		Implicits:  map[ast.Node]types.Object{},
-		Scopes:     map[ast.Node]*types.Scope{},
+	if err := check(dir, "fixture/"+filepath.Base(dir)); err != nil {
+		return nil, err
 	}
-	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
-	pkgPath := "fixture/" + filepath.Base(dir)
-	tpkg, err := conf.Check(pkgPath, fset, files, info)
-	if err != nil {
-		return nil, fmt.Errorf("type-check fixture %s: %w", dir, err)
+
+	var graphPkgs []*analysis.Package
+	for _, l := range pkgs {
+		graphPkgs = append(graphPkgs, &analysis.Package{
+			Path:  l.path,
+			Files: l.files,
+			Types: l.pkg,
+			Info:  l.info,
+		})
 	}
-	return &analysis.Pass{
-		Fset:    fset,
-		Pkg:     tpkg,
-		PkgPath: pkgPath,
-		Files:   files,
-		Info:    info,
-	}, nil
+	facts := analysis.NewFacts()
+	graph := analysis.BuildCallGraph(fset, graphPkgs)
+
+	passes := make([]*analysis.Pass, 0, len(pkgs))
+	for _, l := range pkgs {
+		passes = append(passes, &analysis.Pass{
+			Fset:    fset,
+			Pkg:     l.pkg,
+			PkgPath: l.path,
+			Files:   l.files,
+			Info:    l.info,
+			Facts:   facts,
+			Graph:   graph,
+		})
+	}
+	return passes, nil
 }
 
 // collectWants parses // want comments out of the fixture files.

@@ -32,12 +32,32 @@ func TestDoccomment(t *testing.T) {
 	analysistest.Run(t, "testdata/doccomment", analyzers.Doccomment{})
 }
 
+func TestFsseam(t *testing.T) {
+	analysistest.Run(t, "testdata/fsseam", analyzers.Fsseam{})
+}
+
+func TestErrwrap(t *testing.T) {
+	analysistest.Run(t, "testdata/errwrap", analyzers.Errwrap{})
+}
+
+func TestAtomicfield(t *testing.T) {
+	analysistest.Run(t, "testdata/atomicfield", analyzers.Atomicfield{})
+}
+
+func TestGoroleak(t *testing.T) {
+	analysistest.Run(t, "testdata/goroleak", analyzers.Goroleak{})
+}
+
+func TestObsstage(t *testing.T) {
+	analysistest.Run(t, "testdata/obsstage", analyzers.Obsstage{})
+}
+
 // TestAll pins the analyzer set: names must be unique, non-empty and
 // documented, so //lint:ignore targets stay stable.
 func TestAll(t *testing.T) {
 	all := analyzers.All()
-	if len(all) < 5 {
-		t.Fatalf("expected at least 5 analyzers, got %d", len(all))
+	if len(all) < 11 {
+		t.Fatalf("expected at least 11 analyzers, got %d", len(all))
 	}
 	seen := map[string]bool{}
 	for _, a := range all {

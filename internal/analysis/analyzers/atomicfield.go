@@ -1,0 +1,164 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"numarck/internal/analysis"
+)
+
+// Atomicfield enforces the all-or-nothing discipline of the sync/atomic
+// function API: a struct field that is read or written through
+// atomic.LoadInt64(&s.f)-style calls anywhere in the module must never
+// be accessed plainly anywhere else — a single plain read next to
+// atomic writers is a data race the race detector only catches when the
+// schedule cooperates. The seqlock-style chain index on the ROADMAP
+// (lock-free readers over a single-writer store) will live or die by
+// this invariant.
+//
+// The fact phase records, module-wide, every field that appears as
+// &struct.field in a sync/atomic call; the diagnostic phase then flags
+// plain selector accesses of those fields in whichever package they
+// occur — including packages compiled before the atomic use was even
+// visible, which is why this cannot be a file-local check. Fields of
+// the method-based types (atomic.Int64, atomic.Pointer) are safe by
+// construction and not tracked. Composite-literal initialization is
+// deliberately exempt: initializing before the value is shared is the
+// idiomatic pattern.
+type Atomicfield struct{}
+
+// Name implements analysis.Analyzer.
+func (Atomicfield) Name() string { return "atomicfield" }
+
+// Doc implements analysis.Analyzer.
+func (Atomicfield) Doc() string {
+	return "flags plain reads/writes of struct fields accessed via sync/atomic elsewhere"
+}
+
+// atomicFact marks a field object as atomically accessed; its value is
+// the position (string) of one atomic use, for the report.
+const atomicFact = "atomicfield.atomic"
+
+// ComputeFacts implements analysis.FactComputer: record every field
+// passed by address to a sync/atomic function.
+func (Atomicfield) ComputeFacts(p *analysis.Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(p.Info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if fld := addressedField(p.Info, arg); fld != nil {
+					p.Facts.Set(fld, atomicFact, p.Position(call.Pos()).String())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// Run implements analysis.Analyzer: flag plain selector accesses of
+// atomically-used fields.
+func (Atomicfield) Run(p *analysis.Pass) []analysis.Diagnostic {
+	var diags []analysis.Diagnostic
+	for _, f := range p.Files {
+		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fld := fieldOf(p.Info, sel)
+			if fld == nil {
+				return true
+			}
+			where, ok := p.Facts.Get(fld, atomicFact)
+			if !ok {
+				return true
+			}
+			if inAtomicContext(p.Info, stack) {
+				return true
+			}
+			diags = append(diags, p.Diagf("atomicfield", sel.Sel.Pos(),
+				"plain access of field %s.%s, which is accessed atomically at %s; use sync/atomic on every access",
+				fieldOwner(fld), fld.Name(), where))
+			return true
+		})
+	}
+	return diags
+}
+
+// isAtomicCall reports whether call targets a sync/atomic package-level
+// function (LoadInt64, StoreUint32, AddInt64, SwapPointer,
+// CompareAndSwapInt64, ...).
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	// Package-level functions only: the method API's receivers enforce
+	// the discipline by themselves.
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// addressedField unwraps &x.f (with any parens) to the field object f,
+// or nil.
+func addressedField(info *types.Info, arg ast.Expr) *types.Var {
+	un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil
+	}
+	sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return fieldOf(info, sel)
+}
+
+// fieldOf resolves a selector to the struct field it names, or nil for
+// methods, package selectors and qualified identifiers.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	if v == nil || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// inAtomicContext reports whether the node at the top of stack sits
+// inside &... passed directly to a sync/atomic call.
+func inAtomicContext(info *types.Info, stack []ast.Node) bool {
+	// Expected shape (innermost last): ... CallExpr, UnaryExpr(&),
+	// [ParenExpr...], SelectorExpr is the visited node.
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch v := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.UnaryExpr:
+			if v.Op != token.AND {
+				return false
+			}
+			continue
+		case *ast.CallExpr:
+			return isAtomicCall(info, v)
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// fieldOwner renders the declaring struct's type name for the report,
+// falling back to the package name.
+func fieldOwner(fld *types.Var) string {
+	if fld.Pkg() != nil {
+		return fld.Pkg().Name()
+	}
+	return "?"
+}

@@ -1,0 +1,160 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"numarck/internal/analysis"
+)
+
+// Goroleak requires every goroutine launched in internal/chunk — the
+// bounded-worker streaming pipeline — to have a visible lifecycle: the
+// spawned function must either signal a sync.WaitGroup (wg.Done, the
+// worker pattern) or be tied to a done-channel the spawning function
+// closes (the feeder pattern). A goroutine with neither outlives the
+// pipeline call silently; under the daemon planned on the ROADMAP, a
+// leak per request is a resource exhaustion bug, and under -race it is
+// where phantom failures come from.
+type Goroleak struct{}
+
+// Name implements analysis.Analyzer.
+func (Goroleak) Name() string { return "goroleak" }
+
+// Doc implements analysis.Analyzer.
+func (Goroleak) Doc() string {
+	return "flags go statements in internal/chunk not accounted for by a WaitGroup or done channel"
+}
+
+// goroleakScope lists the packages under goroutine-lifecycle
+// discipline.
+var goroleakScope = []string{
+	"numarck/internal/chunk",
+}
+
+// Run implements analysis.Analyzer.
+func (Goroleak) Run(p *analysis.Pass) []analysis.Diagnostic {
+	if !inScope(p.PkgPath, goroleakScope...) {
+		return nil
+	}
+	var diags []analysis.Diagnostic
+	for _, fd := range funcsOf(p) {
+		if fd.decl.Body == nil {
+			continue
+		}
+		closed := closedChannels(p.Info, fd.decl.Body)
+		ast.Inspect(fd.decl.Body, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+			if !ok {
+				diags = append(diags, p.Diagf("goroleak", gs.Pos(),
+					"go statement launches %s whose lifecycle is not visible here; wrap it in a func literal that signals a WaitGroup or watches a done channel", callLabel(p.Info, gs.Call)))
+				return true
+			}
+			if signalsWaitGroup(p.Info, lit.Body) || watchesDoneChannel(p.Info, lit.Body, closed) {
+				return true
+			}
+			diags = append(diags, p.Diagf("goroleak", gs.Pos(),
+				"goroutine is not accounted for: no WaitGroup.Done and no receive from a channel this function closes"))
+			return true
+		})
+	}
+	return diags
+}
+
+// signalsWaitGroup reports whether body calls Done on a sync.WaitGroup
+// (directly or deferred).
+func signalsWaitGroup(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Done" {
+			return true
+		}
+		if t := info.TypeOf(sel.X); t != nil && isSyncNamed(t, "WaitGroup") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// closedChannels collects the channel objects that fn closes anywhere
+// in its body (including inside nested literals — a deferred
+// close(jobs) in a feeder goroutine still accounts for a sibling that
+// receives from jobs).
+func closedChannels(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "close" {
+			return true
+		}
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+			return true
+		}
+		if arg := rootIdent(call.Args[0]); arg != nil {
+			if obj := objectOf(info, arg); obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// watchesDoneChannel reports whether body receives from (or ranges
+// over) a channel that the spawning function closes — the signal that
+// the goroutine terminates when its parent tears the pipeline down.
+func watchesDoneChannel(info *types.Info, body *ast.BlockStmt, closed map[types.Object]bool) bool {
+	if len(closed) == 0 {
+		return false
+	}
+	received := func(e ast.Expr) bool {
+		id := rootIdent(e)
+		if id == nil {
+			return false
+		}
+		obj := objectOf(info, id)
+		return obj != nil && closed[obj]
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW && received(v.X) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(v.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan && received(v.X) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// callLabel names a call target for the report.
+func callLabel(info *types.Info, call *ast.CallExpr) string {
+	if fn := calleeFunc(info, call); fn != nil {
+		return funcLabel(fn)
+	}
+	return "a function value"
+}

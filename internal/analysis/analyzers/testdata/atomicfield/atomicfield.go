@@ -1,0 +1,36 @@
+// Package atomicfield exercises the mixed atomic/plain access analyzer:
+// a field used through sync/atomic anywhere must never be touched
+// plainly, while untracked fields and the atomic uses themselves stay
+// clean.
+package atomicfield
+
+import "sync/atomic"
+
+type counter struct {
+	n    int64
+	name string
+}
+
+func bump(c *counter) {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func read(c *counter) int64 {
+	return c.n // want `plain access of field atomicfield.n, which is accessed atomically at`
+}
+
+func write(c *counter) {
+	c.n = 0 // want `plain access of field atomicfield.n, which is accessed atomically at`
+}
+
+func readAtomic(c *counter) int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+func label(c *counter) string {
+	return c.name
+}
+
+func fresh() *counter {
+	return &counter{n: 0, name: "fresh"}
+}

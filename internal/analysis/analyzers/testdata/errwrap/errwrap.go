@@ -1,0 +1,60 @@
+// Package errwrap exercises the error-wrapping analyzer: severed %v
+// chains (with the %w fix), bare os errors escaping exported functions,
+// and the clean wrapped forms.
+package errwrap
+
+import (
+	"fmt"
+	"os"
+)
+
+func severed(err error) error {
+	return fmt.Errorf("read failed: %v", err) // want `fmt.Errorf renders an error with %v, severing the errors.Is chain; use %w`
+}
+
+func severedQuoted(err error) error {
+	return fmt.Errorf("open %q: %s", "f", err) // want `fmt.Errorf renders an error with %s, severing the errors.Is chain; use %w`
+}
+
+func wrapped(err error) error {
+	return fmt.Errorf("read failed: %w", err)
+}
+
+// Load is exported, so its errors need op+path context.
+func Load(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err // want `exported Load returns a raw os/faultfs error without op\+path wrapping`
+	}
+	return f.Close()
+}
+
+// LoadWrapped attaches the context the convention demands.
+func LoadWrapped(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("errwrap: open %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// load is unexported: internal plumbing may hand the raw error to an
+// exported caller that wraps it.
+func load(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Reload re-derives the error before returning, so the bare os source
+// no longer dominates.
+func Reload(path string) error {
+	_, err := os.Open(path)
+	if err != nil {
+		err = fmt.Errorf("errwrap: reload %s: %w", path, err)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+// Package fsseam exercises the faultfs-seam analyzer: direct mutating
+// os calls, transitive reaches through local and cross-package helpers,
+// and the clean paths (interface calls, read-only os entry points).
+package fsseam
+
+import (
+	"os"
+
+	"fixture/sink"
+)
+
+// FS mimics the faultfs.FS seam: calls through it resolve to no static
+// callee, which is exactly what makes a path clean.
+type FS interface {
+	Create(name string) (*os.File, error)
+	Remove(name string) error
+}
+
+func direct() {
+	_ = os.Remove("x") // want `direct mutating call os.Remove escapes the faultfs.FS seam`
+}
+
+func helper() error {
+	return os.Rename("a", "b") // want `direct mutating call os.Rename escapes the faultfs.FS seam`
+}
+
+func transitive() {
+	_ = helper() // want `call reaches os.Rename outside the faultfs.FS seam \(fsseam.helper -> os.Rename\)`
+}
+
+func crossPackage() {
+	_ = sink.Drop("x") // want `call reaches os.Remove outside the faultfs.FS seam \(sink.Drop -> os.Remove\)`
+}
+
+func throughSeam(fsys FS) {
+	_ = fsys.Remove("x")
+}
+
+func readOnly() {
+	f, err := os.Open("x")
+	if err == nil {
+		_ = f.Close()
+	}
+}

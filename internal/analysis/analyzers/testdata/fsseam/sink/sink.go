@@ -1,0 +1,11 @@
+// Package sink is a helper the fsseam fixture imports: the mutating os
+// call lives here, so the finding in the fixture proves the fact
+// crossed a package boundary.
+package sink
+
+import "os"
+
+// Drop removes path.
+func Drop(path string) error {
+	return os.Remove(path)
+}

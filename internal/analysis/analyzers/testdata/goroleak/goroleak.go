@@ -1,0 +1,52 @@
+// Package goroleak exercises the goroutine-lifecycle analyzer: workers
+// signalling a WaitGroup and feeders tied to a channel the spawner
+// closes are clean; bare goroutines and opaque named launches are not.
+package goroleak
+
+import "sync"
+
+func worker() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+func feeder() {
+	jobs := make(chan int)
+	go func() {
+		for range jobs {
+		}
+	}()
+	close(jobs)
+}
+
+func doneSelect() {
+	done := make(chan struct{})
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case <-stop:
+				return
+			}
+		}
+	}()
+	close(stop)
+	close(done)
+}
+
+func leaky() {
+	go func() { // want `goroutine is not accounted for: no WaitGroup.Done and no receive from a channel this function closes`
+	}()
+}
+
+func named() {
+	go task() // want `go statement launches goroleak.task whose lifecycle is not visible here`
+}
+
+func task() {}

@@ -1,0 +1,42 @@
+// Package obs is a miniature of the real instrumentation registry for
+// the obsstage fixture: the named value types, a couple of registry
+// constants, and the Recorder/Timer surface.
+package obs
+
+import "time"
+
+// Stage identifies a pipeline stage.
+type Stage uint8
+
+// Counter identifies a monotonic counter.
+type Counter uint8
+
+// Gauge identifies a high-watermark gauge.
+type Gauge uint8
+
+// Registry constants.
+const (
+	StageRead Stage = iota
+	StageWrite
+)
+
+// CntErrors counts failures.
+const CntErrors Counter = 0
+
+// Recorder accumulates observations.
+type Recorder struct{}
+
+// Observe records one duration for a stage.
+func (r *Recorder) Observe(s Stage, d time.Duration) {}
+
+// Add bumps a counter.
+func (r *Recorder) Add(c Counter, n uint64) {}
+
+// Start begins a timing.
+func (r *Recorder) Start() Timer { return Timer{} }
+
+// Timer is one in-flight timing.
+type Timer struct{}
+
+// Stop ends the timing under stage s.
+func (t Timer) Stop(s Stage) {}

@@ -1,0 +1,80 @@
+// Package obsstage exercises the instrumentation-discipline analyzer:
+// registry values must be the obs constants, and timers must be stopped
+// on every return path.
+package obsstage
+
+import (
+	"errors"
+	"time"
+
+	"fixture/obs"
+)
+
+var errNop = errors.New("nop")
+
+const localStage obs.Stage = 7 // want `local declaration of obs.Stage values`
+
+func conv(rec *obs.Recorder) {
+	rec.Observe(obs.Stage(3), time.Second) // want `conversion to obs.Stage bypasses the registry`
+}
+
+func literal(rec *obs.Recorder) {
+	rec.Observe(1, time.Second) // want `obs.Stage argument is not a registry constant`
+}
+
+func localConst(rec *obs.Recorder) {
+	rec.Observe(localStage, time.Second) // want `obs.Stage constant declared outside the obs registry`
+}
+
+func registry(rec *obs.Recorder) {
+	rec.Observe(obs.StageRead, time.Second)
+	rec.Add(obs.CntErrors, 1)
+}
+
+func forward(rec *obs.Recorder, s obs.Stage) {
+	rec.Observe(s, time.Second)
+}
+
+func leak(rec *obs.Recorder, fail bool) error {
+	t := rec.Start()
+	if fail {
+		return errNop // want `return between Recorder.Start .* and Timer.Stop loses the timer on this path`
+	}
+	t.Stop(obs.StageRead)
+	return nil
+}
+
+func restart(rec *obs.Recorder) {
+	t := rec.Start() // want `obs timer started here is never stopped`
+	t = rec.Start()
+	t.Stop(obs.StageWrite)
+}
+
+func discard(rec *obs.Recorder) {
+	rec.Start() // want `result of Recorder.Start is discarded`
+}
+
+func deferred(rec *obs.Recorder, fail bool) error {
+	t := rec.Start()
+	defer t.Stop(obs.StageRead)
+	if fail {
+		return errNop
+	}
+	return nil
+}
+
+func stopped(rec *obs.Recorder, fail bool) error {
+	t := rec.Start()
+	t.Stop(obs.StageWrite)
+	if fail {
+		return errNop
+	}
+	return nil
+}
+
+func escape(rec *obs.Recorder) {
+	t := rec.Start()
+	keep(t)
+}
+
+func keep(t obs.Timer) {}

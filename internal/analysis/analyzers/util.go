@@ -4,13 +4,22 @@
 // sound sync.WaitGroup use in the goroutine-parallel paths (waitgroup),
 // cancellable goroutine channel sends (ctxleak), no dropped errors on
 // the persistence paths (errcheck), truncation-free bin-index
-// conversions (bindex), and a fully documented public surface
-// (doccomment).
+// conversions (bindex), a fully documented public surface (doccomment),
+// the faultfs filesystem seam on the durability paths (fsseam), op+path
+// error wrapping on the store packages (errwrap), no mixed
+// atomic/plain field access (atomicfield), accounted-for goroutines in
+// the pipeline package (goroleak), and registry-only obs stage names
+// with leak-free timers (obsstage).
+//
+// The last five lean on the engine's fact phase (analysis.FactComputer)
+// and call graph for cross-package, interprocedural reasoning; the
+// first six are package-local.
 package analyzers
 
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 
 	"numarck/internal/analysis"
 )
@@ -24,7 +33,52 @@ func All() []analysis.Analyzer {
 		Errcheck{},
 		Bindex{},
 		Doccomment{},
+		Fsseam{},
+		Errwrap{},
+		Atomicfield{},
+		Goroleak{},
+		Obsstage{},
 	}
+}
+
+// inScope reports whether pkgPath is one of the listed module packages
+// (or a subpackage of one). Fixture packages loaded by analysistest
+// ("fixture/...") are always in scope, so every analyzer is testable
+// without replicating the real module layout.
+func inScope(pkgPath string, pkgs ...string) bool {
+	if strings.HasPrefix(pkgPath, "fixture/") {
+		return true
+	}
+	for _, p := range pkgs {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// funcsOf returns the named functions and methods declared in the
+// pass's files, in source order, paired with their declarations.
+func funcsOf(p *analysis.Pass) []funcDecl {
+	var out []funcDecl
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+				out = append(out, funcDecl{fn: fn, decl: fd})
+			}
+		}
+	}
+	return out
+}
+
+// funcDecl pairs a function object with its syntax.
+type funcDecl struct {
+	fn   *types.Func
+	decl *ast.FuncDecl
 }
 
 // inspectStack walks root like ast.Inspect but hands the visitor the

@@ -1,0 +1,203 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"sync"
+)
+
+// FactComputer is the optional second face of an Analyzer: an analyzer
+// that implements it participates in the engine's fact phase, which
+// visits every package of the module in dependency order BEFORE any
+// diagnostics run. Facts recorded there (keyed by types.Object, so they
+// survive package boundaries) are visible to every analyzer's Run
+// through Pass.Facts, which is how an analyzer reasons
+// interprocedurally: a callee's package is always fact-complete by the
+// time its callers are visited, and the whole module is fact-complete
+// by the time any diagnostic pass starts.
+type FactComputer interface {
+	// ComputeFacts inspects one package and records facts about its
+	// objects. It is called sequentially in dependency order, so unlike
+	// Run it may assume single-threaded access and that imported
+	// packages' facts are already present.
+	ComputeFacts(p *Pass)
+}
+
+// factKey addresses one fact: a program object and an analyzer-chosen
+// fact name.
+type factKey struct {
+	obj  types.Object
+	name string
+}
+
+// Facts is the cross-package fact table shared by one engine run. The
+// fact phase writes it single-threaded; the diagnostic phase reads it
+// from many goroutines, so reads after the phase switch are guarded by
+// an RWMutex (writes during the diagnostic phase are a programming
+// error but are tolerated and stay race-free).
+type Facts struct {
+	mu sync.RWMutex
+	m  map[factKey]any
+}
+
+// NewFacts returns an empty fact table.
+func NewFacts() *Facts {
+	return &Facts{m: map[factKey]any{}}
+}
+
+// Set records fact name about obj with value v, replacing any prior
+// value.
+func (f *Facts) Set(obj types.Object, name string, v any) {
+	if obj == nil {
+		return
+	}
+	f.mu.Lock()
+	f.m[factKey{obj, name}] = v
+	f.mu.Unlock()
+}
+
+// Get returns the fact name recorded about obj, or (nil, false).
+func (f *Facts) Get(obj types.Object, name string) (any, bool) {
+	if obj == nil {
+		return nil, false
+	}
+	f.mu.RLock()
+	v, ok := f.m[factKey{obj, name}]
+	f.mu.RUnlock()
+	return v, ok
+}
+
+// Has reports whether fact name is recorded about obj.
+func (f *Facts) Has(obj types.Object, name string) bool {
+	_, ok := f.Get(obj, name)
+	return ok
+}
+
+// CallSite is one statically resolved call: the named function (or
+// method) enclosing the call expression, the callee it resolves to, and
+// the call's position. Calls inside function literals are attributed to
+// the enclosing named function, so reachability flows through the
+// closures the pipeline code leans on. Indirect calls — through
+// function values or interface methods — do not resolve and are absent;
+// that is the loophole the faultfs.FS seam exploits on purpose: code
+// holding only the interface cannot statically reach the os package.
+type CallSite struct {
+	// Caller is the enclosing named function or method.
+	Caller *types.Func
+	// Callee is the statically resolved target.
+	Callee *types.Func
+	// Pos is the call expression's position.
+	Pos token.Pos
+}
+
+// CallGraph is the module-wide static call graph, built once per engine
+// run from the type-checker's resolution maps. It is immutable after
+// construction and safe for concurrent reads.
+type CallGraph struct {
+	// calls maps each caller to its resolved call sites in source order.
+	calls map[*types.Func][]CallSite
+}
+
+// CallsFrom returns fn's statically resolved call sites in source
+// order. The returned slice is shared; callers must not mutate it.
+func (g *CallGraph) CallsFrom(fn *types.Func) []CallSite {
+	if g == nil || fn == nil {
+		return nil
+	}
+	return g.calls[fn]
+}
+
+// Callers returns every function with at least one resolved call site,
+// sorted by full name for determinism.
+func (g *CallGraph) Callers() []*types.Func {
+	if g == nil {
+		return nil
+	}
+	fns := make([]*types.Func, 0, len(g.calls))
+	for fn := range g.calls {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].FullName() < fns[j].FullName() })
+	return fns
+}
+
+// BuildCallGraph resolves the static call graph of a set of packages.
+// The engine builds one over the whole module before the fact phase;
+// analysistest builds one over a fixture and its helper packages.
+func BuildCallGraph(fset *token.FileSet, pkgs []*Package) *CallGraph {
+	g := &CallGraph{calls: map[*types.Func][]CallSite{}}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if ok {
+					g.addFunc(p.Info, fd)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// addFunc records every resolved call lexically inside fd, including
+// calls inside nested function literals, under fd's object.
+func (g *CallGraph) addFunc(info *types.Info, fd *ast.FuncDecl) {
+	caller, _ := info.Defs[fd.Name].(*types.Func)
+	if caller == nil || fd.Body == nil {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := resolveCallee(info, call)
+		if callee == nil {
+			return true
+		}
+		g.calls[caller] = append(g.calls[caller], CallSite{
+			Caller: caller,
+			Callee: callee,
+			Pos:    call.Pos(),
+		})
+		return true
+	})
+}
+
+// resolveCallee resolves a call expression to the function or method it
+// statically invokes. Interface method calls and calls through function
+// values return nil: they have no static target.
+func resolveCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+		if f, ok := info.Defs[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			f, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return nil
+			}
+			// A method selected off an interface value has no static
+			// body; reporting it as the callee would let reachability
+			// facts tunnel through the very seam they exist to protect.
+			if recv := f.Type().(*types.Signature).Recv(); recv != nil {
+				if types.IsInterface(recv.Type()) {
+					return nil
+				}
+			}
+			return f
+		}
+		// Package-qualified call: os.Create, faultfs.ReadFile, ...
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}

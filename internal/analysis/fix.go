@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"fmt"
+	"go/format"
+	"os"
+	"sort"
+)
+
+// ApplyFixes applies every suggested fix carried by diags to the files
+// on disk, in place. Edits within one file are applied from the end
+// backwards so earlier offsets stay valid; overlapping edits are
+// detected and the later one is skipped (reported in skipped). Pure
+// deletions that leave a line holding only whitespace take the whole
+// line with them. Edited files are re-rendered through gofmt; a file
+// a fix breaks beyond parsing is not written, its edits count as
+// skipped, and fixing continues with the next file.
+//
+// It returns the number of files rewritten and the number of edits
+// applied and skipped.
+func ApplyFixes(diags []Diagnostic) (files, applied, skipped int, err error) {
+	byFile := map[string][]SuggestedFix{}
+	for _, d := range diags {
+		for _, f := range d.Fixes {
+			if f.File == "" || f.Start < 0 || f.End < f.Start {
+				skipped++
+				continue
+			}
+			byFile[f.File] = append(byFile[f.File], f)
+		}
+	}
+	paths := make([]string, 0, len(byFile))
+	for p := range byFile {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	for _, path := range paths {
+		edits := byFile[path]
+		sort.Slice(edits, func(i, j int) bool {
+			if edits[i].Start != edits[j].Start {
+				return edits[i].Start < edits[j].Start
+			}
+			return edits[i].End < edits[j].End
+		})
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return files, applied, skipped, fmt.Errorf("analysis: fix %s: %w", path, rerr)
+		}
+		out := data
+		n := 0
+		prevStart := len(data) + 1
+		for i := len(edits) - 1; i >= 0; i-- {
+			e := edits[i]
+			if e.End > len(out) || e.End > prevStart {
+				skipped++ // out of range, or overlaps the edit after it
+				continue
+			}
+			start, end := e.Start, e.End
+			if e.NewText == "" {
+				start, end = widenDeletionToLine(out, start, end)
+			}
+			out = append(out[:start:start], append([]byte(e.NewText), out[end:]...)...)
+			prevStart = start
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		formatted, ferr := format.Source(out)
+		if ferr != nil {
+			// The edit produced unparsable code: leave the file alone
+			// rather than break the build.
+			skipped += n
+			continue
+		}
+		if werr := os.WriteFile(path, formatted, 0o644); werr != nil {
+			return files, applied, skipped, fmt.Errorf("analysis: fix %s: %w", path, werr)
+		}
+		files++
+		applied += n
+	}
+	return files, applied, skipped, nil
+}
+
+// widenDeletionToLine extends a deletion of [start, end) to swallow the
+// whole line — including the trailing newline — when everything else on
+// the line is whitespace, so deleting a standalone comment does not
+// leave a blank line behind.
+func widenDeletionToLine(data []byte, start, end int) (int, int) {
+	ls := start
+	for ls > 0 && data[ls-1] != '\n' {
+		ls--
+	}
+	le := end
+	for le < len(data) && data[le] != '\n' {
+		le++
+	}
+	if !allSpace(data[ls:start]) || !allSpace(data[end:le]) {
+		return start, end
+	}
+	if le < len(data) {
+		le++ // take the newline too
+	}
+	return ls, le
+}
+
+func allSpace(b []byte) bool {
+	for _, c := range b {
+		if c != ' ' && c != '\t' && c != '\r' {
+			return false
+		}
+	}
+	return true
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -20,10 +21,55 @@ type Result struct {
 	Packages int
 }
 
-// Run executes every analyzer over every package, in parallel across
-// (package, analyzer) pairs, applies suppressions, and returns the
-// sorted findings. Analyzer Run methods must be concurrency-safe.
+// Fixable counts diagnostics that carry at least one suggested fix.
+func (r *Result) Fixable() int {
+	n := 0
+	for _, d := range r.Diagnostics {
+		if len(d.Fixes) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Run executes analyzers over packages in two phases. The fact phase
+// walks every package of the module (not just the selected ones) in
+// dependency order and gives each FactComputer analyzer a chance to
+// export facts; by construction a package's imports are fact-complete
+// before the package itself is visited. The diagnostic phase then runs
+// every analyzer over the selected packages, in parallel across
+// (package, analyzer) pairs, applies suppressions, reports unused
+// suppressions, and returns the sorted findings. Analyzer Run methods
+// must be concurrency-safe; ComputeFacts methods need not be.
 func Run(mod *Module, pkgs []*Package, analyzers []Analyzer) *Result {
+	facts := NewFacts()
+	graph := BuildCallGraph(mod.Fset, mod.Packages)
+	passFor := func(p *Package) *Pass {
+		return &Pass{
+			Fset:    mod.Fset,
+			Pkg:     p.Types,
+			PkgPath: p.Path,
+			Files:   p.Files,
+			Info:    p.Info,
+			Facts:   facts,
+			Graph:   graph,
+		}
+	}
+
+	// Fact phase: sequential, dependency order, whole module — facts
+	// must be complete even for packages outside the selection, or a
+	// selected package's cross-package findings would depend on which
+	// patterns the user happened to pass.
+	for _, p := range mod.Packages {
+		pass := passFor(p)
+		for _, a := range analyzers {
+			if fc, ok := a.(FactComputer); ok {
+				fc.ComputeFacts(pass)
+			}
+		}
+	}
+
+	// Diagnostic phase: parallel over (package, analyzer) units.
 	type unit struct {
 		pkg *Package
 		an  Analyzer
@@ -58,19 +104,19 @@ func Run(mod *Module, pkgs []*Package, analyzers []Analyzer) *Result {
 				if i >= len(units) {
 					return
 				}
-				u := units[i]
-				pass := &Pass{
-					Fset:    mod.Fset,
-					Pkg:     u.pkg.Types,
-					PkgPath: u.pkg.Path,
-					Files:   u.pkg.Files,
-					Info:    u.pkg.Info,
-				}
-				results[i] = u.an.Run(pass)
+				results[i] = units[i].an.Run(passFor(units[i].pkg))
 			}
 		}()
 	}
 	wg.Wait()
+
+	// The analyzer name set decides which suppressions are fully
+	// checkable for the unused-suppression report: a directive naming
+	// an analyzer that did not run might well be used on a full run.
+	ranNames := map[string]bool{"lint": true}
+	for _, a := range analyzers {
+		ranNames[a.Name()] = true
+	}
 
 	res := &Result{Packages: len(pkgs)}
 	for _, p := range pkgs {
@@ -81,13 +127,15 @@ func Run(mod *Module, pkgs []*Package, analyzers []Analyzer) *Result {
 				continue
 			}
 			for _, d := range results[i] {
-				if suppressed(d, sups) {
+				if s := suppressing(d, sups); s != nil {
+					s.used = true
 					res.Suppressed++
 					continue
 				}
 				res.Diagnostics = append(res.Diagnostics, d)
 			}
 		}
+		res.Diagnostics = append(res.Diagnostics, unusedSuppressions(sups, ranNames)...)
 	}
 	sort.Slice(res.Diagnostics, func(i, j int) bool {
 		a, b := res.Diagnostics[i], res.Diagnostics[j]
@@ -103,6 +151,49 @@ func Run(mod *Module, pkgs []*Package, analyzers []Analyzer) *Result {
 		return a.Analyzer < b.Analyzer
 	})
 	return res
+}
+
+// unusedSuppressions reports suppressions that silenced nothing even
+// though every analyzer they name did run — dead directives that would
+// otherwise hide future findings at their line forever. Each carries a
+// deletion fix.
+func unusedSuppressions(sups []*suppression, ranNames map[string]bool) []Diagnostic {
+	var diags []Diagnostic
+	for _, s := range sups {
+		if s.used {
+			continue
+		}
+		checkable := true
+		for n := range s.names {
+			if !ranNames[n] {
+				checkable = false
+				break
+			}
+		}
+		if !checkable {
+			continue
+		}
+		names := make([]string, 0, len(s.names))
+		for n := range s.names {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		diags = append(diags, Diagnostic{
+			Analyzer: "lint",
+			Pos:      s.pos,
+			Message:  fmt.Sprintf("unused //lint:ignore suppression for %s: it silences nothing", strings.Join(names, ",")),
+			File:     s.pos.Filename,
+			Line:     s.pos.Line,
+			Col:      s.pos.Column,
+			Fixes: []SuggestedFix{{
+				Message: "delete the unused suppression",
+				File:    s.pos.Filename,
+				Start:   s.pos.Offset,
+				End:     s.endOffset,
+			}},
+		})
+	}
+	return diags
 }
 
 // WriteText renders findings one per line in file:line:col form.

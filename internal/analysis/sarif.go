@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"sort"
+)
+
+// SARIF 2.1.0 serialization — the minimal, stable subset GitHub code
+// scanning consumes to render findings as inline PR annotations. Field
+// names follow the OASIS sarif-2.1.0 schema; anything optional that the
+// renderer does not need is omitted so the golden-file test stays
+// readable.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// WriteSARIF renders the result as a SARIF 2.1.0 log. Every analyzer
+// becomes a rule (plus the reserved "lint" rule for the framework's own
+// suppression findings), and file paths are emitted relative to rootDir
+// under the %SRCROOT% base, which is what CI annotation uploaders
+// expect. Findings render at level "error": a finding fails the build.
+func (r *Result) WriteSARIF(w io.Writer, rootDir string, analyzers []Analyzer) error {
+	rules := []sarifRule{{
+		ID:               "lint",
+		ShortDescription: sarifMessage{Text: "malformed, non-canonical or unused //lint:ignore suppression directives"},
+	}}
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{
+			ID:               a.Name(),
+			ShortDescription: sarifMessage{Text: a.Doc()},
+		})
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+	ruleIndex := map[string]int{}
+	for i, rule := range rules {
+		ruleIndex[rule.ID] = i
+	}
+
+	results := make([]sarifResult, 0, len(r.Diagnostics))
+	for _, d := range r.Diagnostics {
+		uri := d.File
+		if rel, err := filepath.Rel(rootDir, d.File); err == nil {
+			uri = rel
+		}
+		idx, ok := ruleIndex[d.Analyzer]
+		if !ok {
+			// A diagnostic from an analyzer outside the declared set
+			// still serializes; -1 is SARIF's "no rule metadata".
+			idx = -1
+		}
+		results = append(results, sarifResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: idx,
+			Level:     "error",
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{
+						URI:       filepath.ToSlash(uri),
+						URIBaseID: "%SRCROOT%",
+					},
+					Region: sarifRegion{
+						StartLine:   d.Line,
+						StartColumn: d.Col,
+					},
+				},
+			}},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:           "numarcklint",
+				InformationURI: "https://example.invalid/numarck",
+				Rules:          rules,
+			}},
+			Results: results,
+		}},
+	})
+}

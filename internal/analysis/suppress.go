@@ -1,7 +1,9 @@
 package analysis
 
 import (
+	"fmt"
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -12,18 +14,20 @@ const suppressionDirective = "//lint:ignore"
 // named analyzers on its own line (end-of-line form) and on the line
 // immediately below it (standalone form).
 type suppression struct {
-	names map[string]bool
-	file  string
-	line  int
+	names     map[string]bool
+	pos       token.Position // of the directive comment
+	endOffset int            // byte offset just past the comment text
+	used      bool           // set when the suppression silenced a finding
 }
 
 // collectSuppressions scans a package's comments for lint:ignore
-// directives. Malformed directives — a missing analyzer list or a
-// missing reason — are themselves reported as diagnostics under the
-// reserved analyzer name "lint", so suppressions can never silently
-// rot into bare switch-offs.
-func collectSuppressions(p *Package, fset *token.FileSet) ([]suppression, []Diagnostic) {
-	var sups []suppression
+// directives. Malformed directives — a missing analyzer list, a missing
+// or whitespace-only reason, or non-canonical spacing — are themselves
+// reported as diagnostics under the reserved analyzer name "lint", so
+// suppressions can never silently rot into bare switch-offs. Spacing
+// findings carry a normalization fix.
+func collectSuppressions(p *Package, fset *token.FileSet) ([]*suppression, []Diagnostic) {
+	var sups []*suppression
 	var diags []Diagnostic
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
@@ -36,16 +40,20 @@ func collectSuppressions(p *Package, fset *token.FileSet) ([]suppression, []Diag
 					continue // e.g. //lint:ignorefoo — not this directive
 				}
 				pos := fset.Position(c.Pos())
-				fields := strings.Fields(rest)
-				if len(fields) < 2 {
-					diags = append(diags, Diagnostic{
+				lintDiag := func(format string, args ...any) Diagnostic {
+					return Diagnostic{
 						Analyzer: "lint",
 						Pos:      pos,
-						Message:  "malformed //lint:ignore: want \"//lint:ignore <analyzer>[,<analyzer>...] <reason>\"",
+						Message:  fmt.Sprintf(format, args...),
 						File:     pos.Filename,
 						Line:     pos.Line,
 						Col:      pos.Column,
-					})
+					}
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					diags = append(diags, lintDiag(
+						"malformed //lint:ignore: the reason is mandatory; want \"//lint:ignore <analyzer>[,<analyzer>...] <reason>\""))
 					continue
 				}
 				names := map[string]bool{}
@@ -54,26 +62,61 @@ func collectSuppressions(p *Package, fset *token.FileSet) ([]suppression, []Diag
 						names[n] = true
 					}
 				}
-				sups = append(sups, suppression{names: names, file: pos.Filename, line: pos.Line})
+				if len(names) == 0 {
+					diags = append(diags, lintDiag(
+						"malformed //lint:ignore: empty analyzer list"))
+					continue
+				}
+				endPos := fset.Position(c.End())
+				if canon := canonicalDirective(names, fields[1:]); c.Text != canon {
+					d := lintDiag("non-canonical //lint:ignore spacing; run -fix to normalize")
+					d.Fixes = []SuggestedFix{{
+						Message: "normalize the suppression directive",
+						File:    pos.Filename,
+						Start:   pos.Offset,
+						End:     endPos.Offset,
+						NewText: canon,
+					}}
+					diags = append(diags, d)
+					// The directive still works while non-canonical:
+					// fall through and record it.
+				}
+				sups = append(sups, &suppression{
+					names:     names,
+					pos:       pos,
+					endOffset: endPos.Offset,
+				})
 			}
 		}
 	}
 	return sups, diags
 }
 
-// suppressed reports whether d is silenced by any suppression: one on
-// the diagnostic's own line, or one on the line directly above it.
-func suppressed(d Diagnostic, sups []suppression) bool {
+// canonicalDirective renders the one accepted spelling of a
+// suppression: single spaces, analyzer names sorted and
+// comma-separated without spaces.
+func canonicalDirective(names map[string]bool, reasonFields []string) string {
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	return suppressionDirective + " " + strings.Join(sorted, ",") + " " + strings.Join(reasonFields, " ")
+}
+
+// suppressing returns the suppression silencing d — one on the
+// diagnostic's own line, or one on the line directly above it — or nil.
+func suppressing(d Diagnostic, sups []*suppression) *suppression {
 	for _, s := range sups {
 		if !s.names[d.Analyzer] {
 			continue
 		}
-		if d.File == "" || s.file != d.File {
+		if d.File == "" || s.pos.Filename != d.File {
 			continue
 		}
-		if s.line == d.Line || s.line == d.Line-1 {
-			return true
+		if s.pos.Line == d.Line || s.pos.Line == d.Line-1 {
+			return s
 		}
 	}
-	return false
+	return nil
 }

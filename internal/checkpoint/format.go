@@ -129,7 +129,7 @@ func readFile(data, magic []byte) (fileHeader, []byte, error) {
 		return hdr, nil, truncatedErr("header of %d bytes overruns %d-byte file", hlen, len(data))
 	}
 	if err := json.Unmarshal(data[off:off+hlen], &hdr); err != nil {
-		return hdr, nil, fmt.Errorf("%w: header: %v", ErrCorrupt, err)
+		return hdr, nil, fmt.Errorf("%w: header: %w", ErrCorrupt, err)
 	}
 	payload := data[off+hlen:]
 	if crc := crc32.ChecksumIEEE(payload); crc != hdr.CRC {
@@ -161,7 +161,7 @@ func UnmarshalFull(raw []byte) (variable string, iteration int, data []float64, 
 	}
 	data, err = fpc.Decompress(payload)
 	if err != nil {
-		return "", 0, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return "", 0, nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	if len(data) != hdr.N {
 		return "", 0, nil, fmt.Errorf("%w: %d values, header says %d", ErrCorrupt, len(data), hdr.N)
@@ -217,7 +217,7 @@ func UnmarshalDelta(raw []byte) (variable string, iteration int, enc *core.Encod
 	}
 	strategy, err := core.ParseStrategy(hdr.Strategy)
 	if err != nil {
-		return "", 0, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return "", 0, nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 
 	binBytes := 8 * hdr.BinCount
@@ -233,11 +233,11 @@ func UnmarshalDelta(raw []byte) (variable string, iteration int, enc *core.Encod
 	bins := readFloats(payload[:binBytes], hdr.BinCount)
 	indices, err := bitpack.Unpack(payload[binBytes:binBytes+idxBytes], hdr.N, hdr.IndexBits)
 	if err != nil {
-		return "", 0, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return "", 0, nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	bitmap, err := bitpack.BitmapFromBytes(payload[binBytes+idxBytes:binBytes+idxBytes+mapBytes], hdr.N)
 	if err != nil {
-		return "", 0, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return "", 0, nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	exact := readFloats(payload[binBytes+idxBytes+mapBytes:], hdr.ExactCount)
 
@@ -260,7 +260,7 @@ func UnmarshalDelta(raw []byte) (variable string, iteration int, enc *core.Encod
 	if v, err := opt.Validate(); err == nil {
 		opt = v
 	} else {
-		return "", 0, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return "", 0, nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	enc = &core.Encoded{
 		Opt:            opt,

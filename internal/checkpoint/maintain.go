@@ -175,9 +175,10 @@ func (st *Store) Stats() ([]VariableStats, error) {
 		}
 		s := VariableStats{Variable: v, FirstIter: -1}
 		for _, e := range entries {
-			info, err := st.fs.Stat(st.path(v, e.Kind, e.Iteration))
+			p := st.path(v, e.Kind, e.Iteration)
+			info, err := st.fs.Stat(p)
 			if err != nil {
-				return nil, err
+				return nil, pathErr("stat", p, err)
 			}
 			if s.FirstIter < 0 || e.Iteration < s.FirstIter {
 				s.FirstIter = e.Iteration

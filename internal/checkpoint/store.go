@@ -144,11 +144,11 @@ func OpenFS(dir string, fsys faultfs.FS, rec *obs.Recorder) (*Store, error) {
 	}
 	var m manifest
 	if err := json.Unmarshal(data, &m); err != nil {
-		return nil, fmt.Errorf("%w: manifest: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: manifest: %w", ErrCorrupt, err)
 	}
 	strategy, err := core.ParseStrategy(m.Strategy)
 	if err != nil {
-		return nil, fmt.Errorf("%w: manifest: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: manifest: %w", ErrCorrupt, err)
 	}
 	opt, err := core.Options{
 		ErrorBound: m.ErrorBound,
@@ -156,7 +156,7 @@ func OpenFS(dir string, fsys faultfs.FS, rec *obs.Recorder) (*Store, error) {
 		Strategy:   strategy,
 	}.Validate()
 	if err != nil {
-		return nil, fmt.Errorf("%w: manifest options: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: manifest options: %w", ErrCorrupt, err)
 	}
 	st := &Store{dir: dir, fs: fsys, opt: opt, rec: rec}
 	report, err := st.recoverScan()

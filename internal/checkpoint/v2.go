@@ -142,10 +142,11 @@ func NewDeltaV2Writer(w io.Writer, variable string, iteration, n int, opt core.O
 	// writeFile computes hdr.CRC over the "payload", which for v2 is
 	// the bin table; the chunk sections carry their own CRCs.
 	t := rec.Start()
-	if err := writeFile(cw, magicDeltaV2, hdr, table); err != nil {
+	err = writeFile(cw, magicDeltaV2, hdr, table)
+	t.Stop(obs.StageWrite)
+	if err != nil {
 		return nil, err
 	}
-	t.Stop(obs.StageWrite)
 	rec.Add(obs.CounterBytesWritten, cw.n)
 	return &DeltaV2Writer{
 		w:           w,
@@ -192,10 +193,10 @@ func (w *DeltaV2Writer) AppendChunk(indices []uint32, incompressible []bool, exa
 	}
 	t := w.rec.Start()
 	packed, err := bitpack.Pack(indices, w.indexBits)
+	t.Stop(obs.StageBitpack)
 	if err != nil {
 		return fmt.Errorf("checkpoint: pack chunk %d: %w", len(w.dir), err)
 	}
-	t.Stop(obs.StageBitpack)
 	bitmap := bitpack.NewBitmap(np)
 	nExact := 0
 	for j, inc := range incompressible {
@@ -218,10 +219,11 @@ func (w *DeltaV2Writer) AppendChunk(indices []uint32, incompressible []bool, exa
 	crc := crc32.ChecksumIEEE(section)
 	t.Stop(obs.StageCRC)
 	t = w.rec.Start()
-	if _, err := w.w.Write(section); err != nil {
-		return err
-	}
+	_, werr := w.w.Write(section)
 	t.Stop(obs.StageWrite)
+	if werr != nil {
+		return werr
+	}
 	w.rec.Add(obs.CounterBytesWritten, int64(len(section)))
 	w.rec.Add(obs.CounterSectionBytes, int64(len(section)))
 	w.rec.Add(obs.CounterChunksEncoded, 1)
@@ -336,7 +338,7 @@ func OpenDeltaV2(r io.ReaderAt, size int64) (*DeltaV2Reader, error) {
 	}
 	var hdr fileHeader
 	if err := json.Unmarshal(hj, &hdr); err != nil {
-		return nil, fmt.Errorf("%w: header: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: header: %w", ErrCorrupt, err)
 	}
 
 	if hdr.N < 0 || hdr.BinCount < 0 {
@@ -350,7 +352,7 @@ func OpenDeltaV2(r io.ReaderAt, size int64) (*DeltaV2Reader, error) {
 	}
 	strategy, err := core.ParseStrategy(hdr.Strategy)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	opt, err := core.Options{
 		ErrorBound: hdr.ErrorBound,
@@ -358,7 +360,7 @@ func OpenDeltaV2(r io.ReaderAt, size int64) (*DeltaV2Reader, error) {
 		Strategy:   strategy,
 	}.Validate()
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	if hdr.ChunkPoints < 1 || hdr.ChunkCount != chunkCountFor(hdr.N, hdr.ChunkPoints) {
 		return nil, fmt.Errorf("%w: %d points in %d chunks of %d", ErrCorrupt, hdr.N, hdr.ChunkCount, hdr.ChunkPoints)
@@ -489,10 +491,11 @@ func (d *DeltaV2Reader) ReadChunk(i int) (*ChunkPayload, error) {
 	_, np := d.ChunkSpan(i)
 	section := make([]byte, ent.length)
 	t := d.rec.Start()
-	if _, err := d.r.ReadAt(section, ent.off); err != nil {
-		return nil, chunkErr(i, ent.off, "read section: %v", err)
-	}
+	_, rerr := d.r.ReadAt(section, ent.off)
 	t.Stop(obs.StageRead)
+	if rerr != nil {
+		return nil, chunkErr(i, ent.off, "read section: %v", rerr)
+	}
 	d.rec.Add(obs.CounterBytesRead, int64(len(section)))
 	d.rec.Add(obs.CounterSectionBytes, int64(len(section)))
 	t = d.rec.Start()
@@ -505,10 +508,10 @@ func (d *DeltaV2Reader) ReadChunk(i int) (*ChunkPayload, error) {
 	mapBytes := (np + 7) / 8
 	t = d.rec.Start()
 	indices, err := bitpack.Unpack(section[:idxBytes], np, d.meta.Opt.IndexBits)
+	t.Stop(obs.StageBitpack)
 	if err != nil {
 		return nil, chunkErr(i, ent.off, "%v", err)
 	}
-	t.Stop(obs.StageBitpack)
 	bitmap, err := bitpack.BitmapFromBytes(section[idxBytes:idxBytes+mapBytes], np)
 	if err != nil {
 		return nil, chunkErr(i, ent.off, "%v", err)
@@ -794,6 +797,7 @@ func (a *DeltaV1Assembler) AppendChunk(indices []uint32, incompressible []bool, 
 	}
 	t := a.rec.Start()
 	if err := a.packer.AppendAll(indices); err != nil {
+		t.Stop(obs.StageBitpack)
 		return err
 	}
 	a.packed.Write(a.packer.Drain())
@@ -839,6 +843,7 @@ func (a *DeltaV1Assembler) Bytes() ([]byte, error) {
 		ExactCount: len(a.exact),
 	}, payload)
 	if err != nil {
+		t.Stop(obs.StageWrite)
 		return nil, err
 	}
 	t.Stop(obs.StageWrite)

@@ -217,17 +217,17 @@ func Encode(prev, cur Source, opt core.Options, cfg Config, newSink NewSink) (*R
 			lo, np := chunkSpan(n, cfg.ChunkPoints, i)
 			t := rec.Start()
 			pbuf, cbuf, err := readPair(prev, cur, lo, np)
+			t.Stop(obs.StageRead)
 			if err != nil {
 				return nil, err
 			}
-			t.Stop(obs.StageRead)
 			rec.Add(obs.CounterBytesRead, 16*int64(np))
 			t = rec.Start()
 			ratios, err := core.ComputeRatios(pbuf, cbuf, 1)
+			t.Stop(obs.StageRatio)
 			if err != nil {
 				return nil, err
 			}
-			t.Stop(obs.StageRatio)
 			return ratios.TableInput(vopt), nil
 		},
 		func(_ int, ti []float64) error {
@@ -244,10 +244,12 @@ func Encode(prev, cur Source, opt core.Options, cfg Config, newSink NewSink) (*R
 	if len(res.vals) > 0 {
 		bins, err = core.Fit(res.vals, vopt)
 		if err != nil {
+			t.Stop(obs.StageTable)
 			return nil, err
 		}
 		binRatios = bins.Representatives()
 		if len(binRatios) > vopt.NumBins() {
+			t.Stop(obs.StageTable)
 			return nil, fmt.Errorf("chunk: internal error: %d representatives exceed %d bins", len(binRatios), vopt.NumBins())
 		}
 	}
@@ -273,17 +275,17 @@ func Encode(prev, cur Source, opt core.Options, cfg Config, newSink NewSink) (*R
 			lo, np := chunkSpan(n, cfg.ChunkPoints, i)
 			t := rec.Start()
 			pbuf, cbuf, err := readPair(prev, cur, lo, np)
+			t.Stop(obs.StageRead)
 			if err != nil {
 				return chunkOut{}, err
 			}
-			t.Stop(obs.StageRead)
 			rec.Add(obs.CounterBytesRead, 16*int64(np))
 			t = rec.Start()
 			ratios, err := core.ComputeRatios(pbuf, cbuf, 1)
+			t.Stop(obs.StageRatio)
 			if err != nil {
 				return chunkOut{}, err
 			}
-			t.Stop(obs.StageRatio)
 			out := chunkOut{
 				indices:        make([]uint32, np),
 				incompressible: make([]bool, np),
@@ -388,10 +390,11 @@ func DecodeDeltaV2(d *checkpoint.DeltaV2Reader, prev Source, cfg Config, emit fu
 			lo, np := d.ChunkSpan(i)
 			t := rec.Start()
 			pbuf := make([]float64, np)
-			if err := prev.ReadFloats(pbuf, lo); err != nil {
-				return nil, err
-			}
+			rerr := prev.ReadFloats(pbuf, lo)
 			t.Stop(obs.StageRead)
+			if rerr != nil {
+				return nil, rerr
+			}
 			rec.Add(obs.CounterBytesRead, 8*int64(np))
 			dst := make([]float64, np)
 			if err := d.DecodeChunkInto(i, pbuf, dst); err != nil {

@@ -97,10 +97,10 @@ func encodeWith(prev, cur []float64, opt Options, fit func([]float64) (Binner, e
 	rec := opt.Obs
 	t := rec.Start()
 	ratios, err := ComputeRatios(prev, cur, opt.Workers)
+	t.Stop(obs.StageRatio)
 	if err != nil {
 		return nil, err
 	}
-	t.Stop(obs.StageRatio)
 	n := len(cur)
 	e := &Encoded{
 		Opt:            opt,
@@ -116,10 +116,12 @@ func encodeWith(prev, cur []float64, opt Options, fit func([]float64) (Binner, e
 	if len(large) > 0 {
 		bins, err = fit(large)
 		if err != nil {
+			t.Stop(obs.StageTable)
 			return nil, err
 		}
 		e.BinRatios = bins.Representatives()
 		if len(e.BinRatios) > opt.NumBins() {
+			t.Stop(obs.StageTable)
 			return nil, fmt.Errorf("core: internal error: %d representatives exceed %d bins", len(e.BinRatios), opt.NumBins())
 		}
 	}
@@ -244,6 +246,7 @@ func (e *Encoded) Decode(prev []float64) ([]float64, error) {
 	}
 	rec := e.Opt.Obs
 	t := rec.Start()
+	defer t.Stop(obs.StageDecode)
 	out := make([]float64, e.N)
 	exactIdx := 0
 	for j := 0; j < e.N; j++ {
@@ -269,7 +272,6 @@ func (e *Encoded) Decode(prev []float64) ([]float64, error) {
 	if exactIdx != len(e.Exact) {
 		return nil, fmt.Errorf("core: corrupt encoding: %d exact values stored, %d consumed", len(e.Exact), exactIdx)
 	}
-	t.Stop(obs.StageDecode)
 	rec.Add(obs.CounterDecodes, 1)
 	rec.Add(obs.CounterPointsDecoded, int64(e.N))
 	return out, nil

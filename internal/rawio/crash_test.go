@@ -1,0 +1,90 @@
+package rawio
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"numarck/internal/faultfs"
+)
+
+// crashVals builds a deterministic float series whose bits differ from
+// any prefix of another length, so a torn file cannot masquerade as a
+// complete one.
+func crashVals(n int, seed float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = seed + float64(i)*1.000244140625
+	}
+	return out
+}
+
+// sameBits compares two float slices bit for bit.
+func sameBits(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestWriteFileCrashMatrix kills WriteFileFS at every mutating
+// filesystem operation of its schedule and asserts the atomicity claim:
+// after each kill the target file holds either the complete previous
+// contents or the complete new ones — never a torn mix — and a retry
+// over the crashed state succeeds.
+func TestWriteFileCrashMatrix(t *testing.T) {
+	oldVals := crashVals(300, 1.5)
+	newVals := crashVals(513, -42.25)
+
+	// Probe run: count the mutating ops of one full overwrite.
+	probe := filepath.Join(t.TempDir(), "var.f8")
+	if err := WriteFile(probe, oldVals); err != nil {
+		t.Fatal(err)
+	}
+	inj := faultfs.NewInjector(faultfs.OS(), 1)
+	if err := WriteFileFS(inj, probe, newVals); err != nil {
+		t.Fatal(err)
+	}
+	total := inj.MutatingOps()
+	if total < 4 { // create, write, sync, rename, syncdir at minimum
+		t.Fatalf("probe saw %d mutating ops, expected the full atomic-write schedule", total)
+	}
+
+	for k := 0; k < total; k++ {
+		path := filepath.Join(t.TempDir(), "var.f8")
+		if err := WriteFile(path, oldVals); err != nil {
+			t.Fatal(err)
+		}
+		inj := faultfs.NewInjector(faultfs.OS(), int64(k+1))
+		inj.SetCrashAt(k)
+		err := WriteFileFS(inj, path, newVals)
+		if !inj.Crashed() {
+			t.Fatalf("kill at op %d/%d did not trigger", k+1, total)
+		}
+		if err == nil {
+			t.Fatalf("kill at op %d/%d: WriteFileFS reported success\ntrace: %v", k, total, inj.Trace())
+		}
+		got, rerr := ReadFile(path)
+		if rerr != nil {
+			t.Fatalf("kill at op %d/%d left the file unreadable: %v\ntrace: %v", k, total, rerr, inj.Trace())
+		}
+		if !sameBits(got, oldVals) && !sameBits(got, newVals) {
+			t.Errorf("kill at op %d/%d tore the file: %d values, want the complete old (%d) or new (%d)\ntrace: %v",
+				k, total, len(got), len(oldVals), len(newVals), inj.Trace())
+		}
+		// Degraded-mode recovery: a retry over whatever the crash left
+		// (including a stray .tmp) must land the new contents.
+		if err := WriteFile(path, newVals); err != nil {
+			t.Fatalf("retry after kill at op %d/%d: %v", k, total, err)
+		}
+		got, rerr = ReadFile(path)
+		if rerr != nil || !sameBits(got, newVals) {
+			t.Errorf("retry after kill at op %d/%d did not converge: %v", k, total, rerr)
+		}
+	}
+}

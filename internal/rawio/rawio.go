@@ -1,68 +1,48 @@
 // Package rawio reads and writes raw little-endian float64 arrays, the
 // interchange format of the CLI tools (one value per 8 bytes, no
 // header) — the same layout scientific dumps and `od -t f8` use.
+//
+// All mutating filesystem access goes through a faultfs.FS, so the
+// crash-injection harness can kill a write at every mutating operation
+// and prove the atomicity claim; WriteFile and ReadFile are the
+// real-filesystem conveniences.
 package rawio
 
 import (
 	"encoding/binary"
 	"fmt"
 	"math"
-	"os"
 	"path/filepath"
+
+	"numarck/internal/faultfs"
 )
 
-// WriteFile writes vals to path as little-endian float64s. The write is
-// atomic and durable: bytes go to a .tmp sibling that is fsynced and
-// renamed over path, so a crash leaves either the complete new file or
-// the previous one, never a torn mix.
-func WriteFile(path string, vals []float64) error {
+// WriteFileFS writes vals to path as little-endian float64s through
+// fsys. The write is atomic and durable: bytes go to a .tmp sibling
+// that is fsynced and renamed over path, with the directory fsynced
+// after, so a crash leaves either the complete new file or the previous
+// one, never a torn mix.
+func WriteFileFS(fsys faultfs.FS, path string, vals []float64) error {
 	buf := make([]byte, 8*len(vals))
 	for i, v := range vals {
 		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
 	}
-	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return err
+	if err := faultfs.WriteFileAtomic(fsys, filepath.Dir(path), path, buf); err != nil {
+		return fmt.Errorf("rawio: write %s: %w", path, err)
 	}
-	_, werr := f.Write(buf)
-	if werr == nil {
-		werr = f.Sync()
-	}
-	if cerr := f.Close(); werr == nil {
-		werr = cerr
-	}
-	if werr != nil {
-		//lint:ignore errcheck best-effort cleanup of a failed temp file
-		os.Remove(tmp)
-		return werr
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		//lint:ignore errcheck best-effort cleanup of a failed temp file
-		os.Remove(tmp)
-		return err
-	}
-	return syncDir(filepath.Dir(path))
+	return nil
 }
 
-// syncDir fsyncs a directory so a just-renamed entry survives a crash.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	serr := d.Sync()
-	if cerr := d.Close(); serr == nil {
-		serr = cerr
-	}
-	return serr
+// WriteFile writes vals to path on the real filesystem; see WriteFileFS.
+func WriteFile(path string, vals []float64) error {
+	return WriteFileFS(faultfs.OS(), path, vals)
 }
 
-// ReadFile reads a little-endian float64 array from path.
-func ReadFile(path string) ([]float64, error) {
-	raw, err := os.ReadFile(path)
+// ReadFileFS reads a little-endian float64 array from path through fsys.
+func ReadFileFS(fsys faultfs.FS, path string) ([]float64, error) {
+	raw, err := faultfs.ReadFile(fsys, path)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("rawio: read %s: %w", path, err)
 	}
 	if len(raw)%8 != 0 {
 		return nil, fmt.Errorf("rawio: %s has %d bytes, not a multiple of 8", path, len(raw))
@@ -72,4 +52,10 @@ func ReadFile(path string) ([]float64, error) {
 		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
 	}
 	return out, nil
+}
+
+// ReadFile reads a little-endian float64 array from path on the real
+// filesystem.
+func ReadFile(path string) ([]float64, error) {
+	return ReadFileFS(faultfs.OS(), path)
 }

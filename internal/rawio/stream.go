@@ -54,13 +54,14 @@ func (r *Reader) ReadFloats(dst []float64, off int) error {
 	}
 	t := r.rec.Start()
 	buf := make([]byte, 8*len(dst))
-	if _, err := r.r.ReadAt(buf, int64(off)*8); err != nil {
+	_, err := r.r.ReadAt(buf, int64(off)*8)
+	t.Stop(obs.StageRead)
+	if err != nil {
 		return fmt.Errorf("rawio: read window at %d: %w", off, err)
 	}
 	for i := range dst {
 		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
 	}
-	t.Stop(obs.StageRead)
 	r.rec.Add(obs.CounterBytesRead, 8*int64(len(dst)))
 	return nil
 }
@@ -76,13 +77,13 @@ type FileReader struct {
 func OpenFile(path string) (*FileReader, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("rawio: open %s: %w", path, err)
 	}
 	info, err := f.Stat()
 	if err != nil {
 		//lint:ignore errcheck close-on-error of a read-only fd; the Stat error takes precedence
 		f.Close()
-		return nil, err
+		return nil, fmt.Errorf("rawio: stat %s: %w", path, err)
 	}
 	r, err := NewReader(f, info.Size())
 	if err != nil {
