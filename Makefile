@@ -47,9 +47,10 @@ race-pipeline:
 	$(GO) test -race -count=3 ./internal/chunk ./internal/checkpoint
 
 # The seeded crash-consistency matrix: fault-injection unit tests plus
-# the kill-at-every-mutating-op store matrix and the salvage-decode
-# tests. Deterministic (seeded schedules, no timing dependence) and
-# fast enough to run on every change.
+# the kill-at-every-mutating-op store matrices — checkpoint write,
+# store create, and writer open (lock takeover + index republication) —
+# and the salvage-decode tests. Deterministic (seeded schedules, no
+# timing dependence) and fast enough to run on every change.
 crash-test:
 	$(GO) test -count=1 -run 'TestInjector|TestWriteFileAtomic|TestOS' ./internal/faultfs
 	$(GO) test -count=1 -run 'TestCrash|TestRecoveryScan|TestDecodeRecover|TestRestartSalvage' ./internal/checkpoint
@@ -65,6 +66,7 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzUnmarshalDeltaV2$$ -fuzztime=$(FUZZTIME) ./internal/checkpoint
 	$(GO) test -run=NONE -fuzz=FuzzUnmarshalFull$$ -fuzztime=$(FUZZTIME) ./internal/checkpoint
 	$(GO) test -run=NONE -fuzz=FuzzRecoverDeltaV2$$ -fuzztime=$(FUZZTIME) ./internal/checkpoint
+	$(GO) test -run=NONE -fuzz=FuzzParseChainIndex$$ -fuzztime=$(FUZZTIME) ./internal/checkpoint
 
 verify: build vet lint docs test race crash-test fuzz-smoke
 

@@ -127,6 +127,8 @@ func run(variable string, iters int, dir, raw, nc string, e float64, b int, stra
 	for i := 0; i < iters; i++ {
 		encs, err := w.Append(i, map[string][]float64{variable: g.Iteration(i)})
 		if err != nil {
+			//lint:ignore errcheck close-on-error; the iteration error takes precedence
+			st.Close()
 			return fmt.Errorf("iteration %d: %w", i, err)
 		}
 		if enc := encs[variable]; enc != nil {
@@ -136,5 +138,5 @@ func run(variable string, iters int, dir, raw, nc string, e float64, b int, stra
 			fmt.Printf("iteration %3d: full (lossless)\n", i)
 		}
 	}
-	return nil
+	return st.Close()
 }

@@ -41,7 +41,7 @@ func main() {
 	}
 }
 
-func run(dir, raw string, checkpoints, steps, blocks int, e float64, b int, strategyName string, fullEvery int, seed int64, order2 bool) error {
+func run(dir, raw string, checkpoints, steps, blocks int, e float64, b int, strategyName string, fullEvery int, seed int64, order2 bool) (err error) {
 	if (dir == "") == (raw == "") {
 		return fmt.Errorf("exactly one of -dir or -raw is required")
 	}
@@ -56,15 +56,21 @@ func run(dir, raw string, checkpoints, steps, blocks int, e float64, b int, stra
 		sim.Blocks(), sim.Cells(), checkpoints, steps)
 
 	var w *checkpoint.Writer
+	var st *checkpoint.Store
 	if dir != "" {
 		strategy, err := core.ParseStrategy(strategyName)
 		if err != nil {
 			return err
 		}
-		st, err := checkpoint.Create(dir, core.Options{ErrorBound: e, IndexBits: b, Strategy: strategy})
+		st, err = checkpoint.Create(dir, core.Options{ErrorBound: e, IndexBits: b, Strategy: strategy})
 		if err != nil {
 			return err
 		}
+		defer func() {
+			if cerr := st.Close(); err == nil {
+				err = cerr
+			}
+		}()
 		w = checkpoint.NewWriter(st, fullEvery)
 	} else if err := os.MkdirAll(raw, 0o755); err != nil {
 		return err

@@ -446,6 +446,15 @@ func cmdInspect(args []string) error {
 		fmt.Printf("  file bytes: %d (%.2f%% of raw)\n", len(raw), float64(len(raw))/float64(8*len(data))*100)
 		return nil
 	}
+	if ix, err := checkpoint.ParseChainIndex(raw); err == nil {
+		fmt.Printf("chain index (seq %d)\n", ix.Seq)
+		fmt.Printf("  journal anchor:  %d bytes, tail CRC %08x\n", ix.JournalLen, ix.JournalTailCRC)
+		fmt.Printf("  entries:         %d\n", len(ix.Entries))
+		for _, e := range ix.Entries {
+			fmt.Printf("  %s %s@%d: %d bytes, CRC %08x\n", e.Kind, e.Variable, e.Iteration, e.Len, e.CRC)
+		}
+		return nil
+	}
 	return fmt.Errorf("%s is not a NUMARCK checkpoint file", *inPath)
 }
 
@@ -462,12 +471,11 @@ func cmdRestart(args []string) error {
 	if *dir == "" || *variable == "" || *iter < 0 || *outPath == "" {
 		return fmt.Errorf("restart requires -dir, -var, -iter, and -out")
 	}
-	st, err := checkpoint.Open(*dir)
+	// Restart is a pure read: use the lock-free read view, which works
+	// while a writer holds the store and never mutates it.
+	st, err := checkpoint.OpenReadOnly(*dir)
 	if err != nil {
 		return err
-	}
-	if rep := st.Recovery(); !rep.Clean() {
-		fmt.Fprintf(os.Stderr, "numarck: recovery scan: %s\n", rep)
 	}
 	var data []float64
 	var pde *checkpoint.PartialDataError
@@ -495,7 +503,7 @@ func cmdRestart(args []string) error {
 // Open-time recovery scan's findings, every issue the deep Verify pass
 // found (parse, CRC, chain-gap, and journal cross-check), the contents
 // of quarantine/, and the latest restorable iteration per variable.
-func cmdVerify(args []string) error {
+func cmdVerify(args []string) (err error) {
 	fs := flag.NewFlagSet("verify", flag.ExitOnError)
 	dir := fs.String("dir", "", "checkpoint store directory")
 	if err := fs.Parse(args); err != nil {
@@ -508,7 +516,13 @@ func cmdVerify(args []string) error {
 	if err != nil {
 		return err
 	}
+	defer func() {
+		if cerr := st.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	fmt.Printf("recovery scan: %s\n", st.Recovery())
+	fmt.Printf("%s\n", st.IndexHealth())
 	issues, err := st.Verify()
 	if err != nil {
 		return err

@@ -237,6 +237,9 @@ func TestVerifyCommand(t *testing.T) {
 	if _, err := st.WriteDelta("dens", 1, prev, cur); err != nil {
 		t.Fatal(err)
 	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
 	if err := cmdVerify([]string{"-dir", dir}); err != nil {
 		t.Fatalf("verify of healthy store: %v", err)
 	}

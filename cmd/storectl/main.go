@@ -54,26 +54,49 @@ func usage() {
   storectl gc     -dir store -keep N`)
 }
 
-func openStore(fs *flag.FlagSet, args []string) (*checkpoint.Store, *flag.FlagSet, error) {
+// storeDir parses the common -dir flag.
+func storeDir(fs *flag.FlagSet, args []string) (string, error) {
 	dir := fs.String("dir", "", "checkpoint store directory")
 	if err := fs.Parse(args); err != nil {
-		return nil, nil, err
+		return "", err
 	}
 	if *dir == "" {
-		return nil, nil, fmt.Errorf("%s requires -dir", fs.Name())
+		return "", fmt.Errorf("%s requires -dir", fs.Name())
 	}
-	st, err := checkpoint.Open(*dir)
-	if err != nil {
-		return nil, nil, err
-	}
-	return st, fs, nil
+	return *dir, nil
 }
 
-func cmdVerify(args []string) error {
-	st, _, err := openStore(flag.NewFlagSet("verify", flag.ExitOnError), args)
+// openStore opens the store read-write for maintenance commands that
+// mutate it (verify's recovery scan, gc). The caller must Close it.
+func openStore(fs *flag.FlagSet, args []string) (*checkpoint.Store, error) {
+	dir, err := storeDir(fs, args)
+	if err != nil {
+		return nil, err
+	}
+	return checkpoint.Open(dir)
+}
+
+// openView opens the lock-free read view for pure reporting commands,
+// so they work alongside a live writer and on read-only media.
+func openView(fs *flag.FlagSet, args []string) (*checkpoint.ReadView, error) {
+	dir, err := storeDir(fs, args)
+	if err != nil {
+		return nil, err
+	}
+	return checkpoint.OpenReadOnly(dir)
+}
+
+func cmdVerify(args []string) (err error) {
+	st, err := openStore(flag.NewFlagSet("verify", flag.ExitOnError), args)
 	if err != nil {
 		return err
 	}
+	defer func() {
+		if cerr := st.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	fmt.Println(st.IndexHealth())
 	issues, err := st.Verify()
 	if err != nil {
 		return err
@@ -89,7 +112,7 @@ func cmdVerify(args []string) error {
 }
 
 func cmdStats(args []string) error {
-	st, _, err := openStore(flag.NewFlagSet("stats", flag.ExitOnError), args)
+	st, err := openView(flag.NewFlagSet("stats", flag.ExitOnError), args)
 	if err != nil {
 		return err
 	}
@@ -111,7 +134,7 @@ func cmdStats(args []string) error {
 }
 
 func cmdLatest(args []string) error {
-	st, _, err := openStore(flag.NewFlagSet("latest", flag.ExitOnError), args)
+	st, err := openView(flag.NewFlagSet("latest", flag.ExitOnError), args)
 	if err != nil {
 		return err
 	}
@@ -130,13 +153,18 @@ func cmdLatest(args []string) error {
 	return nil
 }
 
-func cmdGC(args []string) error {
+func cmdGC(args []string) (err error) {
 	fs := flag.NewFlagSet("gc", flag.ExitOnError)
 	keep := fs.Int("keep", -1, "keep restartability from this iteration onward")
-	st, _, err := openStore(fs, args)
+	st, err := openStore(fs, args)
 	if err != nil {
 		return err
 	}
+	defer func() {
+		if cerr := st.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	if *keep < 0 {
 		return fmt.Errorf("gc requires -keep >= 0")
 	}

@@ -32,6 +32,9 @@ func buildStore(t *testing.T) string {
 			t.Fatal(err)
 		}
 	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
 	return dir
 }
 

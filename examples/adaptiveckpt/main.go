@@ -36,6 +36,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer func() {
+		if err := st.Close(); err != nil {
+			log.Print(err)
+		}
+	}()
 	w := adaptive.NewWriter(st, adaptive.Config{ErrorBudget: 0.005, GammaThreshold: 0.5})
 
 	// 30 iterations: quiet (0-9), turbulent (10-14), quiet again.

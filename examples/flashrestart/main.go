@@ -52,6 +52,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer func() {
+		if err := st.Close(); err != nil {
+			log.Print(err)
+		}
+	}()
 	w := numarck.NewWriter(st, 0)
 	var storeBytes, rawBytes int64
 	for c := 0; c <= restartAt; c++ {

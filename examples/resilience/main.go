@@ -35,6 +35,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer func() {
+		if err := st.Close(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	newSim := func() *flash.Sim {
 		sim, err := flash.New(flash.Config{BlocksX: 3, BlocksY: 3, Seed: 11})

@@ -15,7 +15,12 @@ import (
 // faultfs.FS interface. PR 4's crash matrix proves durability by
 // killing the store at every mutating operation of the injectable seam;
 // a direct os call is invisible to the injector and therefore a hole in
-// the proof.
+// the proof. The scope covers the whole store layer cake: checkpoint
+// commits, the LOCK writer-lock acquisition/takeover/release path, and
+// CHAININDEX publication all mutate the store directory and must stay
+// killable; the lock-free read view must stay on the seam too, because
+// its read-only claim is proven by substituting an FS whose mutating
+// operations fail.
 //
 // The analyzer is interprocedural: its fact phase marks every function
 // in the module that directly performs a mutating os call, then

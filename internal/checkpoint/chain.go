@@ -1,0 +1,306 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+
+	"numarck/internal/core"
+	"numarck/internal/faultfs"
+	"numarck/internal/obs"
+)
+
+// This file is the layer both writer stores and read views are built
+// on: variable-name validation, chain bookkeeping derived from the
+// in-memory journal state (list, variables, stats, latest-restorable),
+// and the restart walk that loads a full checkpoint and replays deltas.
+// Everything here is a pure function of (filesystem, directory, chain
+// map) — no handle state — so the single writer and any number of
+// lock-free readers share one implementation and cannot drift.
+
+// MaxVariableLen is the longest variable name the store accepts; it is
+// the fixed field width of a chain-index record.
+const MaxVariableLen = 64
+
+// ErrBadVariable matches, via errors.Is, a rejected variable name or
+// iteration number. Names are validated at every write: a name with a
+// path separator or a leading dot could otherwise escape the store
+// directory or collide with store metadata files.
+var ErrBadVariable = errors.New("checkpoint: invalid variable name")
+
+// ValidateVariable checks a variable name against the store's naming
+// rules: 1 to MaxVariableLen bytes, first byte a letter, digit, or
+// underscore, remaining bytes letters, digits, underscore, dot, or
+// dash. The rules make every name a single safe path component and
+// representable in a fixed-width chain-index record.
+func ValidateVariable(variable string) error {
+	if len(variable) == 0 {
+		return fmt.Errorf("%w: empty", ErrBadVariable)
+	}
+	if len(variable) > MaxVariableLen {
+		return fmt.Errorf("%w: %q is %d bytes, limit %d", ErrBadVariable, variable, len(variable), MaxVariableLen)
+	}
+	for i := 0; i < len(variable); i++ {
+		c := variable[i]
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+		if i > 0 {
+			ok = ok || c == '.' || c == '-'
+		}
+		if !ok {
+			return fmt.Errorf("%w: %q has byte %q at position %d", ErrBadVariable, variable, c, i)
+		}
+	}
+	return nil
+}
+
+// validateIdentity checks a (variable, iteration) pair before a write
+// or targeted read touches the filesystem with a name derived from it.
+func validateIdentity(variable string, iteration int) error {
+	if err := ValidateVariable(variable); err != nil {
+		return err
+	}
+	if iteration < 0 || iteration > 1<<31-1 {
+		return fmt.Errorf("%w: iteration %d out of range", ErrBadVariable, iteration)
+	}
+	return nil
+}
+
+// chainEntries returns the chain's entries for one variable, sorted by
+// iteration.
+func chainEntries(chain map[string]journalEntry, variable string) []Entry {
+	var out []Entry
+	for name := range chain {
+		e, ok := parseName(name)
+		if ok && e.Variable == variable {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Iteration < out[b].Iteration })
+	return out
+}
+
+// chainVariables returns the distinct variable names in the chain,
+// sorted.
+func chainVariables(chain map[string]journalEntry) []string {
+	seen := map[string]bool{}
+	for name := range chain {
+		if e, ok := parseName(name); ok {
+			seen[e.Variable] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// chainStats derives per-variable storage statistics from the chain
+// alone: the journal records every committed file's byte length, so no
+// per-file Stat is needed.
+func chainStats(chain map[string]journalEntry) []VariableStats {
+	byVar := map[string]*VariableStats{}
+	for name, je := range chain {
+		e, ok := parseName(name)
+		if !ok {
+			continue
+		}
+		s := byVar[e.Variable]
+		if s == nil {
+			s = &VariableStats{Variable: e.Variable, FirstIter: -1}
+			byVar[e.Variable] = s
+		}
+		if s.FirstIter < 0 || e.Iteration < s.FirstIter {
+			s.FirstIter = e.Iteration
+		}
+		if e.Iteration > s.LastIter {
+			s.LastIter = e.Iteration
+		}
+		if e.Kind == "full" {
+			s.Fulls++
+			s.FullBytes += je.Len
+		} else {
+			s.Deltas++
+			s.DeltaBytes += je.Len
+		}
+	}
+	out := make([]VariableStats, 0, len(byVar))
+	for _, s := range byVar {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Variable < out[b].Variable })
+	return out
+}
+
+// latestRestorableEntries walks a variable's sorted entries and returns
+// the highest iteration reachable through an unbroken delta chain
+// rooted at a full checkpoint, or -1 if no full checkpoint exists.
+func latestRestorableEntries(entries []Entry) int {
+	restorable := -1
+	chainNext := -1
+	for _, e := range entries {
+		switch {
+		case e.Kind == "full":
+			if e.Iteration > restorable {
+				restorable = e.Iteration
+			}
+			chainNext = e.Iteration + 1
+		case e.Kind == "delta" && e.Iteration == chainNext:
+			restorable = e.Iteration
+			chainNext++
+		default:
+			chainNext = -1 // chain broken until the next full
+		}
+	}
+	return restorable
+}
+
+// readCheckpointFile loads one checkpoint file's bytes, mapping absence
+// to ErrNotFound with the checkpoint identity in the message.
+func readCheckpointFile(fsys faultfs.FS, dir, variable, kind string, iteration int) ([]byte, error) {
+	if err := validateIdentity(variable, iteration); err != nil {
+		return nil, err
+	}
+	path := filepath.Join(dir, fileName(variable, kind, iteration))
+	if _, err := fsys.Stat(path); err != nil {
+		return nil, fmt.Errorf("%w: %s checkpoint %s@%d", ErrNotFound, kind, variable, iteration)
+	}
+	raw, err := faultfs.ReadFile(fsys, path)
+	if err != nil {
+		return nil, pathErr("read", path, err)
+	}
+	return raw, nil
+}
+
+// readFullFile loads and parses a full checkpoint.
+func readFullFile(fsys faultfs.FS, dir, variable string, iteration int) ([]float64, error) {
+	raw, err := readCheckpointFile(fsys, dir, variable, "full", iteration)
+	if err != nil {
+		return nil, err
+	}
+	v, it, data, err := UnmarshalFull(raw)
+	if err != nil {
+		return nil, pathErr("parse", filepath.Join(dir, fileName(variable, "full", iteration)), err)
+	}
+	if v != variable || it != iteration {
+		return nil, fmt.Errorf("%w: file claims %s@%d, expected %s@%d", ErrCorrupt, v, it, variable, iteration)
+	}
+	return data, nil
+}
+
+// readDeltaFile loads and parses a delta checkpoint's encoding,
+// sniffing the v1/v2 magic.
+func readDeltaFile(fsys faultfs.FS, dir, variable string, iteration int) (*core.Encoded, error) {
+	raw, err := readCheckpointFile(fsys, dir, variable, "delta", iteration)
+	if err != nil {
+		return nil, err
+	}
+	var v string
+	var it int
+	var enc *core.Encoded
+	if IsDeltaV2(raw) {
+		v, it, enc, err = UnmarshalDeltaV2(raw)
+	} else {
+		v, it, enc, err = UnmarshalDelta(raw)
+	}
+	if err != nil {
+		return nil, pathErr("parse", filepath.Join(dir, fileName(variable, "delta", iteration)), err)
+	}
+	if v != variable || it != iteration {
+		return nil, fmt.Errorf("%w: file claims %s@%d, expected %s@%d", ErrCorrupt, v, it, variable, iteration)
+	}
+	return enc, nil
+}
+
+// restartEntries reconstructs a variable at the requested iteration
+// from its sorted chain entries: load the latest full checkpoint at or
+// before it, replay every delta in between (§II-D). Missing
+// intermediate deltas are an ErrChain.
+func restartEntries(fsys faultfs.FS, dir string, rec *obs.Recorder, entries []Entry, variable string, iteration int, ropt RecoverOptions) ([]float64, *PartialDataError, error) {
+	if len(entries) == 0 {
+		return nil, nil, fmt.Errorf("%w: variable %s", ErrNotFound, variable)
+	}
+	// Latest full checkpoint at or before the target.
+	fullIter := -1
+	for _, e := range entries {
+		if e.Kind == "full" && e.Iteration <= iteration {
+			fullIter = e.Iteration
+		}
+	}
+	if fullIter < 0 {
+		return nil, nil, fmt.Errorf("%w: no full checkpoint at or before iteration %d for %s", ErrNotFound, iteration, variable)
+	}
+	data, err := readFullFile(fsys, dir, variable, fullIter)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Replay deltas (fullIter, iteration]. Every present delta in that
+	// range must chain from the previous one without gaps.
+	var partial *PartialDataError
+	expected := fullIter + 1
+	for _, e := range entries {
+		if e.Kind != "delta" || e.Iteration <= fullIter || e.Iteration > iteration {
+			continue
+		}
+		if e.Iteration != expected {
+			return nil, nil, fmt.Errorf("%w: expected delta %d for %s, found %d", ErrChain, expected, variable, e.Iteration)
+		}
+		data, partial, err = replayDeltaFile(fsys, dir, rec, variable, e.Iteration, data, ropt, partial)
+		if err != nil {
+			return nil, nil, err
+		}
+		expected++
+	}
+	if expected != iteration+1 {
+		return nil, nil, fmt.Errorf("%w: chain for %s ends at %d, wanted %d", ErrChain, variable, expected-1, iteration)
+	}
+	return data, partial, nil
+}
+
+// replayDeltaFile applies one delta on top of data. In salvage mode a
+// v2 delta with bad chunks contributes its healthy chunks and
+// accumulates the lost point ranges into partial; fail-closed mode (and
+// any non-chunk-local failure) surfaces the error.
+func replayDeltaFile(fsys faultfs.FS, dir string, rec *obs.Recorder, variable string, iteration int, data []float64, ropt RecoverOptions, partial *PartialDataError) ([]float64, *PartialDataError, error) {
+	if !ropt.Salvage {
+		enc, err := readDeltaFile(fsys, dir, variable, iteration)
+		if err != nil {
+			return nil, nil, err
+		}
+		out, err := enc.Decode(data)
+		return out, partial, err
+	}
+	raw, err := readCheckpointFile(fsys, dir, variable, "delta", iteration)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !IsDeltaV2(raw) {
+		// v1 files have one whole-payload CRC: nothing chunk-local to
+		// salvage, so fail-closed even in salvage mode.
+		v, it, enc, err := UnmarshalDelta(raw)
+		if err != nil {
+			return nil, nil, pathErr("parse", filepath.Join(dir, fileName(variable, "delta", iteration)), err)
+		}
+		if v != variable || it != iteration {
+			return nil, nil, fmt.Errorf("%w: file claims %s@%d, expected %s@%d", ErrCorrupt, v, it, variable, iteration)
+		}
+		out, err := enc.Decode(data)
+		return out, partial, err
+	}
+	d, err := OpenDeltaV2(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		return nil, nil, pathErr("parse", filepath.Join(dir, fileName(variable, "delta", iteration)), err)
+	}
+	out, err := d.DecodeRecover(data, 0, RecoverOptions{Salvage: true, Obs: rec})
+	if err != nil {
+		var pde *PartialDataError
+		if !errors.As(err, &pde) {
+			return nil, nil, err
+		}
+		partial = mergePartial(partial, pde, variable)
+	}
+	return out, partial, nil
+}

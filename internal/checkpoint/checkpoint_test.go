@@ -143,9 +143,24 @@ func TestStoreCreateOpen(t *testing.T) {
 	if st.Options().IndexBits != 8 {
 		t.Errorf("options = %+v", st.Options())
 	}
-	// Re-creating over an existing store is refused.
-	if _, err := Create(dir, opts()); err == nil {
-		t.Error("duplicate Create accepted")
+	// While the first handle holds the writer lock, a second writer —
+	// Create or Open — fails fast with the typed lock-held error.
+	if _, err := Create(dir, opts()); !errors.Is(err, ErrLocked) {
+		t.Errorf("duplicate Create while locked = %v, want ErrLocked", err)
+	}
+	var lh *LockHeldError
+	if _, err := Open(dir); !errors.As(err, &lh) {
+		t.Errorf("second Open while locked = %v, want *LockHeldError", err)
+	} else if lh.PID != os.Getpid() {
+		t.Errorf("lock holder pid = %d, want %d", lh.PID, os.Getpid())
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// After Close the lock is released, but re-creating over an existing
+	// store is still refused.
+	if _, err := Create(dir, opts()); err == nil || errors.Is(err, ErrLocked) {
+		t.Errorf("duplicate Create after close = %v, want already-exists", err)
 	}
 	st2, err := Open(dir)
 	if err != nil {

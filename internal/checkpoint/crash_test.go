@@ -10,8 +10,16 @@ import (
 	"numarck/internal/faultfs"
 )
 
+// deadOwner is the lock identity crash tests give stores they are
+// about to kill: the recorded PID is far beyond any real pid_max, so
+// the LOCK file a simulated crash leaves behind reads as stale and a
+// plain reopen takes it over — exactly what a real reboot would see.
+var deadOwner = LockOwner{PID: 1 << 30, Alive: func(int) bool { return false }}
+
 // copyDir clones the flat store directory (and quarantine/ if present)
 // so each crash-matrix iteration starts from an identical pre-state.
+// The LOCK file is deliberately not cloned: a pre-state is the disk
+// image of a store nobody holds.
 func copyDir(t *testing.T, src, dst string) {
 	t.Helper()
 	if err := os.MkdirAll(dst, 0o755); err != nil {
@@ -24,6 +32,9 @@ func copyDir(t *testing.T, src, dst string) {
 	for _, de := range entries {
 		if de.IsDir() {
 			copyDir(t, filepath.Join(src, de.Name()), filepath.Join(dst, de.Name()))
+			continue
+		}
+		if de.Name() == lockName {
 			continue
 		}
 		raw, err := os.ReadFile(filepath.Join(src, de.Name()))
@@ -66,6 +77,9 @@ func seedStore(t *testing.T, dir string, format int) [][]float64 {
 			t.Fatal(err)
 		}
 	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
 	return series
 }
 
@@ -105,6 +119,9 @@ func TestCrashMatrixWrite(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		if err := stBase.Close(); err != nil {
+			t.Fatal(err)
+		}
 		probeDir := t.TempDir()
 		copyDir(t, base, probeDir)
 		probe := faultfs.NewInjector(faultfs.OS(), 1)
@@ -131,7 +148,9 @@ func TestCrashMatrixWrite(t *testing.T) {
 			dir := t.TempDir()
 			copyDir(t, base, dir)
 			inj := faultfs.NewInjector(faultfs.OS(), int64(1000+k))
-			st, err := OpenFS(dir, inj, nil)
+			// The crashing store records a dead owner so the post-crash
+			// reopen sees a stale lock and takes it over, like a reboot.
+			st, err := OpenFSOwner(dir, inj, nil, deadOwner)
 			if err != nil {
 				t.Fatalf("format %d k=%d: open pre-crash: %v", format, k, err)
 			}
@@ -200,7 +219,7 @@ func TestCrashMatrixCreate(t *testing.T) {
 		dir := t.TempDir()
 		inj := faultfs.NewInjector(faultfs.OS(), int64(k))
 		inj.SetCrashAt(k)
-		if _, err := CreateFS(dir, opts(), inj); !errors.Is(err, faultfs.ErrCrashed) {
+		if _, err := CreateFSOwner(dir, opts(), inj, deadOwner); !errors.Is(err, faultfs.ErrCrashed) {
 			t.Fatalf("k=%d: create survived crash: %v", k, err)
 		}
 		st, err := Open(dir)
@@ -217,6 +236,113 @@ func TestCrashMatrixCreate(t *testing.T) {
 			}
 		default:
 			t.Fatalf("k=%d: reopen after create crash: %v", k, err)
+		}
+	}
+}
+
+// TestCrashMatrixOpen kills a writer Open at every mutating operation
+// it performs — breaking the previous holder's stale lock, claiming the
+// new one, and republishing a damaged CHAININDEX — and checks a
+// subsequent reopen always recovers: takes the lock over, rebuilds the
+// index, and serves the seeded chain byte-identically.
+func TestCrashMatrixOpen(t *testing.T) {
+	base := t.TempDir()
+	seedStore(t, base, 2)
+	// The pre-state a reboot might find: a stale LOCK from the dead
+	// previous writer, and an index torn by the crash that killed it.
+	if err := os.WriteFile(filepath.Join(base, lockName),
+		marshalLock(lockInfo{PID: 1 << 30, Nonce: 42}), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ixPath := filepath.Join(base, indexName)
+	raw, err := os.ReadFile(ixPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(ixPath, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stWant, err := OpenFSOwner(base, faultfs.OS(), nil, deadOwner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2, err := stWant.Restart("dens", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stWant.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild the damaged pre-state (the probe store above repaired it).
+	preDir := t.TempDir()
+	copyDir(t, base, preDir)
+	plant := func(dir string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, lockName),
+			marshalLock(lockInfo{PID: 1 << 30, Nonce: 42}), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		ix, err := os.ReadFile(filepath.Join(dir, indexName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, indexName), ix[:len(ix)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plant(preDir)
+
+	probe := faultfs.NewInjector(faultfs.OS(), 1)
+	probeDir := t.TempDir()
+	copyDir(t, preDir, probeDir)
+	plant(probeDir)
+	stProbe, err := OpenFSOwner(probeDir, probe, nil, deadOwner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := probe.MutatingOps() // before Close: its lock release is not part of Open
+	if err := stProbe.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if m < 5 {
+		t.Fatalf("open over stale lock + torn index performed only %d mutating ops", m)
+	}
+
+	for k := 0; k < m; k++ {
+		dir := t.TempDir()
+		copyDir(t, preDir, dir)
+		plant(dir)
+		inj := faultfs.NewInjector(faultfs.OS(), int64(2000+k))
+		inj.SetCrashAt(k)
+		if _, err := OpenFSOwner(dir, inj, nil, deadOwner); !errors.Is(err, faultfs.ErrCrashed) {
+			t.Fatalf("k=%d: open survived the crash point: %v", k, err)
+		}
+		// "Reboot": a plain reopen must take over whatever lock state the
+		// crash left (absent, torn, or complete-but-dead) and serve the
+		// seeded chain exactly.
+		st, err := Open(dir)
+		if err != nil {
+			t.Fatalf("k=%d: reopen after crashed open: %v", k, err)
+		}
+		issues, err := st.Verify()
+		if err != nil {
+			t.Fatalf("k=%d: verify: %v", k, err)
+		}
+		if len(issues) > 0 {
+			t.Fatalf("k=%d: store not clean after recovery: %v", k, issues)
+		}
+		if h := st.IndexHealth(); !h.Present || !h.Fresh {
+			t.Fatalf("k=%d: index not restored: %s", k, h)
+		}
+		got2, err := st.Restart("dens", 2)
+		if err != nil {
+			t.Fatalf("k=%d: restart: %v", k, err)
+		}
+		if !bitsEqual(got2, want2) {
+			t.Fatalf("k=%d: seeded data changed across the crash", k)
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
 		}
 	}
 }
@@ -262,6 +388,9 @@ func TestRecoveryScanTornFile(t *testing.T) {
 	if _, err := st.Restart("dens", 2); !errors.Is(err, ErrChain) && !errors.Is(err, ErrNotFound) {
 		t.Fatalf("restart at torn iteration = %v", err)
 	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
 	// A second open is clean: the damage was already absorbed.
 	st2, err := Open(dir)
 	if err != nil {
@@ -290,6 +419,9 @@ func TestRecoveryScanAdoptsLegacyStore(t *testing.T) {
 	}
 	if _, err := st.Restart("dens", 2); err != nil {
 		t.Fatalf("legacy store restart: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
 	}
 	st2, err := Open(dir)
 	if err != nil {

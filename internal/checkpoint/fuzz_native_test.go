@@ -113,6 +113,65 @@ func FuzzUnmarshalFull(f *testing.F) {
 	})
 }
 
+// seedChainIndex builds a small valid CHAININDEX image for the fuzz
+// corpus.
+func seedChainIndex(tb testing.TB) []byte {
+	tb.Helper()
+	raw, err := marshalChainIndex(&ChainIndex{
+		Seq:            3,
+		JournalLen:     512,
+		JournalTailCRC: 0xabad1dea,
+		Entries: []IndexEntry{
+			{Entry: Entry{Variable: "dens", Kind: "full", Iteration: 0}, Len: 4096, CRC: 1},
+			{Entry: Entry{Variable: "dens", Kind: "delta", Iteration: 1}, Len: 512, CRC: 2},
+		},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return raw
+}
+
+// FuzzParseChainIndex throws arbitrary bytes at the chain-index parser:
+// framing lies, CRC damage, and hostile record fields must all surface
+// as errors, never as panics — and anything the parser does accept must
+// survive a marshal/parse round trip, because readers rebuild their
+// entire view of the store from it.
+func FuzzParseChainIndex(f *testing.F) {
+	f.Add(seedChainIndex(f))
+	f.Add([]byte{})
+	f.Add([]byte("NMRKX1"))
+	f.Add(marshalLock(lockInfo{PID: 1, Nonce: 2})) // cousin format must be rejected
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		ix, err := ParseChainIndex(raw)
+		if err != nil {
+			return
+		}
+		if len(raw) != indexHeaderSize+indexRecordSize*len(ix.Entries)+4 {
+			t.Fatalf("accepted %d bytes as %d entries", len(raw), len(ix.Entries))
+		}
+		for i, e := range ix.Entries {
+			if ValidateVariable(e.Variable) != nil || e.Iteration < 0 || e.Len < 0 {
+				t.Fatalf("accepted hostile record %d: %+v", i, e)
+			}
+			if e.Kind != "full" && e.Kind != "delta" {
+				t.Fatalf("accepted unknown kind %q", e.Kind)
+			}
+		}
+		out, err := marshalChainIndex(ix)
+		if err != nil {
+			t.Fatalf("accepted index does not re-marshal: %v", err)
+		}
+		ix2, err := ParseChainIndex(out)
+		if err != nil {
+			t.Fatalf("re-marshaled index does not parse: %v", err)
+		}
+		if len(ix2.Entries) != len(ix.Entries) || ix2.Seq != ix.Seq {
+			t.Fatal("round trip changed the index")
+		}
+	})
+}
+
 // FuzzRecoverDeltaV2 exercises the degraded-mode decode against
 // mutated v2 bytes: DecodeRecover must never panic, every point it
 // reports lost must hold prev's value exactly (data from a failed-CRC

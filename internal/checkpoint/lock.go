@@ -1,0 +1,267 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"numarck/internal/faultfs"
+	"numarck/internal/obs"
+)
+
+// The on-disk writer lock. A writer (Create or a read-write Open)
+// claims the store by creating LOCK with O_EXCL semantics through the
+// faultfs seam, so exactly one process-level writer exists per store
+// directory; readers (OpenReadOnly) never touch it. The file records
+// the owner's PID and a per-acquisition nonce so a second writer can
+// report who holds the store and a takeover can verify the lock it is
+// breaking is the one it examined.
+//
+// Byte layout (32 bytes, all integers little-endian; see FORMAT.md):
+//
+//	magic "NMRKL1" | version u16 | pid u32 | nonce u64
+//	| acquired unix-nanos i64 | CRC32-IEEE of bytes [0,28)
+//
+// A lock whose bytes do not parse (torn write from a crash mid-acquire)
+// is stale by definition. A parsed lock is stale when its owner process
+// is provably dead; liveness probing is injectable for tests via
+// LockOwner.Alive.
+const lockName = "LOCK"
+
+// lockMagic starts every lock file.
+var lockMagic = []byte("NMRKL1")
+
+// lockVersion is the current lock-file layout version.
+const lockVersion = 1
+
+// lockFileSize is the fixed byte length of a complete lock file.
+const lockFileSize = 32
+
+// ErrLocked matches, via errors.Is, the failure of a writer Open or
+// Create against a store whose writer lock is held by a live owner.
+var ErrLocked = errors.New("checkpoint: store locked by another writer")
+
+// LockHeldError reports the current holder of a store's writer lock.
+// It wraps ErrLocked.
+type LockHeldError struct {
+	// Dir is the store directory.
+	Dir string
+	// PID is the holder's process ID as recorded in the lock file.
+	PID int
+	// Nonce is the holder's acquisition nonce.
+	Nonce uint64
+}
+
+// Error implements error.
+func (e *LockHeldError) Error() string {
+	return fmt.Sprintf("checkpoint: store %s locked by writer pid %d (nonce %016x)", e.Dir, e.PID, e.Nonce)
+}
+
+// Unwrap makes errors.Is(err, ErrLocked) match.
+func (e *LockHeldError) Unwrap() error { return ErrLocked }
+
+// LockOwner identifies the writer acquiring a store lock and how to
+// probe a competing owner's liveness. The zero value means "this
+// process, probed with the real process table" and is what the
+// production entry points use; tests substitute a fake PID and probe to
+// drive the stale-takeover and held paths deterministically.
+type LockOwner struct {
+	// PID is recorded in the lock file as the owner. 0 means
+	// os.Getpid().
+	PID int
+	// Alive reports whether the process that owns an existing lock is
+	// still running. Nil means the default probe: the calling process
+	// is alive, PID 0 or negative is dead, and other PIDs are
+	// signal-0 probed (unknown outcomes count as alive, so the default
+	// fails fast rather than stealing a lock it cannot prove stale).
+	Alive func(pid int) bool
+}
+
+// pid returns the effective owner PID.
+func (o LockOwner) pid() int {
+	if o.PID != 0 {
+		return o.PID
+	}
+	return os.Getpid()
+}
+
+// alive returns the effective liveness probe.
+func (o LockOwner) alive() func(pid int) bool {
+	if o.Alive != nil {
+		return o.Alive
+	}
+	return processAlive
+}
+
+// processAlive is the default liveness probe: signal 0 to the PID. An
+// EPERM answer means the process exists under another user — alive. An
+// unrecognized failure counts as alive: the cost of a false "alive" is
+// a fail-fast open, the cost of a false "dead" is two live writers.
+func processAlive(pid int) bool {
+	if pid <= 0 {
+		return false
+	}
+	if pid == os.Getpid() {
+		return true
+	}
+	proc, err := os.FindProcess(pid)
+	if err != nil {
+		return false
+	}
+	err = proc.Signal(syscall.Signal(0))
+	switch {
+	case err == nil:
+		return true
+	case errors.Is(err, os.ErrProcessDone), errors.Is(err, syscall.ESRCH):
+		return false
+	case errors.Is(err, syscall.EPERM):
+		return true
+	default:
+		return true
+	}
+}
+
+// storeLock is a held writer lock.
+type storeLock struct {
+	fs    faultfs.FS
+	dir   string
+	path  string
+	nonce uint64
+}
+
+// lockInfo is the parsed content of a lock file.
+type lockInfo struct {
+	PID      int
+	Nonce    uint64
+	Acquired int64 // unix nanoseconds
+}
+
+// marshalLock renders the fixed 32-byte lock file.
+func marshalLock(li lockInfo) []byte {
+	buf := make([]byte, lockFileSize)
+	copy(buf, lockMagic)
+	binary.LittleEndian.PutUint16(buf[6:], lockVersion)
+	//lint:ignore bindex PIDs are small positive integers
+	binary.LittleEndian.PutUint32(buf[8:], uint32(li.PID))
+	binary.LittleEndian.PutUint64(buf[12:], li.Nonce)
+	binary.LittleEndian.PutUint64(buf[20:], uint64(li.Acquired))
+	binary.LittleEndian.PutUint32(buf[28:], crc32.ChecksumIEEE(buf[:28]))
+	return buf
+}
+
+// parseLock decodes a lock file. Any structural violation — short
+// file, bad magic, unsupported version, CRC mismatch — is an error;
+// callers treat an unparsable lock as stale (the signature of a crash
+// mid-acquire).
+func parseLock(raw []byte) (lockInfo, error) {
+	var li lockInfo
+	if len(raw) != lockFileSize {
+		return li, fmt.Errorf("%w: lock file is %d bytes, want %d", ErrCorrupt, len(raw), lockFileSize)
+	}
+	if string(raw[:6]) != string(lockMagic) {
+		return li, fmt.Errorf("%w: lock magic %q", ErrCorrupt, raw[:6])
+	}
+	if v := binary.LittleEndian.Uint16(raw[6:]); v != lockVersion {
+		return li, fmt.Errorf("%w: lock version %d", ErrCorrupt, v)
+	}
+	if crc := crc32.ChecksumIEEE(raw[:28]); crc != binary.LittleEndian.Uint32(raw[28:]) {
+		return li, fmt.Errorf("%w: lock CRC mismatch", ErrCorrupt)
+	}
+	li.PID = int(binary.LittleEndian.Uint32(raw[8:]))
+	li.Nonce = binary.LittleEndian.Uint64(raw[12:])
+	li.Acquired = int64(binary.LittleEndian.Uint64(raw[20:]))
+	return li, nil
+}
+
+// acquireLock claims the store's writer lock for owner, taking over a
+// stale one (dead or unidentifiable holder). A live holder is a
+// *LockHeldError. Every filesystem step goes through the seam, so the
+// crash matrix can kill acquisition at each mutating operation; a kill
+// leaves either no LOCK, a torn LOCK (stale by construction), or a
+// complete LOCK whose recorded owner the next acquirer probes.
+func acquireLock(fsys faultfs.FS, dir string, owner LockOwner, rec *obs.Recorder) (*storeLock, error) {
+	path := filepath.Join(dir, lockName)
+	nonce := lockNonce()
+	payload := marshalLock(lockInfo{PID: owner.pid(), Nonce: nonce, Acquired: time.Now().UnixNano()})
+	// Three attempts bound the takeover race: each loop either claims
+	// the name, fails fast on a live holder, or removes one stale lock.
+	for attempt := 0; attempt < 3; attempt++ {
+		f, err := fsys.CreateExclusive(path)
+		if err == nil {
+			werr := writeLockFile(f, payload)
+			if werr != nil {
+				// The claim is ours but incomplete; remove it so a crash
+				// here cannot masquerade as a held lock. (An unparsable
+				// leftover would read as stale anyway.)
+				_ = fsys.Remove(path)
+				return nil, pathErr("write lock", path, werr)
+			}
+			return &storeLock{fs: fsys, dir: dir, path: path, nonce: nonce}, nil
+		}
+		if !errors.Is(err, fs.ErrExist) {
+			return nil, pathErr("lock", path, err)
+		}
+		raw, rerr := faultfs.ReadFile(fsys, path)
+		if rerr != nil {
+			// The holder released (or was taken over) between our create
+			// and read; retry the create.
+			continue
+		}
+		li, perr := parseLock(raw)
+		if perr == nil && owner.alive()(li.PID) {
+			return nil, &LockHeldError{Dir: dir, PID: li.PID, Nonce: li.Nonce}
+		}
+		// Torn or dead: break the stale lock and retry. The Remove is a
+		// scheduled mutating op, so the matrix also kills mid-takeover.
+		if err := fsys.Remove(path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return nil, pathErr("break stale lock", path, err)
+		}
+		rec.Add(obs.CounterLockTakeovers, 1)
+	}
+	return nil, pathErr("lock", path, fmt.Errorf("gave up after repeated takeover races"))
+}
+
+// writeLockFile writes, syncs, and closes the freshly claimed lock.
+func writeLockFile(f faultfs.File, payload []byte) error {
+	_, err := f.Write(payload)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// release removes the lock if it is still ours: after a (buggy or
+// raced) takeover the file may carry someone else's nonce, and removing
+// their claim would let two writers in.
+func (l *storeLock) release() error {
+	if l == nil {
+		return nil
+	}
+	raw, err := faultfs.ReadFile(l.fs, l.path)
+	if err != nil {
+		return nil // already gone: nothing to release
+	}
+	if li, err := parseLock(raw); err != nil || li.Nonce != l.nonce {
+		return nil // not ours anymore
+	}
+	if err := l.fs.Remove(l.path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return pathErr("unlock", l.path, err)
+	}
+	return nil
+}
+
+// lockNonce draws a process-unique acquisition nonce from the
+// monotonic clock mixed with the PID, so two acquisitions — even in
+// the same nanosecond across processes — are distinguishable.
+func lockNonce() uint64 {
+	return uint64(time.Now().UnixNano())*2654435761 ^ uint64(os.Getpid())<<32
+}

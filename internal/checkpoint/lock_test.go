@@ -1,0 +1,209 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"numarck/internal/faultfs"
+	"numarck/internal/obs"
+)
+
+// TestLockLifecycle walks one acquisition through its whole life: the
+// LOCK file appears with the owner's identity, a release removes it,
+// and a second acquisition then succeeds without a takeover.
+func TestLockLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	fsys := faultfs.OS()
+	l, err := acquireLock(fsys, dir, LockOwner{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, lockName))
+	if err != nil {
+		t.Fatalf("no LOCK file after acquire: %v", err)
+	}
+	li, err := parseLock(raw)
+	if err != nil {
+		t.Fatalf("fresh lock does not parse: %v", err)
+	}
+	if li.PID != os.Getpid() {
+		t.Errorf("lock PID = %d, want %d", li.PID, os.Getpid())
+	}
+	if li.Nonce != l.nonce {
+		t.Errorf("lock nonce %016x does not match handle nonce %016x", li.Nonce, l.nonce)
+	}
+	if err := l.release(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, lockName)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("LOCK survives release: %v", err)
+	}
+	l2, err := acquireLock(fsys, dir, LockOwner{}, nil)
+	if err != nil {
+		t.Fatalf("re-acquire after release: %v", err)
+	}
+	if err := l2.release(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLockHeldFailsFast acquires as a live owner and checks a second
+// acquisition fails with the typed holder report instead of waiting,
+// retrying, or stealing.
+func TestLockHeldFailsFast(t *testing.T) {
+	dir := t.TempDir()
+	fsys := faultfs.OS()
+	l, err := acquireLock(fsys, dir, LockOwner{PID: 4242, Alive: func(int) bool { return true }}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.release()
+	_, err = acquireLock(fsys, dir, LockOwner{Alive: func(int) bool { return true }}, nil)
+	if !errors.Is(err, ErrLocked) {
+		t.Fatalf("second acquire = %v, want ErrLocked", err)
+	}
+	var lh *LockHeldError
+	if !errors.As(err, &lh) {
+		t.Fatalf("second acquire = %T, want *LockHeldError", err)
+	}
+	if lh.PID != 4242 || lh.Dir != dir {
+		t.Errorf("holder report = pid %d dir %s, want pid 4242 dir %s", lh.PID, lh.Dir, dir)
+	}
+}
+
+// TestLockStaleTakeover plants a lock whose recorded owner is provably
+// dead and checks the next acquisition breaks it, counts the takeover,
+// and installs its own identity.
+func TestLockStaleTakeover(t *testing.T) {
+	dir := t.TempDir()
+	fsys := faultfs.OS()
+	l, err := acquireLock(fsys, dir, LockOwner{PID: 1 << 30}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = l // simulate a crash: the holder vanishes without releasing
+
+	rec := obs.NewRecorder()
+	l2, err := acquireLock(fsys, dir, LockOwner{Alive: func(pid int) bool { return pid != 1<<30 }}, rec)
+	if err != nil {
+		t.Fatalf("takeover of stale lock: %v", err)
+	}
+	defer l2.release()
+	if got := rec.Snapshot().Counters["lock_takeovers"]; got != 1 {
+		t.Errorf("lock_takeovers = %d, want 1", got)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, lockName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	li, err := parseLock(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if li.PID != os.Getpid() {
+		t.Errorf("post-takeover lock PID = %d, want %d", li.PID, os.Getpid())
+	}
+}
+
+// TestLockTornIsStale plants unparsable LOCK bytes — the disk image of
+// a crash mid-acquire — and checks acquisition treats them as stale and
+// claims the store.
+func TestLockTornIsStale(t *testing.T) {
+	for name, raw := range map[string][]byte{
+		"empty":     {},
+		"truncated": marshalLock(lockInfo{PID: os.Getpid(), Nonce: 1})[:10],
+		"garbage":   []byte("NMRKL1 but then nonsense padding"),
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			if err := os.WriteFile(filepath.Join(dir, lockName), raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			// The probe would keep a live owner alive — but a torn lock
+			// never reaches it.
+			l, err := acquireLock(faultfs.OS(), dir, LockOwner{Alive: func(int) bool { return true }}, nil)
+			if err != nil {
+				t.Fatalf("acquire over torn lock: %v", err)
+			}
+			if err := l.release(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestParseLockRejects checks every framing violation of the lock file
+// is an explicit parse error, never a misread.
+func TestParseLockRejects(t *testing.T) {
+	good := marshalLock(lockInfo{PID: 7, Nonce: 9, Acquired: 11})
+	if _, err := parseLock(good); err != nil {
+		t.Fatalf("valid lock rejected: %v", err)
+	}
+	cases := map[string][]byte{
+		"short":       good[:lockFileSize-1],
+		"long":        append(append([]byte{}, good...), 0),
+		"bad magic":   append([]byte("XXRKL1"), good[6:]...),
+		"bad version": func() []byte { b := append([]byte{}, good...); b[6] = 99; return b }(),
+		"bad crc":     func() []byte { b := append([]byte{}, good...); b[20] ^= 1; return b }(),
+	}
+	for name, raw := range cases {
+		if _, err := parseLock(raw); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: parseLock = %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+// TestLockReleaseOnlyOwn checks release is a no-op when the file on
+// disk carries someone else's claim: removing it would let two writers
+// in.
+func TestLockReleaseOnlyOwn(t *testing.T) {
+	dir := t.TempDir()
+	fsys := faultfs.OS()
+	l, err := acquireLock(fsys, dir, LockOwner{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Another writer takes over behind our back (our process "hung").
+	other := marshalLock(lockInfo{PID: 555, Nonce: l.nonce + 1})
+	if err := os.WriteFile(l.path, other, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.release(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(l.path)
+	if err != nil {
+		t.Fatalf("release removed a lock it does not own: %v", err)
+	}
+	if li, err := parseLock(raw); err != nil || li.PID != 555 {
+		t.Fatalf("foreign lock disturbed: %v %+v", err, li)
+	}
+}
+
+// TestStoreCloseReleasesLock checks the Store-level contract: Close
+// frees the store for the next writer, and a double Close stays safe.
+func TestStoreCloseReleasesLock(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ck")
+	st, err := Create(dir, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := st.WriteFull("dens", 0, genSeries(64, 1, 3)[0]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("write after Close = %v, want ErrClosed", err)
+	}
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open after Close: %v", err)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -99,7 +99,92 @@ func (st *Store) Verify() ([]VerifyIssue, error) {
 	if err != nil {
 		return nil, err
 	}
-	return append(issues, jissues...), nil
+	issues = append(issues, jissues...)
+	if h := st.IndexHealth(); !h.Fresh {
+		issues = append(issues, VerifyIssue{Variable: indexName, Kind: "index", Chunk: -1, Err: h.issueErr()})
+	}
+	return issues, nil
+}
+
+// IndexHealth describes the on-disk CHAININDEX's state relative to the
+// journal: whether it is present, parses, and is anchored to the
+// journal's current length and tail CRC (Fresh). Verify reports a
+// non-fresh index as an issue; cmd/numarck surfaces the same fields in
+// its verify and inspect reports.
+type IndexHealth struct {
+	// Present reports whether a CHAININDEX file exists at all.
+	Present bool
+	// Fresh reports that the index parsed and its journal anchor
+	// matches the journal's current state: readers are served from it
+	// without falling back to journal replay.
+	Fresh bool
+	// Seq is the index's publication sequence (0 when absent or
+	// unparsable).
+	Seq uint64
+	// Entries is the number of chain records the index holds.
+	Entries int
+	// Err is the parse or read failure for a corrupt index, nil
+	// otherwise.
+	Err error
+}
+
+// String renders the health as one line of the verify report.
+func (h IndexHealth) String() string {
+	switch {
+	case !h.Present:
+		return "chain index: missing"
+	case h.Err != nil:
+		return fmt.Sprintf("chain index: corrupt: %v", h.Err)
+	case !h.Fresh:
+		return fmt.Sprintf("chain index: stale (seq %d, %d entries)", h.Seq, h.Entries)
+	default:
+		return fmt.Sprintf("chain index: fresh (seq %d, %d entries)", h.Seq, h.Entries)
+	}
+}
+
+// issueErr is the error a non-fresh index contributes to Verify.
+func (h IndexHealth) issueErr() error {
+	switch {
+	case !h.Present:
+		return fmt.Errorf("%w: chain index missing", ErrCorrupt)
+	case h.Err != nil:
+		return fmt.Errorf("chain index corrupt: %w", h.Err)
+	default:
+		return fmt.Errorf("%w: chain index stale (seq %d)", ErrCorrupt, h.Seq)
+	}
+}
+
+// IndexHealth inspects the store's CHAININDEX without modifying it.
+func (st *Store) IndexHealth() IndexHealth {
+	return indexHealth(st.fs, st.dir)
+}
+
+// IndexHealth inspects the store's CHAININDEX without modifying it.
+func (rv *ReadView) IndexHealth() IndexHealth {
+	return indexHealth(rv.fs, rv.dir)
+}
+
+// indexHealth is the shared implementation of the IndexHealth methods.
+func indexHealth(fsys faultfs.FS, dir string) IndexHealth {
+	var h IndexHealth
+	if _, err := fsys.Stat(filepath.Join(dir, indexName)); err != nil {
+		return h
+	}
+	h.Present = true
+	ix, err := loadIndex(fsys, dir)
+	if err != nil || ix == nil {
+		h.Err = err
+		return h
+	}
+	h.Seq = ix.Seq
+	h.Entries = len(ix.Entries)
+	tok, err := readJournalToken(fsys, dir)
+	if err != nil {
+		h.Err = err
+		return h
+	}
+	h.Fresh = ix.matches(tok)
+	return h
 }
 
 // verifyJournal is Verify's deep journal cross-check: every live "add"
@@ -161,69 +246,18 @@ type VariableStats struct {
 func (s VariableStats) TotalBytes() int64 { return s.FullBytes + s.DeltaBytes }
 
 // Stats returns per-variable storage statistics, sorted by variable
-// name.
+// name. Sizes come from the in-memory chain's journaled lengths — no
+// per-file Stat calls.
 func (st *Store) Stats() ([]VariableStats, error) {
-	vars, err := st.Variables()
-	if err != nil {
-		return nil, err
-	}
-	out := make([]VariableStats, 0, len(vars))
-	for _, v := range vars {
-		entries, err := st.List(v)
-		if err != nil {
-			return nil, err
-		}
-		s := VariableStats{Variable: v, FirstIter: -1}
-		for _, e := range entries {
-			p := st.path(v, e.Kind, e.Iteration)
-			info, err := st.fs.Stat(p)
-			if err != nil {
-				return nil, pathErr("stat", p, err)
-			}
-			if s.FirstIter < 0 || e.Iteration < s.FirstIter {
-				s.FirstIter = e.Iteration
-			}
-			if e.Iteration > s.LastIter {
-				s.LastIter = e.Iteration
-			}
-			if e.Kind == "full" {
-				s.Fulls++
-				s.FullBytes += info.Size()
-			} else {
-				s.Deltas++
-				s.DeltaBytes += info.Size()
-			}
-		}
-		out = append(out, s)
-	}
-	sort.Slice(out, func(a, b int) bool { return out[a].Variable < out[b].Variable })
-	return out, nil
+	return chainStats(st.chain), nil
 }
 
 // LatestRestorable returns the highest iteration of a variable that can
 // be reconstructed: the end of the unbroken delta chain rooted at the
-// latest full checkpoint. ErrNotFound means no full checkpoint exists.
+// latest full checkpoint, computed from the in-memory chain.
+// ErrNotFound means no full checkpoint exists.
 func (st *Store) LatestRestorable(variable string) (int, error) {
-	entries, err := st.List(variable)
-	if err != nil {
-		return 0, err
-	}
-	restorable := -1
-	chainNext := -1
-	for _, e := range entries {
-		switch {
-		case e.Kind == "full":
-			if e.Iteration > restorable {
-				restorable = e.Iteration
-			}
-			chainNext = e.Iteration + 1
-		case e.Kind == "delta" && e.Iteration == chainNext:
-			restorable = e.Iteration
-			chainNext++
-		default:
-			chainNext = -1 // chain broken until the next full
-		}
-	}
+	restorable := latestRestorableEntries(chainEntries(st.chain, variable))
 	if restorable < 0 {
 		return 0, fmt.Errorf("%w: variable %s has no full checkpoint", ErrNotFound, variable)
 	}
@@ -239,15 +273,11 @@ var ErrNothingToGC = errors.New("checkpoint: no full checkpoint to retain")
 // files removed. Typical use: after a simulation confirms progress
 // beyond iteration i, GC(i) drops the now-unneeded prefix.
 func (st *Store) GC(keepFrom int) (removed int, err error) {
-	vars, err := st.Variables()
-	if err != nil {
-		return 0, err
+	if st.closed {
+		return 0, ErrClosed
 	}
-	for _, v := range vars {
-		entries, err := st.List(v)
-		if err != nil {
-			return removed, err
-		}
+	for _, v := range chainVariables(st.chain) {
+		entries := chainEntries(st.chain, v)
 		baseFull := -1
 		for _, e := range entries {
 			if e.Kind == "full" && e.Iteration <= keepFrom {
@@ -266,6 +296,7 @@ func (st *Store) GC(keepFrom int) (removed int, err error) {
 				if err := appendJournal(st.fs, st.dir, journalRecord{Op: "drop", Name: name}); err != nil {
 					return removed, err
 				}
+				delete(st.chain, name)
 				removed++
 			}
 		}
@@ -273,6 +304,11 @@ func (st *Store) GC(keepFrom int) (removed int, err error) {
 	if removed > 0 {
 		if err := st.fs.SyncDir(st.dir); err != nil {
 			return removed, pathErr("sync", st.dir, err)
+		}
+		// One republish covers the whole batch of drops; readers see the
+		// pre-GC chain or the post-GC chain, nothing in between.
+		if err := st.republishIndex(); err != nil {
+			return removed, err
 		}
 	}
 	return removed, nil

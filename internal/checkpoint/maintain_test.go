@@ -202,6 +202,9 @@ func TestGCWithQuarantinedBase(t *testing.T) {
 	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
 		t.Fatal(err)
 	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
 	st2, err := Open(st.Dir())
 	if err != nil {
 		t.Fatal(err)

@@ -68,6 +68,26 @@ func appendJournal(fsys faultfs.FS, dir string, rec journalRecord) error {
 	return nil
 }
 
+// seedJournal durably creates an empty journal file. Create calls it
+// for new stores and the recovery scan for adopted legacy stores: the
+// chain index and every read view anchor their freshness checks to the
+// journal, so it must exist even when nothing is committed yet.
+func seedJournal(fsys faultfs.FS, dir string) error {
+	path := filepath.Join(dir, journalName)
+	f, err := fsys.Append(path)
+	if err != nil {
+		return pathErr("create journal", path, err)
+	}
+	werr := f.Sync()
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return pathErr("create journal", path, werr)
+	}
+	return nil
+}
+
 // rewriteJournal atomically replaces the MANIFEST with one fresh "add"
 // record per live entry, in sorted name order. The recovery scan uses
 // it to repair a torn tail: appending after a torn line would

@@ -138,6 +138,9 @@ func TestRestartSalvage(t *testing.T) {
 	if err := os.WriteFile(path, raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
 
 	st2, err := Open(dir)
 	if err != nil {

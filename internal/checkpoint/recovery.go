@@ -66,13 +66,30 @@ func (r *RecoveryReport) scannedCount() int {
 // committed-but-unjournaled files adopted, and journaled-but-missing
 // files dropped from the journal. Only filesystem-level failures (the
 // scan itself cannot read the directory or move a file) are errors.
+//
+// The scan leaves the store's in-memory chain loaded with the
+// reconciled live file set, and finishes by validating the CHAININDEX
+// against the journal: a fresh index is adopted, a missing, stale, or
+// corrupt one is rebuilt from the chain and republished (counted in
+// index_rebuilds).
 func (st *Store) recoverScan() (*RecoveryReport, error) {
 	report := &RecoveryReport{}
 	// A store with no journal at all is a legacy layout: every file
 	// lands in the adoption path below and the journal gets built.
-	journal, _, tornTail, err := replayJournal(st.fs, st.dir)
+	journal, exists, tornTail, err := replayJournal(st.fs, st.dir)
 	if err != nil {
 		return nil, err
+	}
+	if journal == nil {
+		journal = map[string]journalEntry{}
+	}
+	if !exists {
+		// Seed the journal file now: the chain index (and read views)
+		// anchor their freshness to it, so it must exist even for an
+		// adopted legacy store with no checkpoint files yet.
+		if err := seedJournal(st.fs, st.dir); err != nil {
+			return nil, err
+		}
 	}
 	report.TornJournalTail = tornTail
 	if tornTail {
@@ -91,7 +108,7 @@ func (st *Store) recoverScan() (*RecoveryReport, error) {
 	onDisk := map[string]bool{}
 	for _, de := range entries {
 		name := de.Name()
-		if de.IsDir() || name == manifestName || name == journalName {
+		if de.IsDir() || isStoreMetaFile(name) {
 			continue
 		}
 		if strings.HasSuffix(name, ".tmp") {
@@ -104,10 +121,28 @@ func (st *Store) recoverScan() (*RecoveryReport, error) {
 			torn++
 			continue
 		}
-		if _, ok := parseName(name); !ok {
+		e, ok := parseName(name)
+		if !ok {
 			continue // not a checkpoint file; leave it alone
 		}
 		report.Scanned++
+		if verr := validateIdentity(e.Variable, e.Iteration); verr != nil {
+			// A checkpoint-shaped name that violates the naming rules
+			// (current writers reject such names before the filesystem
+			// sees them) cannot be represented in the chain index;
+			// quarantine it rather than carry it in the chain.
+			if err := st.quarantine(name); err != nil {
+				return nil, err
+			}
+			if _, journaled := journal[name]; journaled {
+				if err := appendJournal(st.fs, st.dir, journalRecord{Op: "drop", Name: name}); err != nil {
+					return nil, err
+				}
+				delete(journal, name)
+			}
+			report.Quarantined = append(report.Quarantined, name)
+			continue
+		}
 		je, journaled := journal[name]
 		switch {
 		case journaled:
@@ -154,11 +189,14 @@ func (st *Store) recoverScan() (*RecoveryReport, error) {
 				report.Quarantined = append(report.Quarantined, name)
 				continue
 			}
+			adopted := journalEntry{Len: int64(len(raw)), CRC: crc32.ChecksumIEEE(raw)}
 			if err := appendJournal(st.fs, st.dir, journalRecord{
-				Op: "add", Name: name, Len: int64(len(raw)), CRC: crc32.ChecksumIEEE(raw),
+				Op: "add", Name: name, Len: adopted.Len, CRC: adopted.CRC,
 			}); err != nil {
 				return nil, err
 			}
+			journal[name] = adopted
+			onDisk[name] = true
 			report.Adopted = append(report.Adopted, name)
 		}
 	}
@@ -175,6 +213,7 @@ func (st *Store) recoverScan() (*RecoveryReport, error) {
 		if err := appendJournal(st.fs, st.dir, journalRecord{Op: "drop", Name: name}); err != nil {
 			return nil, err
 		}
+		delete(journal, name)
 		report.Missing = append(report.Missing, name)
 	}
 	if !report.Clean() {
@@ -182,9 +221,36 @@ func (st *Store) recoverScan() (*RecoveryReport, error) {
 			return nil, pathErr("sync", st.dir, err)
 		}
 	}
+	st.chain = journal
+	if err := st.reconcileIndex(); err != nil {
+		return nil, err
+	}
 	st.rec.Add(obs.CounterRecoveryScans, 1)
 	st.rec.Add(obs.CounterTornFilesDetected, int64(torn))
 	return report, nil
+}
+
+// reconcileIndex validates the on-disk CHAININDEX against the
+// reconciled chain at the end of the recovery scan. An index that
+// parses and is anchored to the journal's current state is adopted
+// (its sequence continues); anything else — absent, corrupt, or stale,
+// including the common case where the scan itself just appended repair
+// records — is rebuilt from the in-memory chain and republished.
+func (st *Store) reconcileIndex() error {
+	tok, err := readJournalToken(st.fs, st.dir)
+	if err != nil {
+		return err
+	}
+	ix, ierr := loadIndex(st.fs, st.dir)
+	if ierr == nil && ix != nil && ix.matches(tok) {
+		st.indexSeq = ix.Seq
+		return nil
+	}
+	if ix != nil {
+		st.indexSeq = ix.Seq
+	}
+	st.rec.Add(obs.CounterIndexRebuilds, 1)
+	return st.republishIndex()
 }
 
 // structuralCheck parses raw just deeply enough to know the file is a

@@ -1,13 +1,11 @@
 package checkpoint
 
 import (
-	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/crc32"
 	"path/filepath"
-	"sort"
 	"strconv"
 	"strings"
 
@@ -16,28 +14,59 @@ import (
 	"numarck/internal/obs"
 )
 
-// Store is a directory-backed checkpoint store. Files are named
-// <variable>.<kind>.<iteration>.nmk with kind "full" or "delta", plus a
-// manifest.json recording the encoding options and a MANIFEST journal
-// recording the committed chain (file names, lengths, CRCs).
+// Store is the writer handle of a directory-backed checkpoint store.
+// Files are named <variable>.<kind>.<iteration>.nmk with kind "full" or
+// "delta", plus a manifest.json recording the encoding options, a
+// MANIFEST journal recording the committed chain (file names, lengths,
+// CRCs), a CHAININDEX binary image of the live chain for lock-free
+// readers, and a LOCK file claiming single-writer ownership.
 //
-// Every write is crash-safe: file bytes go to a .tmp sibling, are
-// fsynced, renamed into place, and the directory is fsynced before the
-// journal records the commit — so after a crash at any point, reopening
-// the store sees either the complete new checkpoint or the clean
-// pre-write state, never a torn file in the chain. Open runs a recovery
-// scan that reconciles the journal with the directory, adopts committed
-// files the journal missed, quarantines torn or corrupt files into
-// quarantine/, and removes stale temporaries; the scan's findings are
-// available from Recovery.
+// The store is layered:
+//
+//   - Exactly one writer per directory. Create and Open claim the
+//     on-disk writer lock (O_EXCL create of LOCK); a second writer
+//     fails fast with a *LockHeldError, and a lock left by a crashed
+//     writer is detected (dead PID, torn file) and taken over.
+//   - Every write is crash-safe: file bytes go to a .tmp sibling, are
+//     fsynced, renamed into place, and the directory is fsynced before
+//     the journal records the commit — so after a crash at any point,
+//     reopening the store sees either the complete new checkpoint or
+//     the clean pre-write state, never a torn file in the chain.
+//   - After each commit the writer republishes the CHAININDEX
+//     atomically, so readers (OpenReadOnly) can serve listings and
+//     restarts without replaying the journal or scanning the
+//     directory — and without ever blocking this writer.
+//
+// Open runs a recovery scan that reconciles the journal with the
+// directory, adopts committed files the journal missed, quarantines
+// torn or corrupt files into quarantine/, and removes stale
+// temporaries; the scan's findings are available from Recovery. The
+// writer keeps the reconciled chain in memory, so List, Variables,
+// Stats, and LatestRestorable are pure memory reads.
+//
+// A Store is not safe for concurrent use by multiple goroutines; the
+// concurrency story is one writer goroutine plus any number of
+// ReadView readers, in this process or others.
 type Store struct {
 	dir string
 	fs  faultfs.FS
 	opt core.Options
 	// rec receives recovery counters (recovery_scans,
-	// torn_files_detected) and any store-level instrumentation. Nil is
-	// the no-op state.
+	// torn_files_detected, index_rebuilds, lock_takeovers) and any
+	// store-level instrumentation. Nil is the no-op state.
 	rec *obs.Recorder
+	// lock is the held writer lock; Close releases it.
+	lock *storeLock
+	// chain is the in-memory image of the journal's live entries: file
+	// name → committed length and CRC. Every commit updates it and
+	// republishes the chain index from it.
+	chain map[string]journalEntry
+	// indexSeq is the publication sequence of the last CHAININDEX this
+	// handle published or adopted.
+	indexSeq uint64
+	// closed is set by Close; a closed handle refuses further writes
+	// (its lock is gone, so writing would race a successor writer).
+	closed bool
 	// deltaFormat is the file format version new delta checkpoints are
 	// written with: 1 (default, single-section) or 2 (chunked, parallel
 	// decodable). Reads sniff the magic, so stores may mix both.
@@ -70,6 +99,17 @@ var ErrNotFound = errors.New("checkpoint: not found")
 // checkpoint and the requested iteration).
 var ErrChain = errors.New("checkpoint: broken restart chain")
 
+// ErrClosed reports an operation on a Store after Close released its
+// writer lock.
+var ErrClosed = errors.New("checkpoint: store is closed")
+
+// isStoreMetaFile reports whether name is one of the metadata files
+// that live alongside checkpoint files in the store directory and are
+// never chain entries.
+func isStoreMetaFile(name string) bool {
+	return name == manifestName || name == journalName || name == indexName || name == lockName
+}
+
 // Create initializes a store in dir (created if absent; an existing
 // manifest is an error to avoid silently mixing encodings) on the real
 // filesystem.
@@ -80,6 +120,13 @@ func Create(dir string, opt core.Options) (*Store, error) {
 // CreateFS is Create on an explicit filesystem, the entry point
 // fault-injection tests use to crash the store mid-write.
 func CreateFS(dir string, opt core.Options, fsys faultfs.FS) (*Store, error) {
+	return CreateFSOwner(dir, opt, fsys, LockOwner{})
+}
+
+// CreateFSOwner is CreateFS with an explicit lock owner identity, used
+// by tests that need the resulting LOCK file to read as held or stale
+// regardless of the test process's real PID.
+func CreateFSOwner(dir string, opt core.Options, fsys faultfs.FS, owner LockOwner) (*Store, error) {
 	opt, err := opt.Validate()
 	if err != nil {
 		return nil, err
@@ -87,6 +134,23 @@ func CreateFS(dir string, opt core.Options, fsys faultfs.FS) (*Store, error) {
 	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, pathErr("create store", dir, err)
 	}
+	// The lock comes first so two racing Creates serialize: the loser
+	// sees either our manifest (store exists) or our live lock.
+	lock, err := acquireLock(fsys, dir, owner, nil)
+	if err != nil {
+		return nil, err
+	}
+	st, err := createLocked(dir, opt, fsys)
+	if err != nil {
+		_ = lock.release()
+		return nil, err
+	}
+	st.lock = lock
+	return st, nil
+}
+
+// createLocked is the body of Create once the writer lock is held.
+func createLocked(dir string, opt core.Options, fsys faultfs.FS) (*Store, error) {
 	mpath := filepath.Join(dir, manifestName)
 	if _, err := fsys.Stat(mpath); err == nil {
 		return nil, fmt.Errorf("checkpoint: store already exists at %s", dir)
@@ -106,49 +170,75 @@ func CreateFS(dir string, opt core.Options, fsys faultfs.FS) (*Store, error) {
 	}
 	// Seed an empty journal so a reopened store can tell "new-format
 	// store, nothing committed yet" from a legacy store with no journal.
-	jf, err := fsys.Append(filepath.Join(dir, journalName))
-	if err != nil {
-		return nil, pathErr("create journal", filepath.Join(dir, journalName), err)
+	if err := seedJournal(fsys, dir); err != nil {
+		return nil, err
 	}
-	jerr := jf.Sync()
-	if cerr := jf.Close(); jerr == nil {
-		jerr = cerr
-	}
-	if jerr != nil {
-		return nil, pathErr("create journal", filepath.Join(dir, journalName), jerr)
+	st := &Store{dir: dir, fs: fsys, opt: opt, chain: map[string]journalEntry{}, indexSeq: 1}
+	// Publish the empty index so readers of a fresh store already have
+	// their fast path.
+	if err := publishIndex(fsys, dir, st.chain, st.indexSeq); err != nil {
+		return nil, err
 	}
 	if err := fsys.SyncDir(dir); err != nil {
 		return nil, pathErr("sync", dir, err)
 	}
-	return &Store{dir: dir, fs: fsys, opt: opt}, nil
+	return st, nil
 }
 
-// Open opens an existing store on the real filesystem and runs the
-// recovery scan.
+// Open opens an existing store for writing on the real filesystem,
+// claims the writer lock, and runs the recovery scan. For read-only
+// access that never mutates the store, use OpenReadOnly.
 func Open(dir string) (*Store, error) {
 	return OpenFS(dir, faultfs.OS(), nil)
 }
 
 // OpenFS is Open on an explicit filesystem with an optional
 // instrumentation recorder: the recovery scan reports its counters
-// (recovery_scans, torn_files_detected) into rec. Nil rec keeps
-// instrumentation a no-op.
+// (recovery_scans, torn_files_detected, index_rebuilds) into rec. Nil
+// rec keeps instrumentation a no-op.
 func OpenFS(dir string, fsys faultfs.FS, rec *obs.Recorder) (*Store, error) {
+	return OpenFSOwner(dir, fsys, rec, LockOwner{})
+}
+
+// OpenFSOwner is OpenFS with an explicit lock owner identity, used by
+// tests that need the resulting LOCK file to read as held or stale
+// regardless of the test process's real PID.
+func OpenFSOwner(dir string, fsys faultfs.FS, rec *obs.Recorder, owner LockOwner) (*Store, error) {
+	opt, err := readManifest(fsys, dir)
+	if err != nil {
+		return nil, err
+	}
+	lock, err := acquireLock(fsys, dir, owner, rec)
+	if err != nil {
+		return nil, err
+	}
+	st := &Store{dir: dir, fs: fsys, opt: opt, rec: rec, lock: lock}
+	report, err := st.recoverScan()
+	if err != nil {
+		_ = lock.release()
+		return nil, err
+	}
+	st.recovery = report
+	return st, nil
+}
+
+// readManifest loads and validates the store's manifest.json.
+func readManifest(fsys faultfs.FS, dir string) (core.Options, error) {
 	mpath := filepath.Join(dir, manifestName)
 	if _, err := fsys.Stat(mpath); err != nil {
-		return nil, fmt.Errorf("%w: no store at %s", ErrNotFound, dir)
+		return core.Options{}, fmt.Errorf("%w: no store at %s", ErrNotFound, dir)
 	}
 	data, err := faultfs.ReadFile(fsys, mpath)
 	if err != nil {
-		return nil, pathErr("read", mpath, err)
+		return core.Options{}, pathErr("read", mpath, err)
 	}
 	var m manifest
 	if err := json.Unmarshal(data, &m); err != nil {
-		return nil, fmt.Errorf("%w: manifest: %w", ErrCorrupt, err)
+		return core.Options{}, fmt.Errorf("%w: manifest: %w", ErrCorrupt, err)
 	}
 	strategy, err := core.ParseStrategy(m.Strategy)
 	if err != nil {
-		return nil, fmt.Errorf("%w: manifest: %w", ErrCorrupt, err)
+		return core.Options{}, fmt.Errorf("%w: manifest: %w", ErrCorrupt, err)
 	}
 	opt, err := core.Options{
 		ErrorBound: m.ErrorBound,
@@ -156,15 +246,23 @@ func OpenFS(dir string, fsys faultfs.FS, rec *obs.Recorder) (*Store, error) {
 		Strategy:   strategy,
 	}.Validate()
 	if err != nil {
-		return nil, fmt.Errorf("%w: manifest options: %w", ErrCorrupt, err)
+		return core.Options{}, fmt.Errorf("%w: manifest options: %w", ErrCorrupt, err)
 	}
-	st := &Store{dir: dir, fs: fsys, opt: opt, rec: rec}
-	report, err := st.recoverScan()
-	if err != nil {
-		return nil, err
+	return opt, nil
+}
+
+// Close releases the store's writer lock and marks the handle closed.
+// Further writes fail with ErrClosed; read methods keep working (they
+// only consult the in-memory chain and read files). Close is
+// idempotent.
+func (st *Store) Close() error {
+	if st.closed {
+		return nil
 	}
-	st.recovery = report
-	return st, nil
+	st.closed = true
+	lock := st.lock
+	st.lock = nil
+	return lock.release()
 }
 
 // Options returns the store's encoding options.
@@ -196,6 +294,10 @@ func (st *Store) SetDeltaFormat(version, chunkPoints int) error {
 // Dir returns the store directory.
 func (st *Store) Dir() string { return st.dir }
 
+// IndexSeq returns the publication sequence of the store's current
+// chain index.
+func (st *Store) IndexSeq() uint64 { return st.indexSeq }
+
 func (st *Store) path(variable, kind string, iteration int) string {
 	return filepath.Join(st.dir, fileName(variable, kind, iteration))
 }
@@ -206,26 +308,47 @@ func fileName(variable, kind string, iteration int) string {
 }
 
 // commitFile durably writes one checkpoint file: atomic
-// write-temp/fsync/rename/fsync-dir, then a journal append recording
-// the commit. A crash between the rename and the journal append leaves
-// a committed file the journal missed; the next recovery scan adopts
-// it, so the chain invariant (complete new checkpoint or clean
-// pre-write state) holds at every crash point.
+// write-temp/fsync/rename/fsync-dir, a journal append recording the
+// commit, then an atomic republish of the chain index. A crash between
+// the rename and the journal append leaves a committed file the journal
+// missed; the next recovery scan adopts it. A crash before the index
+// republish leaves a stale index whose journal anchor no longer
+// matches; readers detect that and fall back to the journal. The chain
+// invariant (complete new checkpoint or clean pre-write state) holds at
+// every crash point.
 func (st *Store) commitFile(name string, raw []byte) error {
+	if st.closed {
+		return ErrClosed
+	}
 	path := filepath.Join(st.dir, name)
 	if err := faultfs.WriteFileAtomic(st.fs, st.dir, path, raw); err != nil {
 		return pathErr("commit", path, err)
 	}
-	return appendJournal(st.fs, st.dir, journalRecord{
+	je := journalEntry{Len: int64(len(raw)), CRC: crc32.ChecksumIEEE(raw)}
+	if err := appendJournal(st.fs, st.dir, journalRecord{
 		Op:   "add",
 		Name: name,
-		Len:  int64(len(raw)),
-		CRC:  crc32.ChecksumIEEE(raw),
-	})
+		Len:  je.Len,
+		CRC:  je.CRC,
+	}); err != nil {
+		return err
+	}
+	st.chain[name] = je
+	return st.republishIndex()
+}
+
+// republishIndex publishes the next chain-index image from the
+// in-memory chain.
+func (st *Store) republishIndex() error {
+	st.indexSeq++
+	return publishIndex(st.fs, st.dir, st.chain, st.indexSeq)
 }
 
 // WriteFull stores data as a lossless full checkpoint.
 func (st *Store) WriteFull(variable string, iteration int, data []float64) error {
+	if err := validateIdentity(variable, iteration); err != nil {
+		return err
+	}
 	raw, err := MarshalFull(variable, iteration, data)
 	if err != nil {
 		return err
@@ -252,6 +375,9 @@ func (st *Store) WriteDelta(variable string, iteration int, prev, cur []float64)
 // adaptive scheduler encodes tentatively and may write a full
 // checkpoint instead).
 func (st *Store) WriteEncodedDelta(variable string, iteration int, enc *core.Encoded) error {
+	if err := validateIdentity(variable, iteration); err != nil {
+		return err
+	}
 	var raw []byte
 	var err error
 	if st.deltaFormat == 2 {
@@ -272,49 +398,19 @@ type Entry struct {
 	Iteration int
 }
 
-// List returns all entries for a variable, sorted by iteration.
+// List returns all entries for a variable, sorted by iteration. It is
+// served from the in-memory chain — no filesystem access.
 func (st *Store) List(variable string) ([]Entry, error) {
-	names, err := st.fs.ReadDir(st.dir)
-	if err != nil {
-		return nil, pathErr("list", st.dir, err)
-	}
-	var out []Entry
-	for _, de := range names {
-		if de.IsDir() {
-			continue
-		}
-		e, ok := parseName(de.Name())
-		if ok && e.Variable == variable {
-			out = append(out, e)
-		}
-	}
-	sort.Slice(out, func(a, b int) bool { return out[a].Iteration < out[b].Iteration })
-	return out, nil
+	return chainEntries(st.chain, variable), nil
 }
 
-// Variables returns the distinct variable names present in the store.
+// Variables returns the distinct variable names present in the store,
+// served from the in-memory chain.
 func (st *Store) Variables() ([]string, error) {
-	names, err := st.fs.ReadDir(st.dir)
-	if err != nil {
-		return nil, pathErr("list", st.dir, err)
-	}
-	seen := map[string]bool{}
-	for _, de := range names {
-		if de.IsDir() {
-			continue
-		}
-		if e, ok := parseName(de.Name()); ok {
-			seen[e.Variable] = true
-		}
-	}
-	out := make([]string, 0, len(seen))
-	for v := range seen {
-		out = append(out, v)
-	}
-	sort.Strings(out)
-	return out, nil
+	return chainVariables(st.chain), nil
 }
 
+// parseName decodes a checkpoint file name back into its entry.
 func parseName(name string) (Entry, bool) {
 	if !strings.HasSuffix(name, ".nmk") {
 		return Entry{}, false
@@ -338,156 +434,22 @@ func parseName(name string) (Entry, bool) {
 	}, true
 }
 
-// readFileAt loads one checkpoint file's bytes through the store's
-// filesystem, mapping absence to ErrNotFound with the checkpoint
-// identity in the message.
-func (st *Store) readFileAt(variable, kind string, iteration int) ([]byte, error) {
-	path := st.path(variable, kind, iteration)
-	if _, err := st.fs.Stat(path); err != nil {
-		return nil, fmt.Errorf("%w: %s checkpoint %s@%d", ErrNotFound, kind, variable, iteration)
-	}
-	raw, err := faultfs.ReadFile(st.fs, path)
-	if err != nil {
-		return nil, pathErr("read", path, err)
-	}
-	return raw, nil
-}
-
 // ReadFull loads a full checkpoint.
 func (st *Store) ReadFull(variable string, iteration int) ([]float64, error) {
-	raw, err := st.readFileAt(variable, "full", iteration)
-	if err != nil {
-		return nil, err
-	}
-	v, it, data, err := UnmarshalFull(raw)
-	if err != nil {
-		return nil, pathErr("parse", st.path(variable, "full", iteration), err)
-	}
-	if v != variable || it != iteration {
-		return nil, fmt.Errorf("%w: file claims %s@%d, expected %s@%d", ErrCorrupt, v, it, variable, iteration)
-	}
-	return data, nil
+	return readFullFile(st.fs, st.dir, variable, iteration)
 }
 
 // ReadDelta loads a delta checkpoint's encoding.
 func (st *Store) ReadDelta(variable string, iteration int) (*core.Encoded, error) {
-	raw, err := st.readFileAt(variable, "delta", iteration)
-	if err != nil {
-		return nil, err
-	}
-	var v string
-	var it int
-	var enc *core.Encoded
-	if IsDeltaV2(raw) {
-		v, it, enc, err = UnmarshalDeltaV2(raw)
-	} else {
-		v, it, enc, err = UnmarshalDelta(raw)
-	}
-	if err != nil {
-		return nil, pathErr("parse", st.path(variable, "delta", iteration), err)
-	}
-	if v != variable || it != iteration {
-		return nil, fmt.Errorf("%w: file claims %s@%d, expected %s@%d", ErrCorrupt, v, it, variable, iteration)
-	}
-	return enc, nil
+	return readDeltaFile(st.fs, st.dir, variable, iteration)
 }
 
 // Restart reconstructs a variable at the requested iteration: it loads
 // the latest full checkpoint at or before it and replays every delta in
 // between (§II-D). Missing intermediate deltas are an ErrChain.
 func (st *Store) Restart(variable string, iteration int) ([]float64, error) {
-	data, _, err := st.restart(variable, iteration, RecoverOptions{})
+	data, _, err := restartEntries(st.fs, st.dir, st.rec, chainEntries(st.chain, variable), variable, iteration, RecoverOptions{})
 	return data, err
-}
-
-func (st *Store) restart(variable string, iteration int, ropt RecoverOptions) ([]float64, *PartialDataError, error) {
-	entries, err := st.List(variable)
-	if err != nil {
-		return nil, nil, err
-	}
-	if len(entries) == 0 {
-		return nil, nil, fmt.Errorf("%w: variable %s", ErrNotFound, variable)
-	}
-	// Latest full checkpoint at or before the target.
-	fullIter := -1
-	for _, e := range entries {
-		if e.Kind == "full" && e.Iteration <= iteration {
-			fullIter = e.Iteration
-		}
-	}
-	if fullIter < 0 {
-		return nil, nil, fmt.Errorf("%w: no full checkpoint at or before iteration %d for %s", ErrNotFound, iteration, variable)
-	}
-	data, err := st.ReadFull(variable, fullIter)
-	if err != nil {
-		return nil, nil, err
-	}
-	// Replay deltas (fullIter, iteration]. Every present delta in that
-	// range must chain from the previous one without gaps.
-	var partial *PartialDataError
-	expected := fullIter + 1
-	for _, e := range entries {
-		if e.Kind != "delta" || e.Iteration <= fullIter || e.Iteration > iteration {
-			continue
-		}
-		if e.Iteration != expected {
-			return nil, nil, fmt.Errorf("%w: expected delta %d for %s, found %d", ErrChain, expected, variable, e.Iteration)
-		}
-		data, partial, err = st.replayDelta(variable, e.Iteration, data, ropt, partial)
-		if err != nil {
-			return nil, nil, err
-		}
-		expected++
-	}
-	if expected != iteration+1 {
-		return nil, nil, fmt.Errorf("%w: chain for %s ends at %d, wanted %d", ErrChain, variable, expected-1, iteration)
-	}
-	return data, partial, nil
-}
-
-// replayDelta applies one delta on top of data. In salvage mode a v2
-// delta with bad chunks contributes its healthy chunks and accumulates
-// the lost point ranges into partial; fail-closed mode (and any
-// non-chunk-local failure) surfaces the error.
-func (st *Store) replayDelta(variable string, iteration int, data []float64, ropt RecoverOptions, partial *PartialDataError) ([]float64, *PartialDataError, error) {
-	if !ropt.Salvage {
-		enc, err := st.ReadDelta(variable, iteration)
-		if err != nil {
-			return nil, nil, err
-		}
-		out, err := enc.Decode(data)
-		return out, partial, err
-	}
-	raw, err := st.readFileAt(variable, "delta", iteration)
-	if err != nil {
-		return nil, nil, err
-	}
-	if !IsDeltaV2(raw) {
-		// v1 files have one whole-payload CRC: nothing chunk-local to
-		// salvage, so fail-closed even in salvage mode.
-		v, it, enc, err := UnmarshalDelta(raw)
-		if err != nil {
-			return nil, nil, pathErr("parse", st.path(variable, "delta", iteration), err)
-		}
-		if v != variable || it != iteration {
-			return nil, nil, fmt.Errorf("%w: file claims %s@%d, expected %s@%d", ErrCorrupt, v, it, variable, iteration)
-		}
-		out, err := enc.Decode(data)
-		return out, partial, err
-	}
-	d, err := OpenDeltaV2(bytes.NewReader(raw), int64(len(raw)))
-	if err != nil {
-		return nil, nil, pathErr("parse", st.path(variable, "delta", iteration), err)
-	}
-	out, err := d.DecodeRecover(data, 0, RecoverOptions{Salvage: true, Obs: st.rec})
-	if err != nil {
-		var pde *PartialDataError
-		if !errors.As(err, &pde) {
-			return nil, nil, err
-		}
-		partial = mergePartial(partial, pde, variable)
-	}
-	return out, partial, nil
 }
 
 // RestartSalvage is Restart in degraded mode: chunk-local corruption in
@@ -498,66 +460,5 @@ func (st *Store) replayDelta(variable string, iteration int, data []float64, rop
 // Failures that are not chunk-local (a corrupt full checkpoint, a
 // corrupt v1 delta, a chain gap) still fail closed.
 func (st *Store) RestartSalvage(variable string, iteration int) ([]float64, *PartialDataError, error) {
-	return st.restart(variable, iteration, RecoverOptions{Salvage: true})
-}
-
-// Writer appends iterations of a multi-variable simulation to a store,
-// writing a full checkpoint every FullEvery iterations (the first
-// write is always full) and NUMARCK deltas in between, computed against
-// the true previous iteration as in in-situ checkpointing.
-type Writer struct {
-	st        *Store
-	fullEvery int
-	last      map[string][]float64
-	lastIter  int
-	started   bool
-}
-
-// NewWriter creates a Writer. fullEvery <= 0 means only the first
-// checkpoint is full.
-func NewWriter(st *Store, fullEvery int) *Writer {
-	return &Writer{st: st, fullEvery: fullEvery, last: map[string][]float64{}}
-}
-
-// NewWriterAt creates a Writer primed to continue an existing store:
-// lastIter is the last iteration already present and lastState its
-// (possibly reconstructed) per-variable values. The next Append must
-// use iteration lastIter+1 and may be a delta against lastState.
-func NewWriterAt(st *Store, fullEvery, lastIter int, lastState map[string][]float64) *Writer {
-	w := &Writer{st: st, fullEvery: fullEvery, last: map[string][]float64{}, lastIter: lastIter, started: true}
-	for v, data := range lastState {
-		w.last[v] = append([]float64(nil), data...)
-	}
-	return w
-}
-
-// Append writes iteration data for every variable in vars. Iterations
-// must be appended in consecutive increasing order.
-func (w *Writer) Append(iteration int, vars map[string][]float64) (map[string]*core.Encoded, error) {
-	if w.started && iteration != w.lastIter+1 {
-		return nil, fmt.Errorf("checkpoint: non-consecutive iteration %d after %d", iteration, w.lastIter)
-	}
-	full := !w.started || (w.fullEvery > 0 && (iteration%w.fullEvery) == 0)
-	encs := map[string]*core.Encoded{}
-	for v, data := range vars {
-		if full {
-			if err := w.st.WriteFull(v, iteration, data); err != nil {
-				return nil, err
-			}
-		} else {
-			prev, ok := w.last[v]
-			if !ok {
-				return nil, fmt.Errorf("checkpoint: variable %q appeared mid-run at iteration %d", v, iteration)
-			}
-			enc, err := w.st.WriteDelta(v, iteration, prev, data)
-			if err != nil {
-				return nil, err
-			}
-			encs[v] = enc
-		}
-		w.last[v] = append([]float64(nil), data...)
-	}
-	w.lastIter = iteration
-	w.started = true
-	return encs, nil
+	return restartEntries(st.fs, st.dir, st.rec, chainEntries(st.chain, variable), variable, iteration, RecoverOptions{Salvage: true})
 }

@@ -1,0 +1,68 @@
+package checkpoint
+
+import (
+	"fmt"
+
+	"numarck/internal/core"
+)
+
+// Writer appends iterations of a multi-variable simulation to a store,
+// writing a full checkpoint every FullEvery iterations (the first
+// write is always full) and NUMARCK deltas in between, computed against
+// the true previous iteration as in in-situ checkpointing.
+type Writer struct {
+	st        *Store
+	fullEvery int
+	last      map[string][]float64
+	lastIter  int
+	started   bool
+}
+
+// NewWriter creates a Writer. fullEvery <= 0 means only the first
+// checkpoint is full.
+func NewWriter(st *Store, fullEvery int) *Writer {
+	return &Writer{st: st, fullEvery: fullEvery, last: map[string][]float64{}}
+}
+
+// NewWriterAt creates a Writer primed to continue an existing store:
+// lastIter is the last iteration already present and lastState its
+// (possibly reconstructed) per-variable values. The next Append must
+// use iteration lastIter+1 and may be a delta against lastState.
+func NewWriterAt(st *Store, fullEvery, lastIter int, lastState map[string][]float64) *Writer {
+	w := &Writer{st: st, fullEvery: fullEvery, last: map[string][]float64{}, lastIter: lastIter, started: true}
+	for v, data := range lastState {
+		w.last[v] = append([]float64(nil), data...)
+	}
+	return w
+}
+
+// Append writes iteration data for every variable in vars. Iterations
+// must be appended in consecutive increasing order.
+func (w *Writer) Append(iteration int, vars map[string][]float64) (map[string]*core.Encoded, error) {
+	if w.started && iteration != w.lastIter+1 {
+		return nil, fmt.Errorf("checkpoint: non-consecutive iteration %d after %d", iteration, w.lastIter)
+	}
+	full := !w.started || (w.fullEvery > 0 && (iteration%w.fullEvery) == 0)
+	encs := map[string]*core.Encoded{}
+	for v, data := range vars {
+		if full {
+			if err := w.st.WriteFull(v, iteration, data); err != nil {
+				return nil, err
+			}
+		} else {
+			prev, ok := w.last[v]
+			if !ok {
+				return nil, fmt.Errorf("checkpoint: variable %q appeared mid-run at iteration %d", v, iteration)
+			}
+			enc, err := w.st.WriteDelta(v, iteration, prev, data)
+			if err != nil {
+				return nil, err
+			}
+			encs[v] = enc
+		}
+		w.last[v] = append([]float64(nil), data...)
+	}
+	w.lastIter = iteration
+	w.started = true
+	return encs, nil
+}

@@ -119,7 +119,7 @@ func RunFig8(cfg Fig8Config) (*Fig8Result, error) {
 	return res, nil
 }
 
-func runFig8Strategy(cfg Fig8Config, golden []*flash.Snapshot, strat core.Strategy) (*Fig8Strategy, error) {
+func runFig8Strategy(cfg Fig8Config, golden []*flash.Snapshot, strat core.Strategy) (_ *Fig8Strategy, err error) {
 	dir := cfg.Dir
 	if dir == "" {
 		var err error
@@ -134,6 +134,11 @@ func runFig8Strategy(cfg Fig8Config, golden []*flash.Snapshot, strat core.Strate
 	if err != nil {
 		return nil, err
 	}
+	defer func() {
+		if cerr := st.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	// Write the checkpoint chain: full at index 0, deltas after,
 	// exactly the paper's layout for studying accumulated error.
 	w := checkpoint.NewWriter(st, 0)

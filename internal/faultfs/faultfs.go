@@ -37,6 +37,11 @@ type FS interface {
 	Open(name string) (File, error)
 	// Create creates or truncates a file for writing.
 	Create(name string) (File, error)
+	// CreateExclusive creates a file for writing, failing with an error
+	// matching fs.ErrExist if it already exists (O_EXCL semantics). It
+	// is the store's lock-acquisition primitive: the create either
+	// claims the name atomically or observes the current claimant.
+	CreateExclusive(name string) (File, error)
 	// Append opens a file for appending, creating it if absent.
 	Append(name string) (File, error)
 	// Rename atomically replaces newpath with oldpath.
@@ -63,6 +68,10 @@ func OS() FS { return osFS{} }
 
 func (osFS) Open(name string) (File, error)   { return os.Open(name) }
 func (osFS) Create(name string) (File, error) { return os.Create(name) }
+
+func (osFS) CreateExclusive(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+}
 
 func (osFS) Append(name string) (File, error) {
 	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)

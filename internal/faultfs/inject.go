@@ -229,6 +229,20 @@ func (in *Injector) Create(name string) (File, error) {
 	return &injFile{in: in, f: f, name: name}, nil
 }
 
+// CreateExclusive implements FS. It shares the OpCreate class with
+// Create, so crash schedules and create faults cover lock acquisition
+// the same way they cover atomic-write temporaries.
+func (in *Injector) CreateExclusive(name string) (File, error) {
+	if d := in.check(OpCreate, name, 0); d.err != nil {
+		return nil, d.err
+	}
+	f, err := in.fs.CreateExclusive(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{in: in, f: f, name: name}, nil
+}
+
 // Append implements FS.
 func (in *Injector) Append(name string) (File, error) {
 	if d := in.check(OpAppend, name, 0); d.err != nil {

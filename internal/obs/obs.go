@@ -116,6 +116,16 @@ const (
 	// CounterChunksQuarantined counts chunks skipped by degraded-mode
 	// (salvage) decodes because their CRC or structure check failed.
 	CounterChunksQuarantined
+	// CounterIndexRebuilds counts chain-index rebuilds from the MANIFEST
+	// journal (a missing, stale, or corrupt CHAININDEX).
+	CounterIndexRebuilds
+	// CounterIndexRereads counts read-view snapshot refreshes: the
+	// seqlock-style reread a reader performs when it observes the store
+	// changed under it.
+	CounterIndexRereads
+	// CounterLockTakeovers counts stale writer locks broken by a new
+	// writer (crashed owner detected at lock acquisition).
+	CounterLockTakeovers
 
 	numCounters
 )
@@ -128,6 +138,7 @@ var counterNames = [numCounters]string{
 	"exact_values", "table_input",
 	"bytes_read", "bytes_written", "section_bytes",
 	"recovery_scans", "torn_files_detected", "chunks_quarantined",
+	"index_rebuilds", "index_rereads", "lock_takeovers",
 }
 
 // String returns the counter's snapshot name.

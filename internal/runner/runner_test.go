@@ -175,6 +175,11 @@ func TestCrashRecoverContinue(t *testing.T) {
 	if _, err := r1.Run(6); err != nil {
 		t.Fatal(err)
 	}
+	// The "crash" drops the runner; release the writer lock as a real
+	// process death would.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
 
 	// Phase 2: fresh store handle, fresh sim, recover.
 	st2, err := checkpoint.Open(dir)

@@ -65,28 +65,57 @@ func Encode(prev, cur []float64, opt Options) (*Encoded, error) {
 	return core.Encode(prev, cur, opt)
 }
 
-// Store is a directory-backed checkpoint store with full (lossless) and
-// delta (NUMARCK-encoded) checkpoints and chained restart.
+// Store is the writer handle of a directory-backed checkpoint store
+// with full (lossless) and delta (NUMARCK-encoded) checkpoints and
+// chained restart. Exactly one writer exists per store directory,
+// enforced by an on-disk lock; release it with (*Store).Close. For
+// concurrent read-only access, use OpenReadOnly.
 type Store = checkpoint.Store
+
+// ReadView is a lock-free read-only handle on a checkpoint store: it
+// serves listings, stats, and restarts from the store's chain index
+// without taking the writer lock or mutating anything, so any number of
+// ReadViews can run alongside one live writer — even in other
+// processes, even on read-only media.
+type ReadView = checkpoint.ReadView
 
 // Writer appends simulation iterations to a Store, alternating full and
 // delta checkpoints.
 type Writer = checkpoint.Writer
 
-// CreateStore initializes a checkpoint store in dir.
+// CreateStore initializes a checkpoint store in dir and claims its
+// writer lock.
 func CreateStore(dir string, opt Options) (*Store, error) {
 	return checkpoint.Create(dir, opt)
 }
 
-// OpenStore opens an existing checkpoint store, running the crash
+// OpenStore opens an existing checkpoint store for writing, claiming
+// the store's single-writer lock (a store held by a live writer fails
+// fast with an error matching ErrStoreLocked) and running the crash
 // recovery scan; its findings are available from (*Store).Recovery.
 func OpenStore(dir string) (*Store, error) { return checkpoint.Open(dir) }
 
 // OpenStoreObserved is OpenStore with an instrumentation recorder: the
 // recovery scan and any degraded-mode decodes report their counters
-// (recovery_scans, torn_files_detected, chunks_quarantined) into rec.
+// (recovery_scans, torn_files_detected, chunks_quarantined,
+// index_rebuilds, lock_takeovers) into rec.
 func OpenStoreObserved(dir string, rec *Recorder) (*Store, error) {
 	return checkpoint.OpenFS(dir, faultfs.OS(), rec)
+}
+
+// OpenReadOnly opens a lock-free read view of an existing store. It
+// never takes the writer lock and performs no mutating filesystem
+// operation (no recovery scan, no journal repair), so it succeeds while
+// a writer holds the store and on read-only media.
+func OpenReadOnly(dir string) (*ReadView, error) {
+	return checkpoint.OpenReadOnly(dir)
+}
+
+// OpenReadOnlyObserved is OpenReadOnly with an instrumentation
+// recorder: snapshot refreshes and journal-replay fallbacks report into
+// rec (index_rereads, index_rebuilds).
+func OpenReadOnlyObserved(dir string, rec *Recorder) (*ReadView, error) {
+	return checkpoint.OpenReadOnlyFS(dir, faultfs.OS(), rec)
 }
 
 // RecoverOptions selects fail-closed (zero value) or salvage handling
@@ -117,6 +146,24 @@ var ErrStoreCorrupt = checkpoint.ErrCorrupt
 // ErrStoreTruncated matches errors caused by a truncated (torn)
 // checkpoint file, a quarantine candidate, via errors.Is.
 var ErrStoreTruncated = checkpoint.ErrTruncated
+
+// ErrStoreLocked matches, via errors.Is, a writer open of a store whose
+// lock is held by a live writer; the concrete error is a
+// *LockHeldError identifying the holder.
+var ErrStoreLocked = checkpoint.ErrLocked
+
+// LockHeldError identifies the process holding a store's writer lock.
+type LockHeldError = checkpoint.LockHeldError
+
+// ErrBadVariable matches, via errors.Is, a rejected variable name (one
+// that could escape the store directory or exceed the name length
+// limit) or an out-of-range iteration number.
+var ErrBadVariable = checkpoint.ErrBadVariable
+
+// IndexHealth describes a store's chain-index state (present, fresh,
+// publication sequence), as reported by (*Store).IndexHealth and
+// (*ReadView).IndexHealth.
+type IndexHealth = checkpoint.IndexHealth
 
 // NewWriter wraps a store for sequential appending; fullEvery is the
 // full-checkpoint period (<= 0 means only the first write is full).

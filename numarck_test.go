@@ -75,6 +75,9 @@ func TestPublicStoreRoundTrip(t *testing.T) {
 			t.Fatalf("append %d: %v", it, err)
 		}
 	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
 	st2, err := numarck.OpenStore(dir)
 	if err != nil {
 		t.Fatal(err)

@@ -171,6 +171,9 @@ func TestRecoveryCountersZeroOnCleanRun(t *testing.T) {
 	if _, err := st.WriteDelta("obs", 1, prev, cur); err != nil {
 		t.Fatal(err)
 	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
 
 	rec := numarck.NewRecorder()
 	st2, err := numarck.OpenStoreObserved(dir, rec)
@@ -190,7 +193,9 @@ func TestRecoveryCountersZeroOnCleanRun(t *testing.T) {
 	if got := snap.Counters["recovery_scans"]; got != 1 {
 		t.Errorf("recovery_scans = %d, want 1 (the open-time scan)", got)
 	}
-	for _, c := range []string{"chunks_quarantined", "torn_files_detected"} {
+	// index_rebuilds stays zero too: a cleanly closed writer leaves a
+	// fresh CHAININDEX that the reopen adopts instead of rebuilding.
+	for _, c := range []string{"chunks_quarantined", "torn_files_detected", "index_rebuilds", "lock_takeovers"} {
 		if got := snap.Counters[c]; got != 0 {
 			t.Errorf("%s = %d on a clean run, want 0", c, got)
 		}
