@@ -2,6 +2,7 @@ package checkpoint
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"math"
 	"testing"
@@ -142,6 +143,13 @@ func FuzzParseChainIndex(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("NMRKX1"))
 	f.Add(marshalLock(lockInfo{PID: 1, Nonce: 2})) // cousin format must be rejected
+	// A count whose 32-bit size math wraps to exactly len(raw); must be
+	// rejected by 64-bit framing, not sliced out of range.
+	f.Add(func() []byte {
+		b := seedChainIndex(f)
+		binary.LittleEndian.PutUint32(b[28:], binary.LittleEndian.Uint32(b[28:])+1<<29)
+		return b
+	}())
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		ix, err := ParseChainIndex(raw)
 		if err != nil {

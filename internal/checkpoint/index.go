@@ -204,14 +204,18 @@ func ParseChainIndex(raw []byte) (*ChainIndex, error) {
 	if v := binary.LittleEndian.Uint16(raw[6:]); v != indexVersion {
 		return nil, fmt.Errorf("%w: chain index version %d", ErrCorrupt, v)
 	}
-	count := int(binary.LittleEndian.Uint32(raw[28:]))
-	want := indexHeaderSize + indexRecordSize*count + 4
-	if len(raw) != want {
-		if len(raw) < want {
-			return nil, truncatedErr("chain index %d bytes, %d records need %d", len(raw), count, want)
+	// The size math runs in int64 so a hostile count cannot wrap int on
+	// 32-bit platforms into a want that passes the framing check while
+	// the record loop slices out of range.
+	count64 := int64(binary.LittleEndian.Uint32(raw[28:]))
+	want64 := indexHeaderSize + indexRecordSize*count64 + 4
+	if int64(len(raw)) != want64 {
+		if int64(len(raw)) < want64 {
+			return nil, truncatedErr("chain index %d bytes, %d records need %d", len(raw), count64, want64)
 		}
-		return nil, fmt.Errorf("%w: chain index %d bytes, %d records need %d", ErrCorrupt, len(raw), count, want)
+		return nil, fmt.Errorf("%w: chain index %d bytes, %d records need %d", ErrCorrupt, len(raw), count64, want64)
 	}
+	count, want := int(count64), int(want64)
 	body := raw[:want-4]
 	if crc := crc32.ChecksumIEEE(body); crc != binary.LittleEndian.Uint32(raw[want-4:]) {
 		return nil, fmt.Errorf("%w: chain index CRC mismatch", ErrCorrupt)

@@ -1,6 +1,7 @@
 package checkpoint
 
 import (
+	"encoding/binary"
 	"errors"
 	"os"
 	"path/filepath"
@@ -102,6 +103,13 @@ func TestParseChainIndexRejects(t *testing.T) {
 		"flipped header":   clone(func(b []byte) { b[9] ^= 1 }),
 		"flipped record":   clone(func(b []byte) { b[indexHeaderSize+3] ^= 1 }),
 		"flipped crc":      clone(func(b []byte) { b[len(b)-1] ^= 1 }),
+		// count + 2^29 makes 32-bit int size math (88 * count) wrap by
+		// exactly 2^32, so a 32-bit want would collide with len(raw) and
+		// the record loop would slice out of range; the framing check must
+		// stay in 64-bit arithmetic and reject it on every platform.
+		"wrapping count": clone(func(b []byte) {
+			binary.LittleEndian.PutUint32(b[28:], binary.LittleEndian.Uint32(b[28:])+1<<29)
+		}),
 	}
 	for name, raw := range cases {
 		if _, err := ParseChainIndex(raw); !errors.Is(err, ErrCorrupt) {

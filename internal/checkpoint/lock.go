@@ -1,6 +1,8 @@
 package checkpoint
 
 import (
+	"bytes"
+	crand "crypto/rand"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -16,22 +18,28 @@ import (
 )
 
 // The on-disk writer lock. A writer (Create or a read-write Open)
-// claims the store by creating LOCK with O_EXCL semantics through the
-// faultfs seam, so exactly one process-level writer exists per store
-// directory; readers (OpenReadOnly) never touch it. The file records
-// the owner's PID and a per-acquisition nonce so a second writer can
-// report who holds the store and a takeover can verify the lock it is
-// breaking is the one it examined.
+// claims the store by publishing LOCK through the faultfs seam, so
+// exactly one process-level writer exists per store directory; readers
+// (OpenReadOnly) never touch it. The file records the owner's PID and
+// a random per-acquisition nonce so a second writer can report who
+// holds the store and a takeover can verify the lock it is breaking is
+// the one it examined.
+//
+// Publication is atomic: the complete payload is staged at a scratch
+// name, fsynced, and hard-linked to LOCK, so any observable LOCK is
+// the full 32 bytes — a racer can never read an empty or half-written
+// lock and mistake a live acquisition for a stale one.
 //
 // Byte layout (32 bytes, all integers little-endian; see FORMAT.md):
 //
 //	magic "NMRKL1" | version u16 | pid u32 | nonce u64
 //	| acquired unix-nanos i64 | CRC32-IEEE of bytes [0,28)
 //
-// A lock whose bytes do not parse (torn write from a crash mid-acquire)
-// is stale by definition. A parsed lock is stale when its owner process
-// is provably dead; liveness probing is injectable for tests via
-// LockOwner.Alive.
+// A lock whose bytes do not parse cannot have been published by this
+// layout (media corruption, or a foreign writer); it is treated as
+// stale only after a grace re-read shows the bytes have settled. A
+// parsed lock is stale when its owner process is provably dead;
+// liveness probing is injectable for tests via LockOwner.Alive.
 const lockName = "LOCK"
 
 // lockMagic starts every lock file.
@@ -179,55 +187,135 @@ func parseLock(raw []byte) (lockInfo, error) {
 	return li, nil
 }
 
+// lockGrace is how long acquisition waits before declaring an
+// unparsable LOCK settled. Atomic publication means this layout never
+// produces an unparsable lock, so the wait only costs time when the
+// bytes are genuine corruption or a foreign writer is mid-acquire —
+// and in the latter case the re-read sees the bytes change and backs
+// off instead of stealing.
+const lockGrace = 100 * time.Millisecond
+
 // acquireLock claims the store's writer lock for owner, taking over a
-// stale one (dead or unidentifiable holder). A live holder is a
-// *LockHeldError. Every filesystem step goes through the seam, so the
-// crash matrix can kill acquisition at each mutating operation; a kill
-// leaves either no LOCK, a torn LOCK (stale by construction), or a
-// complete LOCK whose recorded owner the next acquirer probes.
+// stale one (dead owner, or settled-unparsable bytes). A live holder
+// is a *LockHeldError. Every filesystem step goes through the seam, so
+// the crash matrix can kill acquisition at each mutating operation; a
+// kill leaves either no LOCK, a complete LOCK whose recorded owner the
+// next acquirer probes, or scratch files the recovery scan's temp
+// sweep collects — never a torn LOCK, because LOCK is only ever
+// published by linking an already-complete payload into place.
 func acquireLock(fsys faultfs.FS, dir string, owner LockOwner, rec *obs.Recorder) (*storeLock, error) {
 	path := filepath.Join(dir, lockName)
 	nonce := lockNonce()
 	payload := marshalLock(lockInfo{PID: owner.pid(), Nonce: nonce, Acquired: time.Now().UnixNano()})
-	// Three attempts bound the takeover race: each loop either claims
-	// the name, fails fast on a live holder, or removes one stale lock.
-	for attempt := 0; attempt < 3; attempt++ {
-		f, err := fsys.CreateExclusive(path)
+	// Stage the complete payload at a nonce-unique scratch name and
+	// make it durable; publication below is then a single Link, so an
+	// observable LOCK is always whole — never the empty file a racer
+	// could read between an exclusive create and its write, never a
+	// torn one from a crash mid-write.
+	claim := fmt.Sprintf("%s.%016x.claim.tmp", path, nonce)
+	f, err := fsys.Create(claim)
+	if err != nil {
+		return nil, pathErr("stage lock", claim, err)
+	}
+	if werr := writeLockFile(f, payload); werr != nil {
+		_ = fsys.Remove(claim)
+		return nil, pathErr("stage lock", claim, werr)
+	}
+	// The LOCK link, not the scratch file, keeps an acquired lock
+	// alive; the scratch is garbage either way once we return.
+	defer func() { _ = fsys.Remove(claim) }()
+
+	// Each attempt either claims the name, fails fast on a live
+	// holder, or breaks one verified-stale lock; the bound covers
+	// repeated takeover races.
+	for attempt := 0; attempt < 4; attempt++ {
+		err := fsys.Link(claim, path)
 		if err == nil {
-			werr := writeLockFile(f, payload)
-			if werr != nil {
-				// The claim is ours but incomplete; remove it so a crash
-				// here cannot masquerade as a held lock. (An unparsable
-				// leftover would read as stale anyway.)
-				_ = fsys.Remove(path)
-				return nil, pathErr("write lock", path, werr)
-			}
 			return &storeLock{fs: fsys, dir: dir, path: path, nonce: nonce}, nil
 		}
 		if !errors.Is(err, fs.ErrExist) {
 			return nil, pathErr("lock", path, err)
 		}
-		raw, rerr := faultfs.ReadFile(fsys, path)
+		probed, rerr := faultfs.ReadFile(fsys, path)
 		if rerr != nil {
-			// The holder released (or was taken over) between our create
-			// and read; retry the create.
+			// The holder released (or was taken over) between our link
+			// and read; retry the link.
 			continue
 		}
-		li, perr := parseLock(raw)
+		li, perr := parseLock(probed)
 		if perr == nil && owner.alive()(li.PID) {
 			return nil, &LockHeldError{Dir: dir, PID: li.PID, Nonce: li.Nonce}
 		}
-		// Torn or dead: break the stale lock and retry. The Remove is a
-		// scheduled mutating op, so the matrix also kills mid-takeover.
-		if err := fsys.Remove(path); err != nil && !errors.Is(err, fs.ErrNotExist) {
-			return nil, pathErr("break stale lock", path, err)
+		if perr != nil {
+			// Unparsable bytes under a name this layout only publishes
+			// whole: media corruption, or a foreign writer caught
+			// mid-acquire. Grace-wait and re-read; only bytes that stay
+			// identical are settled garbage safe to break.
+			time.Sleep(lockGrace)
+			again, rerr := faultfs.ReadFile(fsys, path)
+			if rerr != nil {
+				continue // vanished during the grace wait
+			}
+			if !bytes.Equal(again, probed) {
+				continue // someone is acting on it; re-examine fresh state
+			}
 		}
-		rec.Add(obs.CounterLockTakeovers, 1)
+		broke, err := breakStaleLock(fsys, path, probed, nonce, attempt)
+		if err != nil {
+			return nil, err
+		}
+		if broke {
+			rec.Add(obs.CounterLockTakeovers, 1)
+		}
 	}
 	return nil, pathErr("lock", path, fmt.Errorf("gave up after repeated takeover races"))
 }
 
-// writeLockFile writes, syncs, and closes the freshly claimed lock.
+// breakStaleLock removes a stale LOCK without ever destroying a live
+// racer's claim. A remove-by-name would race: between the probe and
+// the remove another acquirer can break the same stale lock and
+// publish its own fresh one, which the blind remove would then destroy
+// — two live writers. Instead the lock is renamed to a breaker-unique
+// scratch name (the rename atomically captures whatever is at LOCK;
+// of two racing breakers one gets ErrNotExist and re-examines) and the
+// captured bytes are compared to the probed ones. A match is the stale
+// lock we examined: discard it and report the takeover. A mismatch
+// means a racer's fresh claim was captured by mistake; it is restored
+// bit-identically by linking it back. Only if that restore finds a
+// third acquirer already in place is the displaced claim unrecoverable
+// — the inherent residue of breakable advisory lock files — and the
+// acquisition surfaces an error rather than proceeding.
+func breakStaleLock(fsys faultfs.FS, path string, probed []byte, nonce uint64, attempt int) (bool, error) {
+	aside := fmt.Sprintf("%s.%016x.%d.stale.tmp", path, nonce, attempt)
+	if err := fsys.Rename(path, aside); err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return false, nil // another acquirer broke it first
+		}
+		return false, pathErr("break stale lock", path, err)
+	}
+	got, err := faultfs.ReadFile(fsys, aside)
+	if err != nil {
+		return false, pathErr("verify broken lock", aside, err)
+	}
+	if bytes.Equal(got, probed) {
+		// Best-effort discard: a stray aside is scratch the recovery
+		// scan's temp sweep collects.
+		_ = fsys.Remove(aside)
+		return true, nil
+	}
+	lerr := fsys.Link(aside, path)
+	if lerr != nil && !errors.Is(lerr, fs.ErrExist) {
+		return false, pathErr("restore raced lock", path, lerr)
+	}
+	_ = fsys.Remove(aside)
+	if errors.Is(lerr, fs.ErrExist) {
+		return false, pathErr("break stale lock", path,
+			fmt.Errorf("lost a nested takeover race and displaced another writer's fresh lock"))
+	}
+	return false, nil
+}
+
+// writeLockFile writes, syncs, and closes the staged lock payload.
 func writeLockFile(f faultfs.File, payload []byte) error {
 	_, err := f.Write(payload)
 	if err == nil {
@@ -259,9 +347,15 @@ func (l *storeLock) release() error {
 	return nil
 }
 
-// lockNonce draws a process-unique acquisition nonce from the
-// monotonic clock mixed with the PID, so two acquisitions — even in
-// the same nanosecond across processes — are distinguishable.
+// lockNonce draws a random acquisition nonce, so two acquisitions are
+// distinguishable even when the same process releases and reacquires
+// within one coarse clock tick — the case a clock-derived nonce would
+// collide on, voiding release()'s nonce-ownership check. Only if the
+// system entropy source fails does it fall back to a clock/PID mix.
 func lockNonce() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		return binary.LittleEndian.Uint64(b[:])
+	}
 	return uint64(time.Now().UnixNano())*2654435761 ^ uint64(os.Getpid())<<32
 }

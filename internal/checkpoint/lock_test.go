@@ -1,6 +1,7 @@
 package checkpoint
 
 import (
+	"bytes"
 	"errors"
 	"os"
 	"path/filepath"
@@ -179,6 +180,193 @@ func TestLockReleaseOnlyOwn(t *testing.T) {
 	}
 	if li, err := parseLock(raw); err != nil || li.PID != 555 {
 		t.Fatalf("foreign lock disturbed: %v %+v", err, li)
+	}
+}
+
+// lockGuardFS fails the test if acquisition ever creates the LOCK name
+// directly: the name must only ever appear via Link, already complete,
+// so no racer can observe an empty or half-written lock.
+type lockGuardFS struct {
+	faultfs.FS
+	t    *testing.T
+	lock string
+}
+
+func (g *lockGuardFS) Create(name string) (faultfs.File, error) {
+	if name == g.lock {
+		g.t.Errorf("Create(%s): LOCK must only be published via Link", name)
+	}
+	return g.FS.Create(name)
+}
+
+func (g *lockGuardFS) CreateExclusive(name string) (faultfs.File, error) {
+	if name == g.lock {
+		g.t.Errorf("CreateExclusive(%s): LOCK must only be published via Link", name)
+	}
+	return g.FS.CreateExclusive(name)
+}
+
+func (g *lockGuardFS) Append(name string) (faultfs.File, error) {
+	if name == g.lock {
+		g.t.Errorf("Append(%s): LOCK must only be published via Link", name)
+	}
+	return g.FS.Append(name)
+}
+
+// TestLockPublicationAtomic checks the two halves of atomic
+// publication: a successful acquisition never creates the LOCK name
+// directly (only Link makes it appear, complete), and an acquisition
+// whose payload write is torn leaves no LOCK at all — a concurrent
+// opener can never read a 0-byte or half-written lock and break a live
+// acquisition as "stale".
+func TestLockPublicationAtomic(t *testing.T) {
+	dir := t.TempDir()
+	guard := &lockGuardFS{FS: faultfs.OS(), t: t, lock: filepath.Join(dir, lockName)}
+	l, err := acquireLock(guard, dir, LockOwner{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.release(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the staging write: acquisition must fail without ever having
+	// made any LOCK — empty, torn, or otherwise — observable.
+	inj := faultfs.NewInjector(faultfs.OS(), 7)
+	inj.AddFault(faultfs.Fault{Op: faultfs.OpWrite, Path: "claim", Nth: 1, Mode: faultfs.ModeTorn, TornBytes: 5})
+	if _, err := acquireLock(inj, dir, LockOwner{}, nil); err == nil {
+		t.Fatal("acquisition with torn staging write succeeded")
+	}
+	if _, err := os.Stat(filepath.Join(dir, lockName)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("torn staging write left a LOCK behind: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("failed acquisition left debris: %v", entries)
+	}
+}
+
+// renameHookFS runs hook once, just before the first Rename whose
+// oldpath base matches — the instant a takeover is about to capture
+// the LOCK name.
+type renameHookFS struct {
+	faultfs.FS
+	match string
+	hook  func()
+}
+
+func (h *renameHookFS) Rename(oldpath, newpath string) error {
+	if h.hook != nil && filepath.Base(oldpath) == h.match {
+		hook := h.hook
+		h.hook = nil
+		hook()
+	}
+	return h.FS.Rename(oldpath, newpath)
+}
+
+// TestLockBreakVerifiesProbedBytes drives the takeover race that used
+// to admit two writers: this acquirer probes a stale lock, but before
+// it can break it a racer breaks it first and publishes its own fresh
+// claim. The break must capture-and-verify — detect that what it
+// grabbed is not the stale lock it examined, restore the racer's claim
+// bit-identically, and fail fast on the now-live holder — never
+// destroy the fresh lock and claim the store alongside its owner.
+func TestLockBreakVerifiesProbedBytes(t *testing.T) {
+	dir := t.TempDir()
+	lockPath := filepath.Join(dir, lockName)
+	stale := marshalLock(lockInfo{PID: 111, Nonce: 0xdead})
+	if err := os.WriteFile(lockPath, stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh := marshalLock(lockInfo{PID: 222, Nonce: 0xf4e5})
+	hooked := &renameHookFS{FS: faultfs.OS(), match: lockName, hook: func() {
+		// The racer wins the takeover: the stale lock is gone and its
+		// fresh claim sits at LOCK before our rename runs.
+		race := lockPath + ".race"
+		if err := os.WriteFile(race, fresh, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Rename(race, lockPath); err != nil {
+			t.Fatal(err)
+		}
+	}}
+
+	rec := obs.NewRecorder()
+	owner := LockOwner{PID: 333, Alive: func(pid int) bool { return pid == 222 }}
+	_, err := acquireLock(hooked, dir, owner, rec)
+	var lh *LockHeldError
+	if !errors.As(err, &lh) || lh.PID != 222 {
+		t.Fatalf("acquire over raced takeover = %v, want LockHeldError{PID: 222}", err)
+	}
+	if got := rec.Snapshot().Counters["lock_takeovers"]; got != 0 {
+		t.Errorf("lock_takeovers = %d after a lost race, want 0", got)
+	}
+	raw, err := os.ReadFile(lockPath)
+	if err != nil {
+		t.Fatalf("racer's fresh lock was not restored: %v", err)
+	}
+	if li, err := parseLock(raw); err != nil || li.PID != 222 || li.Nonce != 0xf4e5 {
+		t.Fatalf("racer's lock disturbed: %v %+v", err, li)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("lost takeover left debris: %v", entries)
+	}
+}
+
+// TestLockUnparsableGetsGrace plants unparsable LOCK bytes that turn
+// into a live writer's claim during the grace window — the disk image
+// of probing a foreign writer mid-acquire. Acquisition must observe
+// the change, back off, and fail fast on the live holder instead of
+// breaking a lock whose bytes had not settled.
+func TestLockUnparsableGetsGrace(t *testing.T) {
+	dir := t.TempDir()
+	lockPath := filepath.Join(dir, lockName)
+	if err := os.WriteFile(lockPath, []byte("mid-acquire"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh := marshalLock(lockInfo{PID: 222, Nonce: 77})
+	reads := 0
+	hooked := &hookFS{FS: faultfs.OS(), match: lockName}
+	hooked.hook = func() {
+		reads++
+		if reads == 2 {
+			// The foreign writer finishes its acquisition between our
+			// probe and the grace re-read.
+			if err := os.WriteFile(lockPath, fresh, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	owner := LockOwner{PID: 333, Alive: func(pid int) bool { return pid == 222 }}
+	_, err := acquireLock(hooked, dir, owner, nil)
+	var lh *LockHeldError
+	if !errors.As(err, &lh) || lh.PID != 222 {
+		t.Fatalf("acquire over settling lock = %v, want LockHeldError{PID: 222}", err)
+	}
+	if raw, rerr := os.ReadFile(lockPath); rerr != nil || !bytes.Equal(raw, fresh) {
+		t.Fatalf("live holder's lock disturbed: %v", rerr)
+	}
+}
+
+// TestLockNonceDistinct checks nonces do not repeat across rapid
+// acquisitions — the property release()'s ownership check depends on,
+// which a coarse-clock-derived nonce would violate for same-process
+// release/reacquire cycles within one tick.
+func TestLockNonceDistinct(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		n := lockNonce()
+		if seen[n] {
+			t.Fatalf("nonce %016x repeated within one process", n)
+		}
+		seen[n] = true
 	}
 }
 

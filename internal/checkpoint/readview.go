@@ -66,9 +66,10 @@ func OpenReadOnly(dir string) (*ReadView, error) {
 }
 
 // OpenReadOnlyFS is OpenReadOnly on an explicit filesystem with an
-// optional instrumentation recorder: snapshot refreshes count into
-// index_rereads and journal-replay fallbacks into index_rebuilds. Nil
-// rec keeps instrumentation a no-op.
+// optional instrumentation recorder: seqlock snapshot rereads (not the
+// view's first snapshot) count into index_rereads and journal-replay
+// fallbacks into index_rebuilds. Nil rec keeps instrumentation a
+// no-op.
 func OpenReadOnlyFS(dir string, fsys faultfs.FS, rec *obs.Recorder) (*ReadView, error) {
 	opt, err := readManifest(fsys, dir)
 	if err != nil {
@@ -103,15 +104,21 @@ func (rv *ReadView) snapshot() (*readSnapshot, error) {
 		}
 		return nil, err
 	}
-	if s := rv.snap.Load(); s != nil && s.tok == tok {
-		return s, nil
+	cached := rv.snap.Load()
+	if cached != nil && cached.tok == tok {
+		return cached, nil
 	}
 	for race := 0; race < maxRereadRaces; race++ {
 		ix, ierr := loadIndex(rv.fs, rv.dir)
 		if ierr == nil && ix != nil && ix.matches(tok) {
 			s := &readSnapshot{seq: ix.Seq, tok: tok, chain: chainFromIndex(ix)}
 			rv.snap.Store(s)
-			rv.rec.Add(obs.CounterIndexRereads, 1)
+			// The counter measures seqlock rereads — a cached snapshot
+			// invalidated under the reader, or a republication chased
+			// mid-load — not the view's mandatory first snapshot.
+			if cached != nil || race > 0 {
+				rv.rec.Add(obs.CounterIndexRereads, 1)
+			}
 			return s, nil
 		}
 		// The index did not match the token we read. Either the writer

@@ -24,9 +24,11 @@ import (
 // The store is layered:
 //
 //   - Exactly one writer per directory. Create and Open claim the
-//     on-disk writer lock (O_EXCL create of LOCK); a second writer
-//     fails fast with a *LockHeldError, and a lock left by a crashed
-//     writer is detected (dead PID, torn file) and taken over.
+//     on-disk writer lock (LOCK, published atomically by staging the
+//     complete payload and hard-linking it into place); a second
+//     writer fails fast with a *LockHeldError, and a lock left by a
+//     crashed writer is detected (dead PID) and taken over with a
+//     capture-and-verify break that never destroys a racer's claim.
 //   - Every write is crash-safe: file bytes go to a .tmp sibling, are
 //     fsynced, renamed into place, and the directory is fsynced before
 //     the journal records the commit — so after a crash at any point,

@@ -38,14 +38,23 @@ type FS interface {
 	// Create creates or truncates a file for writing.
 	Create(name string) (File, error)
 	// CreateExclusive creates a file for writing, failing with an error
-	// matching fs.ErrExist if it already exists (O_EXCL semantics). It
-	// is the store's lock-acquisition primitive: the create either
-	// claims the name atomically or observes the current claimant.
+	// matching fs.ErrExist if it already exists (O_EXCL semantics): the
+	// create either claims the name atomically or observes the current
+	// claimant. Note the claimed name is observable empty before its
+	// first write — claims that must appear fully formed stage their
+	// payload elsewhere and publish it with Link instead.
 	CreateExclusive(name string) (File, error)
 	// Append opens a file for appending, creating it if absent.
 	Append(name string) (File, error)
 	// Rename atomically replaces newpath with oldpath.
 	Rename(oldpath, newpath string) error
+	// Link creates newpath as a hard link to oldpath, failing with an
+	// error matching fs.ErrExist if newpath already exists. It is the
+	// store's atomic-publication primitive for fixed names that must
+	// never be observable incomplete and must not clobber an existing
+	// claimant (the writer LOCK): the complete payload is staged at a
+	// scratch name first, then linked into place in one atomic step.
+	Link(oldpath, newpath string) error
 	// Remove deletes a file.
 	Remove(name string) error
 	// MkdirAll creates a directory and any missing parents.
@@ -78,6 +87,7 @@ func (osFS) Append(name string) (File, error) {
 }
 
 func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Link(oldpath, newpath string) error           { return os.Link(oldpath, newpath) }
 func (osFS) Remove(name string) error                     { return os.Remove(name) }
 func (osFS) MkdirAll(name string, perm fs.FileMode) error { return os.MkdirAll(name, perm) }
 func (osFS) ReadDir(name string) ([]fs.DirEntry, error)   { return os.ReadDir(name) }

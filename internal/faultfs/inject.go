@@ -34,13 +34,14 @@ const (
 	OpRename
 	OpRemove
 	OpSyncDir
+	OpLink
 
 	numOps
 )
 
 // opNames must match the Op constant order above.
 var opNames = [numOps]string{
-	"open", "read", "create", "append", "write", "sync", "rename", "remove", "syncdir",
+	"open", "read", "create", "append", "write", "sync", "rename", "remove", "syncdir", "link",
 }
 
 // String returns the operation class name.
@@ -261,6 +262,15 @@ func (in *Injector) Rename(oldpath, newpath string) error {
 		return d.err
 	}
 	return in.fs.Rename(oldpath, newpath)
+}
+
+// Link implements FS. The fault path matches on newpath, the name the
+// link publishes.
+func (in *Injector) Link(oldpath, newpath string) error {
+	if d := in.check(OpLink, newpath, 0); d.err != nil {
+		return d.err
+	}
+	return in.fs.Link(oldpath, newpath)
 }
 
 // Remove implements FS.
