@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint lint-fix sarif docs test race race-pipeline crash-test fuzz-smoke verify bench bench-smoke
+.PHONY: all build vet lint lint-fix sarif docs test race race-pipeline crash-test fuzz-smoke verify bench bench-smoke bench-compare
 
 all: verify
 
@@ -82,3 +82,12 @@ bench:
 bench-smoke:
 	$(GO) run ./cmd/experiments -exp codec-bench -points 20000 -iters 1
 	$(GO) test -run=NONE -bench='Encode|Decode' -benchtime=1x .
+
+# Diff two codec bench result files: per-strategy headline deltas plus
+# the streaming per-stage breakdown. Informational — never fails on a
+# regression, just renders it. Usage:
+#   make bench-compare OLD=BENCH_codec.json NEW=/tmp/BENCH_new.json
+OLD ?= BENCH_codec.json
+NEW ?= BENCH_codec.new.json
+bench-compare:
+	$(GO) run ./cmd/benchdiff $(OLD) $(NEW)

@@ -1,0 +1,48 @@
+// Command benchdiff compares two BENCH_codec.json files produced by
+// `make bench` (or the codec-bench experiment) and prints the per-row
+// and per-stage deltas: headline encode/decode times per strategy, the
+// decode worker rows (env-limited ones starred), encoded size, and the
+// streaming pipeline's per-stage time breakdown. It is informational —
+// it never fails on a regression, it just makes one impossible to miss.
+//
+// Usage:
+//
+//	benchdiff OLD.json NEW.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"numarck/internal/experiments"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff OLD.json NEW.json")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), flag.Arg(1)); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(oldPath, newPath string) error {
+	old, err := experiments.LoadCodecBench(oldPath)
+	if err != nil {
+		return err
+	}
+	new, err := experiments.LoadCodecBench(newPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s -> %s\n", oldPath, newPath)
+	return experiments.DiffCodecBench(old, new, os.Stdout)
+}

@@ -157,3 +157,47 @@ func ExampleParseStrategy() {
 	// Output:
 	// log-scale
 }
+
+// ExampleStreamEncoder_tuning shows the four tuning knobs of the
+// streaming pipeline and how to read the resolved run shape back from
+// the result: ChunkPoints sets the window size, Workers the number of
+// chunks in flight, BudgetBytes a hard cap on buffer memory (workers
+// are shrunk first, then chunk size), and MaxTableInput bounds the
+// table-learning stage's reservoir for a hard memory ceiling at the
+// cost of byte-identity with the in-memory encoder. The same knobs are
+// the numarck CLI's -chunk, -workers, and -budget flags; PERF.md walks
+// through choosing them.
+func ExampleStreamEncoder_tuning() {
+	prev := make([]float64, 20000)
+	cur := make([]float64, 20000)
+	for i := range prev {
+		prev[i] = 100 + float64(i%50)
+		cur[i] = prev[i] * 1.01
+	}
+
+	const budget = 256 << 10 // 256 KiB of buffer memory, enforced
+	enc := numarck.StreamEncoder{
+		Opt: numarck.Options{ErrorBound: 0.001, IndexBits: 8, Strategy: numarck.EqualWidth},
+		Config: numarck.StreamConfig{
+			ChunkPoints:   4096,
+			Workers:       4,
+			BudgetBytes:   budget,
+			MaxTableInput: 4096,
+		},
+	}
+	var ckpt bytes.Buffer
+	res, err := enc.Encode(&ckpt, "temp", 1, numarck.SliceSource(prev), numarck.SliceSource(cur))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// Four workers' buffers would blow the budget, so the resolver
+	// trades parallelism for memory before touching the chunk size.
+	fmt.Printf("resolved shape: %d worker(s), %d-point chunks, %d chunks\n", res.Workers, res.ChunkPoints, res.ChunkCount)
+	fmt.Printf("buffer footprint: %d bytes (budget %d)\n", res.PeakBufferBytes, budget)
+	fmt.Printf("table input: kept %d of %d ratios (thinned: %v)\n", res.TableInputUsed, res.TableInputTotal, res.TableThinned)
+	// Output:
+	// resolved shape: 1 worker(s), 4096-point chunks, 5 chunks
+	// buffer footprint: 188416 bytes (budget 262144)
+	// table input: kept 2500 of 20000 ratios (thinned: true)
+}

@@ -55,6 +55,61 @@ func Pack(vals []uint32, width int) ([]byte, error) {
 	return out, nil
 }
 
+// PackInto is Pack writing into buf's backing array when it has
+// capacity (allocating only when it does not), for pooled steady-state
+// encoding. The used prefix is zeroed first, so stale buffer contents
+// cannot leak into the stream; the returned slice is exactly
+// PackedLen(len(vals), width) long.
+func PackInto(vals []uint32, width int, buf []byte) ([]byte, error) {
+	if width < 1 || width > MaxWidth {
+		return nil, ErrWidth
+	}
+	need := PackedLen(len(vals), width)
+	var out []byte
+	if cap(buf) >= need {
+		out = buf[:need]
+		for i := range out {
+			out[i] = 0
+		}
+	} else {
+		out = make([]byte, need)
+	}
+	limit := limitFor(width)
+	for i, v := range vals {
+		if uint64(v) > limit {
+			return nil, fmt.Errorf("%w: value %d at position %d exceeds %d bits", ErrRange, v, i, width)
+		}
+		putBits(out, uint64(i)*uint64(width), uint64(v), width)
+	}
+	return out, nil
+}
+
+// UnpackInto is Unpack writing into out's backing array when it has
+// capacity, for pooled steady-state decoding. The returned slice is
+// exactly n long.
+func UnpackInto(data []byte, n, width int, out []uint32) ([]uint32, error) {
+	if width < 1 || width > MaxWidth {
+		return nil, ErrWidth
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("bitpack: negative count %d", n)
+	}
+	need := PackedLen(n, width)
+	if len(data) < need {
+		return nil, fmt.Errorf("%w: have %d bytes, need %d", ErrShort, len(data), need)
+	}
+	if cap(out) >= n {
+		out = out[:n]
+	} else {
+		out = make([]uint32, n)
+	}
+	for i := range out {
+		//lint:ignore bindex getBits yields at most width <= MaxWidth = 32 low bits
+		out[i] = uint32(getBits(data, uint64(i)*uint64(width), width))
+	}
+	return out, nil
+}
+
 // Unpack decodes n fields of the given width from data. It returns
 // ErrShort when data holds fewer than n fields.
 func Unpack(data []byte, n, width int) ([]uint32, error) {
@@ -239,6 +294,43 @@ func BitmapFromBytes(data []byte, n int) (*Bitmap, error) {
 	b := &Bitmap{n: n, bits: make([]byte, need)}
 	copy(b.bits, data)
 	return b, nil
+}
+
+// Reset resizes the bitmap to n flags, all false, reusing its storage
+// when capacity allows. The pooled form of NewBitmap for steady-state
+// encode/decode loops.
+func (b *Bitmap) Reset(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("bitpack: negative bitmap size %d", n))
+	}
+	need := (n + 7) / 8
+	if cap(b.bits) >= need {
+		b.bits = b.bits[:need]
+		for i := range b.bits {
+			b.bits[i] = 0
+		}
+	} else {
+		b.bits = make([]byte, need)
+	}
+	b.n = n
+}
+
+// LoadBytes replaces the bitmap's contents with a packed representation
+// of n flags, reusing its storage when capacity allows — the pooled
+// form of BitmapFromBytes.
+func (b *Bitmap) LoadBytes(data []byte, n int) error {
+	need := (n + 7) / 8
+	if len(data) < need {
+		return fmt.Errorf("%w: bitmap needs %d bytes, have %d", ErrShort, need, len(data))
+	}
+	if cap(b.bits) >= need {
+		b.bits = b.bits[:need]
+	} else {
+		b.bits = make([]byte, need)
+	}
+	copy(b.bits, data[:need])
+	b.n = n
+	return nil
 }
 
 // Len returns the number of flags in the bitmap.

@@ -283,7 +283,18 @@ func appendFloats(dst []byte, vals []float64) []byte {
 }
 
 func readFloats(src []byte, n int) []float64 {
-	out := make([]float64, n)
+	return readFloatsInto(src, n, nil)
+}
+
+// readFloatsInto is readFloats writing into buf's backing array when it
+// has capacity, for pooled chunk decoding.
+func readFloatsInto(src []byte, n int, buf []float64) []float64 {
+	var out []float64
+	if cap(buf) >= n {
+		out = buf[:n]
+	} else {
+		out = make([]float64, n)
+	}
 	for i := range out {
 		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:]))
 	}

@@ -8,6 +8,7 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"sync/atomic"
 
 	"numarck/internal/bitpack"
 	"numarck/internal/core"
@@ -93,7 +94,11 @@ func sectionSize(np, exactCount, indexBits int) int {
 // chunk at a time. The header and bin table are written on creation,
 // each AppendChunk emits one section, and Finish writes the directory
 // and footer. Nothing is buffered beyond the directory (20 bytes per
-// chunk), so encoding memory is independent of the data size.
+// chunk, preallocated to the chunk count) and three reusable scratch
+// buffers sized to one section, so encoding memory is independent of
+// the data size and second-and-later chunks allocate nothing here.
+// Not safe for concurrent use; the pipeline's ordered emitter is the
+// single caller.
 type DeltaV2Writer struct {
 	w           io.Writer
 	off         int64
@@ -105,6 +110,10 @@ type DeltaV2Writer struct {
 	pointsSeen  int
 	finished    bool
 	rec         *obs.Recorder
+
+	packBuf []byte         // reused by bitpack.PackInto
+	bitmap  bitpack.Bitmap // reused incompressible-flag bitmap
+	section []byte         // reused section assembly buffer
 }
 
 // NewDeltaV2Writer writes the v2 header and bin table and returns a
@@ -192,26 +201,31 @@ func (w *DeltaV2Writer) AppendChunk(indices []uint32, incompressible []bool, exa
 		return fmt.Errorf("checkpoint: chunk %d: %d incompressible flags for %d points", len(w.dir), len(incompressible), np)
 	}
 	t := w.rec.Start()
-	packed, err := bitpack.Pack(indices, w.indexBits)
+	packed, err := bitpack.PackInto(indices, w.indexBits, w.packBuf)
 	t.Stop(obs.StageBitpack)
 	if err != nil {
 		return fmt.Errorf("checkpoint: pack chunk %d: %w", len(w.dir), err)
 	}
-	bitmap := bitpack.NewBitmap(np)
+	w.packBuf = packed
+	w.bitmap.Reset(np)
 	nExact := 0
 	for j, inc := range incompressible {
 		if inc {
-			bitmap.Set(j, true)
+			w.bitmap.Set(j, true)
 			nExact++
 		}
 	}
 	if nExact != len(exact) {
 		return fmt.Errorf("checkpoint: chunk %d flags %d incompressible points, %d exact values supplied", len(w.dir), nExact, len(exact))
 	}
-	section := make([]byte, 0, sectionSize(np, nExact, w.indexBits))
+	if need := sectionSize(np, nExact, w.indexBits); cap(w.section) < need {
+		w.section = make([]byte, 0, need)
+	}
+	section := w.section[:0]
 	section = append(section, packed...)
-	section = append(section, bitmap.Bytes()...)
+	section = append(section, w.bitmap.Bytes()...)
 	section = appendFloats(section, exact)
+	w.section = section[:0]
 	if len(section) > math.MaxUint32 {
 		return fmt.Errorf("checkpoint: chunk section of %d bytes exceeds format limit", len(section))
 	}
@@ -482,14 +496,61 @@ type ChunkPayload struct {
 // ReadChunk reads, CRC-checks, and parses chunk i's section. CRC or
 // structure failures come back as a *ChunkError naming the chunk and
 // its byte offset, so corruption is localized instead of condemning
-// the whole file.
+// the whole file. The returned payload is freshly allocated; hot loops
+// should hold a ChunkDecoder instead and reuse its scratch.
 func (d *DeltaV2Reader) ReadChunk(i int) (*ChunkPayload, error) {
+	p, err := d.NewChunkDecoder().ReadChunk(i)
+	if err != nil {
+		return nil, err
+	}
+	// Detach from the (about to be garbage) decoder scratch so the
+	// payload is safe to retain.
+	out := *p
+	return &out, nil
+}
+
+// DecodeChunkInto reconstructs chunk i into dst given the previous
+// iteration's values for the same point range. len(prev) and len(dst)
+// must both equal the chunk's point count.
+func (d *DeltaV2Reader) DecodeChunkInto(i int, prev, dst []float64) error {
+	return d.NewChunkDecoder().DecodeChunkInto(i, prev, dst)
+}
+
+// ChunkDecoder reads and decodes chunks of one DeltaV2Reader through
+// reusable scratch buffers (section bytes, unpacked indices, the
+// incompressible bitmap, exact values), so a steady-state decode loop
+// allocates nothing per chunk. Each worker of a parallel decode owns
+// one; a decoder is not safe for concurrent use. Payloads returned by
+// ReadChunk alias the scratch and are valid only until the next call.
+type ChunkDecoder struct {
+	d       *DeltaV2Reader
+	section []byte
+	indices []uint32
+	bitmap  bitpack.Bitmap
+	exact   []float64
+	payload ChunkPayload
+}
+
+// NewChunkDecoder returns a decoder with empty scratch; buffers grow to
+// one chunk's size on first use and are reused after that.
+func (d *DeltaV2Reader) NewChunkDecoder() *ChunkDecoder {
+	return &ChunkDecoder{d: d}
+}
+
+// ReadChunk is DeltaV2Reader.ReadChunk through the decoder's scratch.
+// The payload aliases that scratch: it is invalidated by the next
+// ReadChunk or DecodeChunkInto call on this decoder.
+func (c *ChunkDecoder) ReadChunk(i int) (*ChunkPayload, error) {
+	d := c.d
 	if i < 0 || i >= len(d.dir) {
 		return nil, fmt.Errorf("checkpoint: chunk %d out of range [0,%d)", i, len(d.dir))
 	}
 	ent := d.dir[i]
 	_, np := d.ChunkSpan(i)
-	section := make([]byte, ent.length)
+	if cap(c.section) < int(ent.length) {
+		c.section = make([]byte, ent.length)
+	}
+	section := c.section[:ent.length]
 	t := d.rec.Start()
 	_, rerr := d.r.ReadAt(section, ent.off)
 	t.Stop(obs.StageRead)
@@ -507,36 +568,39 @@ func (d *DeltaV2Reader) ReadChunk(i int) (*ChunkPayload, error) {
 	idxBytes := bitpack.PackedLen(np, d.meta.Opt.IndexBits)
 	mapBytes := (np + 7) / 8
 	t = d.rec.Start()
-	indices, err := bitpack.Unpack(section[:idxBytes], np, d.meta.Opt.IndexBits)
+	indices, err := bitpack.UnpackInto(section[:idxBytes], np, d.meta.Opt.IndexBits, c.indices)
 	t.Stop(obs.StageBitpack)
 	if err != nil {
 		return nil, chunkErr(i, ent.off, "%v", err)
 	}
-	bitmap, err := bitpack.BitmapFromBytes(section[idxBytes:idxBytes+mapBytes], np)
-	if err != nil {
+	c.indices = indices
+	if err := c.bitmap.LoadBytes(section[idxBytes:idxBytes+mapBytes], np); err != nil {
 		return nil, chunkErr(i, ent.off, "%v", err)
 	}
-	exact := readFloats(section[idxBytes+mapBytes:], int(ent.exactCount))
-	if bitmap.Count() != int(ent.exactCount) {
-		return nil, chunkErr(i, ent.off, "bitmap flags %d points, %d exact values stored", bitmap.Count(), ent.exactCount)
+	c.exact = readFloatsInto(section[idxBytes+mapBytes:], int(ent.exactCount), c.exact)
+	if c.bitmap.Count() != int(ent.exactCount) {
+		return nil, chunkErr(i, ent.off, "bitmap flags %d points, %d exact values stored", c.bitmap.Count(), ent.exactCount)
 	}
 	for j, idx := range indices {
 		if int(idx) > len(d.meta.BinRatios) {
 			return nil, chunkErr(i, ent.off, "index %d at point %d exceeds bin count %d", idx, j, len(d.meta.BinRatios))
 		}
 	}
-	return &ChunkPayload{Indices: indices, Incompressible: bitmap, Exact: exact}, nil
+	c.payload = ChunkPayload{Indices: indices, Incompressible: &c.bitmap, Exact: c.exact}
+	return &c.payload, nil
 }
 
-// DecodeChunkInto reconstructs chunk i into dst given the previous
+// DecodeChunkInto is DeltaV2Reader.DecodeChunkInto through the
+// decoder's scratch: reconstructs chunk i into dst given the previous
 // iteration's values for the same point range. len(prev) and len(dst)
 // must both equal the chunk's point count.
-func (d *DeltaV2Reader) DecodeChunkInto(i int, prev, dst []float64) error {
+func (c *ChunkDecoder) DecodeChunkInto(i int, prev, dst []float64) error {
+	d := c.d
 	_, np := d.ChunkSpan(i)
 	if len(prev) != np || len(dst) != np {
 		return fmt.Errorf("checkpoint: chunk %d has %d points, got prev=%d dst=%d", i, np, len(prev), len(dst))
 	}
-	p, err := d.ReadChunk(i)
+	p, err := c.ReadChunk(i)
 	if err != nil {
 		return err
 	}
@@ -576,22 +640,28 @@ func (d *DeltaV2Reader) Decode(prev []float64, workers int) ([]float64, error) {
 	if m == 0 {
 		return out, nil
 	}
+	// Chunks decode fully independently off the directory: workers claim
+	// indices from an atomic counter (no job channel to contend on) and
+	// write disjoint output ranges through per-worker decoder scratch,
+	// so the steady state allocates nothing and completion order does
+	// not matter.
 	errs := make([]error, m)
-	jobs := make(chan int)
+	var next atomic.Int64
 	done := make(chan struct{}, workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer func() { done <- struct{}{} }()
-			for i := range jobs {
+			dec := d.NewChunkDecoder()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= m {
+					return
+				}
 				start, np := d.ChunkSpan(i)
-				errs[i] = d.DecodeChunkInto(i, prev[start:start+np], out[start:start+np])
+				errs[i] = dec.DecodeChunkInto(i, prev[start:start+np], out[start:start+np])
 			}
 		}()
 	}
-	for i := 0; i < m; i++ {
-		jobs <- i
-	}
-	close(jobs)
 	for w := 0; w < workers; w++ {
 		<-done
 	}

@@ -1,0 +1,89 @@
+package chunk
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"numarck/internal/checkpoint"
+	"numarck/internal/core"
+)
+
+// allocPair builds a transition of exactly nChunks equal chunks.
+func allocPair(nChunks, chunkPoints int) (prev, cur []float64) {
+	return genPair(nChunks*chunkPoints, 9)
+}
+
+// encodeAllocs measures the average allocations of one full streaming
+// encode of nChunks chunks. MaxTableInput bounds the reservoir (and
+// disables the pass-1 ratio cache, whose per-chunk entries are a
+// deliberate uncapped-mode allocation), so everything chunk-count-
+// proportional should come from the pooled slot buffers — i.e. nothing.
+func encodeAllocs(t *testing.T, nChunks int) float64 {
+	t.Helper()
+	const cp = 1024
+	prev, cur := allocPair(nChunks, cp)
+	opt := core.Options{ErrorBound: 0.001, IndexBits: 8, Strategy: core.EqualWidth}
+	cfg := Config{ChunkPoints: cp, Workers: 1, MaxTableInput: 64}
+	return testing.AllocsPerRun(5, func() {
+		if _, err := EncodeDeltaV2(io.Discard, "v", 1, SliceSource(prev), SliceSource(cur), opt, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestEncodeSteadyStateAllocs pins the allocation-free steady state of
+// the streaming encoder: a run has a fixed setup cost (slot buffers,
+// sink, reservoir, fit), but second-and-later chunks must reuse the
+// slot's buffers, so adding 64 more chunks must add no allocations.
+func TestEncodeSteadyStateAllocs(t *testing.T) {
+	small := encodeAllocs(t, 8)
+	large := encodeAllocs(t, 72)
+	perChunk := (large - small) / 64
+	if perChunk >= 1 {
+		t.Errorf("streaming encode allocates %.2f times per chunk in steady state (8 chunks: %.0f allocs, 72 chunks: %.0f); pooled buffers are not being reused", perChunk, small, large)
+	}
+}
+
+// decodeAllocs measures the average allocations of one full streaming
+// decode of the given encoded file.
+func decodeAllocs(t *testing.T, raw []byte, prev []float64) float64 {
+	t.Helper()
+	return testing.AllocsPerRun(5, func() {
+		d, err := checkpoint.OpenDeltaV2(bytes.NewReader(raw), int64(len(raw)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = DecodeDeltaV2(d, SliceSource(prev), Config{Workers: 1}, func([]float64) error { return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestDecodeSteadyStateAllocs pins the decoder's steady state the same
+// way: per-slot decoder scratch (section, indices, bitmap, exact, prev
+// window, output) is sized on the first chunk and reused, so 64 extra
+// chunks must add no allocations.
+func TestDecodeSteadyStateAllocs(t *testing.T) {
+	const cp = 1024
+	opt := core.Options{ErrorBound: 0.001, IndexBits: 8, Strategy: core.EqualWidth}
+	cfg := Config{ChunkPoints: cp, Workers: 1}
+	encode := func(nChunks int) (raw []byte, prev []float64) {
+		t.Helper()
+		prev, cur := allocPair(nChunks, cp)
+		var buf bytes.Buffer
+		if _, err := EncodeDeltaV2(&buf, "v", 1, SliceSource(prev), SliceSource(cur), opt, cfg); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), prev
+	}
+	rawS, prevS := encode(8)
+	rawL, prevL := encode(72)
+	small := decodeAllocs(t, rawS, prevS)
+	large := decodeAllocs(t, rawL, prevL)
+	perChunk := (large - small) / 64
+	if perChunk >= 1 {
+		t.Errorf("streaming decode allocates %.2f times per chunk in steady state (8 chunks: %.0f allocs, 72 chunks: %.0f); decoder scratch is not being reused", perChunk, small, large)
+	}
+}

@@ -34,6 +34,20 @@ type Source interface {
 	ReadFloats(dst []float64, off int) error
 }
 
+// WindowSource is an optional upgrade of Source: a source that can
+// expose the window [off, off+n) as a slice view without copying. The
+// pipeline asks for a view before falling back to ReadFloats into its
+// own buffer, so an in-memory source pays no per-chunk copies. The
+// returned slice must stay valid and unchanged for the life of the
+// encode or decode run; ok reports whether a view is available for
+// this window (false falls back to ReadFloats).
+type WindowSource interface {
+	Source
+	// Window returns a read-only view of [off, off+n), or ok=false if
+	// the source cannot expose this window as a slice.
+	Window(off, n int) ([]float64, bool)
+}
+
 // SliceSource adapts an in-memory slice to Source.
 type SliceSource []float64
 
@@ -47,6 +61,16 @@ func (s SliceSource) ReadFloats(dst []float64, off int) error {
 	}
 	copy(dst, s[off:])
 	return nil
+}
+
+// Window returns the window [off, off+n) as a zero-copy view of the
+// slice (full-slice-expression capped, so appends cannot clobber the
+// source).
+func (s SliceSource) Window(off, n int) ([]float64, bool) {
+	if off < 0 || n < 0 || off+n > len(s) {
+		return nil, false
+	}
+	return s[off : off+n : off+n], true
 }
 
 // Sink receives per-chunk encode results in chunk order. Both

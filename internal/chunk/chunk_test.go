@@ -309,7 +309,7 @@ func TestOrderedChunks(t *testing.T) {
 	// Emission order is chunk order regardless of completion order.
 	var got []int
 	err := orderedChunks(50, 4, "test", nil,
-		func(i int) (int, error) { return i * i, nil },
+		func(i, _ int) (int, error) { return i * i, nil },
 		func(i, v int) error {
 			if v != i*i {
 				t.Errorf("chunk %d delivered %d", i, v)
@@ -332,7 +332,7 @@ func TestOrderedChunks(t *testing.T) {
 	// A process error cancels the run and names the chunk.
 	boom := errors.New("boom")
 	err = orderedChunks(100, 4, "test", nil,
-		func(i int) (int, error) {
+		func(i, _ int) (int, error) {
 			if i == 13 {
 				return 0, boom
 			}
@@ -345,7 +345,7 @@ func TestOrderedChunks(t *testing.T) {
 
 	// An emit error cancels the run.
 	err = orderedChunks(100, 4, "test", nil,
-		func(i int) (int, error) { return i, nil },
+		func(i, _ int) (int, error) { return i, nil },
 		func(i, _ int) error {
 			if i == 7 {
 				return boom

@@ -6,27 +6,37 @@ import (
 	"io"
 	"runtime/pprof"
 	"sync"
+	"sync/atomic"
 
 	"numarck/internal/checkpoint"
 	"numarck/internal/core"
 	"numarck/internal/obs"
 )
 
-// orderedChunks runs process(i) for i in [0, count) across up to
+// orderedChunks runs process(i, slot) for i in [0, count) across up to
 // `workers` goroutines and delivers the results to emit in chunk order.
-// A semaphore bounds the number of chunks that are "in flight"
-// (processed or processing but not yet emitted) at `workers`, so buffer
+// Slots form a ring of size `workers`: chunk i owns slot i%workers, and
+// a worker may not start chunk i until chunk i-workers has been
+// emitted. That bounds the in-flight chunks at `workers` — buffer
 // memory stays proportional to the worker count no matter how far a
-// fast chunk runs ahead of a slow predecessor. The first process or
-// emit error cancels the run.
+// fast chunk runs ahead of a slow predecessor — and it means the slot
+// index is safe to key a reusable buffer set: the slot's previous
+// occupant has been fully consumed by emit before process sees the
+// slot again. The first process or emit error cancels the run.
+//
+// Workers claim chunk indices from an atomic counter (no job channel to
+// feed or contend on) and park each finished chunk in its slot's ready
+// channel; the emitter walks the ring in chunk order, so out-of-order
+// completion never blocks anyone except a worker whose slot is still
+// occupied.
 //
 // label names the pipeline pass in profiles: each worker goroutine runs
 // under the pprof label numarck_pipeline=<label>, so CPU profiles of a
 // streaming run attribute samples to encode-pass1/encode-pass2/decode.
-// rec (nil-safe) receives the time workers spend blocked waiting for an
-// in-flight slot as StageQueueWait — the backpressure signal of an
-// emitter slower than its producers.
-func orderedChunks[T any](count, workers int, label string, rec *obs.Recorder, process func(i int) (T, error), emit func(i int, v T) error) error {
+// rec (nil-safe) receives the time workers spend blocked waiting for
+// their slot as StageQueueWait — the backpressure signal of an emitter
+// slower than its producers.
+func orderedChunks[T any](count, workers int, label string, rec *obs.Recorder, process func(i, slot int) (T, error), emit func(i int, v T) error) error {
 	if count == 0 {
 		return nil
 	}
@@ -35,7 +45,7 @@ func orderedChunks[T any](count, workers int, label string, rec *obs.Recorder, p
 	}
 	if workers <= 1 {
 		for i := 0; i < count; i++ {
-			v, err := process(i)
+			v, err := process(i, 0)
 			if err != nil {
 				return fmt.Errorf("chunk %d: %w", i, err)
 			}
@@ -47,14 +57,21 @@ func orderedChunks[T any](count, workers int, label string, rec *obs.Recorder, p
 	}
 
 	type result struct {
-		i   int
 		v   T
 		err error
 	}
-	jobs := make(chan int)
-	results := make(chan result, workers)
-	sem := make(chan struct{}, workers)
+	// free[s] holds the slot-s token: present iff no unemitted chunk
+	// owns the slot. ready[s] parks slot s's finished chunk until its
+	// turn; capacity 1 suffices because the sender holds the token.
+	free := make([]chan struct{}, workers)
+	ready := make([]chan result, workers)
+	for s := 0; s < workers; s++ {
+		free[s] = make(chan struct{}, 1)
+		free[s] <- struct{}{}
+		ready[s] = make(chan result, 1)
+	}
 	done := make(chan struct{})
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	labels := pprof.Labels("numarck_pipeline", label)
 	for w := 0; w < workers; w++ {
@@ -63,78 +80,43 @@ func orderedChunks[T any](count, workers int, label string, rec *obs.Recorder, p
 			defer wg.Done()
 			pprof.Do(context.Background(), labels, func(context.Context) {
 				for {
-					// Acquire an in-flight slot BEFORE claiming a job:
-					// holding a job must imply holding a slot, or the
-					// worker owning the lowest unemitted chunk could
-					// starve while later chunks' parked results hold
-					// every slot.
+					i := int(next.Add(1)) - 1
+					if i >= count {
+						return
+					}
+					slot := i % workers
 					t := rec.Start()
 					select {
-					case sem <- struct{}{}:
+					case <-free[slot]:
 						t.Stop(obs.StageQueueWait)
 					case <-done:
 						return
 					}
-					var i int
-					var ok bool
-					select {
-					case i, ok = <-jobs:
-						if !ok {
-							return
-						}
-					case <-done:
-						return
-					}
-					v, err := process(i)
-					select {
-					case results <- result{i: i, v: v, err: err}:
-					case <-done:
-						return
-					}
+					v, err := process(i, slot)
+					// Never blocks: holding the token means the slot's
+					// ready channel is empty.
+					ready[slot] <- result{v: v, err: err}
 				}
 			})
 		}()
 	}
-	go func() {
-		defer close(jobs)
-		for i := 0; i < count; i++ {
-			select {
-			case jobs <- i:
-			case <-done:
-				return
-			}
-		}
-	}()
 
-	// Collector: chunks may finish out of order; park them until their
-	// turn, then emit and free their in-flight slot. Jobs are handed
-	// out in increasing order, so the lowest unemitted chunk is always
-	// either parked or being processed — emission always progresses.
-	pending := make(map[int]result, workers)
-	next := 0
+	// Emitter: walk the ring in chunk order. Chunk indices are claimed
+	// in increasing order and chunk i's slot is free once chunk
+	// i-workers is emitted, so the next chunk is always either parked
+	// or being processed — emission always progresses.
 	var firstErr error
-	for received := 0; received < count; received++ {
-		r := <-results
+	for i := 0; i < count; i++ {
+		r := <-ready[i%workers]
 		if r.err != nil {
-			firstErr = fmt.Errorf("chunk %d: %w", r.i, r.err)
+			firstErr = fmt.Errorf("chunk %d: %w", i, r.err)
 			break
 		}
-		pending[r.i] = r
-		for firstErr == nil {
-			p, ok := pending[next]
-			if !ok {
-				break
-			}
-			delete(pending, next)
-			<-sem
-			if err := emit(next, p.v); err != nil {
-				firstErr = err
-			}
-			next++
-		}
-		if firstErr != nil {
+		if err := emit(i, r.v); err != nil {
+			firstErr = err
 			break
 		}
+		free[i%workers] <- struct{}{}
 	}
 	close(done)
 	wg.Wait()
@@ -151,20 +133,66 @@ func chunkSpan(n, chunkPoints, i int) (lo, np int) {
 	return lo, np
 }
 
-// readPair reads the prev and cur windows of one chunk.
-func readPair(prev, cur Source, lo, np int) (pbuf, cbuf []float64, err error) {
-	pbuf = make([]float64, np)
-	cbuf = make([]float64, np)
-	if err := prev.ReadFloats(pbuf, lo); err != nil {
-		return nil, nil, err
+// growF returns a length-n float64 slice, reusing buf's backing array
+// when it is large enough.
+func growF(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
 	}
-	if err := cur.ReadFloats(cbuf, lo); err != nil {
-		return nil, nil, err
+	return buf[:n]
+}
+
+// growU32 is growF for index slices.
+func growU32(buf []uint32, n int) []uint32 {
+	if cap(buf) < n {
+		return make([]uint32, n)
 	}
-	return pbuf, cbuf, nil
+	return buf[:n]
+}
+
+// growB is growF for flag slices.
+func growB(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	return buf[:n]
+}
+
+// readWindow returns the [lo, lo+np) window of src: a zero-copy view
+// when src is a WindowSource that can expose one, otherwise the window
+// is read into buf (grown as needed). The possibly-grown scratch buffer
+// is returned either way so callers can keep it for reuse; win aliases
+// it only on the copying path.
+func readWindow(src Source, lo, np int, buf []float64) (win, scratch []float64, err error) {
+	if ws, ok := src.(WindowSource); ok {
+		if v, ok := ws.Window(lo, np); ok {
+			return v, buf, nil
+		}
+	}
+	buf = growF(buf, np)
+	if err := src.ReadFloats(buf, lo); err != nil {
+		return nil, buf, err
+	}
+	return buf, buf, nil
+}
+
+// encodeSlot is one ring slot's reusable buffer set. orderedChunks
+// guarantees a slot's previous chunk has been emitted — and both sinks
+// copy what they keep — before the slot is reused, so every field can
+// be overwritten freely. In steady state (all chunks the same size) no
+// field reallocates after the first lap of the ring.
+type encodeSlot struct {
+	pbuf, cbuf     []float64 // read scratch; unused when the source is windowed
+	ratios         core.Ratios
+	ti             []float64
+	indices        []uint32
+	incompressible []bool
+	exact          []float64
 }
 
 // chunkOut is one chunk's encode result, in the shape Sink consumes.
+// Its slices alias the chunk's encodeSlot and are valid until the slot
+// is refreed (i.e. through the emit call).
 type chunkOut struct {
 	indices        []uint32
 	incompressible []bool
@@ -179,6 +207,13 @@ type chunkOut struct {
 // sources must be re-readable and of equal length. The sink's own
 // finalization (Finish, Bytes) is the caller's job — the factory
 // closure keeps a reference.
+//
+// When the run is entirely uncapped (BudgetBytes == 0 and
+// MaxTableInput == 0) pass 1 retains each chunk's ratios for pass 2,
+// which then re-reads only cur (for the exact values) and skips the
+// ratio recomputation. The cache holds 9 bytes per point — acceptable
+// only because the caller asked for no memory bound; any cap disables
+// it and the two passes stay fully streaming.
 func Encode(prev, cur Source, opt core.Options, cfg Config, newSink NewSink) (*Result, error) {
 	vopt, err := opt.Validate()
 	if err != nil {
@@ -208,27 +243,44 @@ func Encode(prev, cur Source, opt core.Options, cfg Config, newSink NewSink) (*R
 		chunkCount = (n + cfg.ChunkPoints - 1) / cfg.ChunkPoints
 	}
 
+	var cache []core.Ratios
+	if cfg.BudgetBytes == 0 && cfg.MaxTableInput == 0 {
+		cache = make([]core.Ratios, chunkCount)
+	}
+	slots := make([]encodeSlot, cfg.Workers)
+
 	// Pass 1: ratios only, gathering the table input in point order.
-	// Each chunk's TableInput slice is a contiguous piece of the exact
+	// Each chunk's table-input slice is a contiguous piece of the exact
 	// sequence the in-memory encoder hands to core.Fit.
 	res := newReservoir(cfg.MaxTableInput)
 	err = orderedChunks(chunkCount, cfg.Workers, "encode-pass1", rec,
-		func(i int) ([]float64, error) {
+		func(i, slot int) ([]float64, error) {
 			lo, np := chunkSpan(n, cfg.ChunkPoints, i)
+			s := &slots[slot]
 			t := rec.Start()
-			pbuf, cbuf, err := readPair(prev, cur, lo, np)
+			pbuf, pscratch, err := readWindow(prev, lo, np, s.pbuf)
+			s.pbuf = pscratch
+			var cbuf []float64
+			if err == nil {
+				cbuf, s.cbuf, err = readWindow(cur, lo, np, s.cbuf)
+			}
 			t.Stop(obs.StageRead)
 			if err != nil {
 				return nil, err
 			}
 			rec.Add(obs.CounterBytesRead, 16*int64(np))
-			t = rec.Start()
-			ratios, err := core.ComputeRatios(pbuf, cbuf, 1)
-			t.Stop(obs.StageRatio)
-			if err != nil {
-				return nil, err
+			r := &s.ratios
+			if cache != nil {
+				r = &cache[i]
 			}
-			return ratios.TableInput(vopt), nil
+			t = rec.Start()
+			rerr := core.ComputeRatiosInto(pbuf, cbuf, 1, r)
+			t.Stop(obs.StageRatio)
+			if rerr != nil {
+				return nil, rerr
+			}
+			s.ti = r.TableInputInto(vopt, s.ti)
+			return s.ti, nil
 		},
 		func(_ int, ti []float64) error {
 			res.add(ti)
@@ -268,37 +320,63 @@ func Encode(prev, cur Source, opt core.Options, cfg Config, newSink NewSink) (*R
 		return nil, err
 	}
 
-	// Pass 2: re-read, assign bins, stream sections out in order.
+	// Pass 2: assign bins and stream sections out in order, re-reading
+	// only what pass 1 did not cache.
 	exactCount := 0
 	err = orderedChunks(chunkCount, cfg.Workers, "encode-pass2", rec,
-		func(i int) (chunkOut, error) {
+		func(i, slot int) (chunkOut, error) {
 			lo, np := chunkSpan(n, cfg.ChunkPoints, i)
+			s := &slots[slot]
+			var ratios *core.Ratios
+			var cbuf []float64
+			var err error
+			if cache != nil {
+				ratios = &cache[i]
+				t := rec.Start()
+				cbuf, s.cbuf, err = readWindow(cur, lo, np, s.cbuf)
+				t.Stop(obs.StageRead)
+				if err != nil {
+					return chunkOut{}, err
+				}
+				rec.Add(obs.CounterBytesRead, 8*int64(np))
+			} else {
+				t := rec.Start()
+				var pbuf []float64
+				pbuf, s.pbuf, err = readWindow(prev, lo, np, s.pbuf)
+				if err == nil {
+					cbuf, s.cbuf, err = readWindow(cur, lo, np, s.cbuf)
+				}
+				t.Stop(obs.StageRead)
+				if err != nil {
+					return chunkOut{}, err
+				}
+				rec.Add(obs.CounterBytesRead, 16*int64(np))
+				t = rec.Start()
+				rerr := core.ComputeRatiosInto(pbuf, cbuf, 1, &s.ratios)
+				t.Stop(obs.StageRatio)
+				if rerr != nil {
+					return chunkOut{}, rerr
+				}
+				ratios = &s.ratios
+			}
+			s.indices = growU32(s.indices, np)
+			s.incompressible = growB(s.incompressible, np)
 			t := rec.Start()
-			pbuf, cbuf, err := readPair(prev, cur, lo, np)
-			t.Stop(obs.StageRead)
-			if err != nil {
-				return chunkOut{}, err
-			}
-			rec.Add(obs.CounterBytesRead, 16*int64(np))
-			t = rec.Start()
-			ratios, err := core.ComputeRatios(pbuf, cbuf, 1)
-			t.Stop(obs.StageRatio)
-			if err != nil {
-				return chunkOut{}, err
-			}
-			out := chunkOut{
-				indices:        make([]uint32, np),
-				incompressible: make([]bool, np),
-			}
-			t = rec.Start()
-			core.AssignChunk(ratios, bins, vopt, out.indices, out.incompressible)
-			for j, inc := range out.incompressible {
+			core.AssignChunk(ratios, bins, vopt, s.indices, s.incompressible)
+			exact := s.exact[:0]
+			for j, inc := range s.incompressible {
 				if inc {
-					out.exact = append(out.exact, cbuf[j])
+					exact = append(exact, cbuf[j])
 				}
 			}
+			s.exact = exact
 			t.Stop(obs.StageAssign)
-			return out, nil
+			if cache != nil {
+				// Release the chunk's cached ratios as the pass moves
+				// past it instead of holding the whole array to the end.
+				cache[i] = core.Ratios{}
+			}
+			return chunkOut{indices: s.indices, incompressible: s.incompressible, exact: exact}, nil
 		},
 		func(_ int, out chunkOut) error {
 			exactCount += len(out.exact)
@@ -366,10 +444,22 @@ func EncodeDeltaV2(w io.Writer, variable string, iteration int, prev, cur Source
 	return res, nil
 }
 
+// decodeSlot is one ring slot's reusable decode state: a chunk decoder
+// (section, index, bitmap, and exact-value scratch) plus the prev
+// window and output buffers. Keyed by slot, so reuse is safe under the
+// orderedChunks ring invariant.
+type decodeSlot struct {
+	dec  *checkpoint.ChunkDecoder
+	pbuf []float64
+	dst  []float64
+}
+
 // DecodeDeltaV2 streams the reconstruction of an opened v2 delta:
-// chunks are decoded concurrently (prev windows read from prev), and
+// chunks are decoded concurrently off the chunk directory (each worker
+// reads, unpacks, and reconstructs its chunk fully independently), and
 // emit receives the reconstructed values in chunk order. The emit
-// callback must copy anything it wants to keep. cfg.Workers bounds the
+// callback must copy anything it wants to keep — the slice is a
+// per-slot buffer reused for a later chunk. cfg.Workers bounds the
 // concurrency; ChunkPoints is fixed by the file.
 func DecodeDeltaV2(d *checkpoint.DeltaV2Reader, prev Source, cfg Config, emit func(vals []float64) error) error {
 	meta := d.Meta()
@@ -385,22 +475,27 @@ func DecodeDeltaV2(d *checkpoint.DeltaV2Reader, prev Source, cfg Config, emit fu
 		d.SetRecorder(rec)
 		rec.SetMax(obs.GaugeWorkers, int64(cfg.Workers))
 	}
+	slots := make([]decodeSlot, cfg.Workers)
+	for s := range slots {
+		slots[s].dec = d.NewChunkDecoder()
+	}
 	err = orderedChunks(meta.ChunkCount, cfg.Workers, "decode", rec,
-		func(i int) ([]float64, error) {
+		func(i, slot int) ([]float64, error) {
 			lo, np := d.ChunkSpan(i)
+			s := &slots[slot]
 			t := rec.Start()
-			pbuf := make([]float64, np)
-			rerr := prev.ReadFloats(pbuf, lo)
+			pbuf, pscratch, rerr := readWindow(prev, lo, np, s.pbuf)
+			s.pbuf = pscratch
 			t.Stop(obs.StageRead)
 			if rerr != nil {
 				return nil, rerr
 			}
 			rec.Add(obs.CounterBytesRead, 8*int64(np))
-			dst := make([]float64, np)
-			if err := d.DecodeChunkInto(i, pbuf, dst); err != nil {
+			s.dst = growF(s.dst, np)
+			if err := s.dec.DecodeChunkInto(i, pbuf, s.dst); err != nil {
 				return nil, err
 			}
-			return dst, nil
+			return s.dst, nil
 		},
 		func(_ int, vals []float64) error {
 			return emit(vals)

@@ -41,9 +41,9 @@ func fitBinner(data []float64, opt Options) (Binner, error) {
 	k := opt.NumBins()
 	switch opt.Strategy {
 	case EqualWidth:
-		return fitEqualWidth(data, k), nil
+		return fitEqualWidth(data, k, opt.Workers), nil
 	case LogScale:
-		return fitLogScale(data, k), nil
+		return fitLogScale(data, k, opt.Workers), nil
 	case Clustering:
 		return fitClustering(data, k, opt)
 	case EqualFrequency:
@@ -96,8 +96,8 @@ type equalWidthBinner struct {
 	reps      []float64
 }
 
-func fitEqualWidth(data []float64, k int) *equalWidthBinner {
-	lo, hi := minMax(data)
+func fitEqualWidth(data []float64, k, workers int) *equalWidthBinner {
+	lo, hi := parMinMax(data, workers)
 	if fputil.Eq(lo, hi) {
 		return &equalWidthBinner{lo: lo, width: 0, reps: []float64{lo}}
 	}
@@ -135,46 +135,42 @@ type logScaleBinner struct {
 }
 
 // logSide is one sign's log-spaced binning over [minAbs, maxAbs].
+//
+// Lookup has two paths. The slow path evaluates the defining formula
+// (a math.Log per point). The fast path exploits the fact that
+// math.Float64bits is monotone over positive floats: the magnitude
+// range [minAbs, maxAbs] becomes an integer interval of bit patterns,
+// which a right shift tiles into equal cells. Each cell precomputes its
+// bin where the formula gives the same answer at both cell edges —
+// monotonicity then guarantees every interior value agrees — and marks
+// itself ambiguous (-1) otherwise, falling back to the formula. The
+// fast path is therefore bit-identical to the slow one by construction
+// (TestLogLookupFastMatchesSlow exercises adversarial inputs).
 type logSide struct {
 	k          int // number of bins (0 if the side is empty)
 	base       int // offset of this side's first rep in reps
 	logLo, spn float64
+
+	loBits, hiBits uint64 // Float64bits of minAbs / maxAbs
+	shift          uint   // bits per LUT cell
+	lut            []int32 // per-cell bin, -1 = take the slow path
 }
 
-func fitLogScale(data []float64, k int) *logScaleBinner {
-	var nNeg, nPos int
-	negMin, negMax := math.Inf(1), math.Inf(-1) // over |d|
-	posMin, posMax := math.Inf(1), math.Inf(-1)
-	for _, d := range data {
-		a := math.Abs(d)
-		if fputil.IsZero(a) {
-			continue // handled by nearest-rep fallback in Lookup
-		}
-		if d < 0 {
-			nNeg++
-			if a < negMin {
-				negMin = a
-			}
-			if a > negMax {
-				negMax = a
-			}
-		} else {
-			nPos++
-			if a < posMin {
-				posMin = a
-			}
-			if a > posMax {
-				posMax = a
-			}
-		}
-	}
+func fitLogScale(data []float64, k, workers int) *logScaleBinner {
+	// The per-sign magnitude statistics come from fixed-range parallel
+	// scans (parfit.go): count/min/max merge exactly, so the learned
+	// table is the same for any worker count. Zero-magnitude ratios are
+	// skipped; they hit the nearest-rep fallback in Lookup.
+	neg, pos := parSignStats(data, workers)
 	b := &logScaleBinner{}
-	kNeg, kPos := splitBins(k, nNeg, nPos)
+	kNeg, kPos := splitBins(k, neg.n, pos.n)
 	if kNeg > 0 {
-		b.neg = makeLogSide(kNeg, 0, negMin, negMax)
+		b.neg = makeLogSide(kNeg, 0, neg.min, neg.max)
+		b.neg.buildLUT(neg.min, neg.max)
 	}
 	if kPos > 0 {
-		b.pos = makeLogSide(kPos, kNeg, posMin, posMax)
+		b.pos = makeLogSide(kPos, kNeg, pos.min, pos.max)
+		b.pos.buildLUT(pos.min, pos.max)
 	}
 	b.reps = make([]float64, 0, kNeg+kPos)
 	for i := 0; i < kNeg; i++ {
@@ -221,6 +217,73 @@ func makeLogSide(k, base int, minAbs, maxAbs float64) logSide {
 	return logSide{k: k, base: base, logLo: logLo, spn: spn}
 }
 
+// slowIndex is the defining log-formula bin computation, clamped to
+// [0, k-1]. The LUT is built from it and falls back to it, so every
+// fast answer is provably one this function would give.
+func (s *logSide) slowIndex(absD float64) int {
+	// Compare before converting: a magnitude far outside the fitted
+	// range (possible when the table was learned on a sample) with a
+	// near-degenerate span can push f past the int range, where int(f)
+	// is implementation-defined.
+	f := float64(s.k) * (math.Log(absD) - s.logLo) / s.spn
+	if f >= float64(s.k-1) {
+		return s.k - 1
+	}
+	if f > 0 {
+		return int(f)
+	}
+	return 0
+}
+
+// lookupSlow is the pre-LUT lookup, kept as the reference oracle for
+// the fast-path property tests.
+func (s *logSide) lookupSlow(absD float64) int {
+	if s.k == 0 {
+		return -1
+	}
+	if fputil.IsZero(s.spn) {
+		return s.base
+	}
+	return s.base + s.slowIndex(absD)
+}
+
+// maxLUTCells bounds the bits-grid lookup table per sign: 4096 int32
+// cells is 16 KiB, within L1 alongside the data being scanned.
+const maxLUTCells = 4096
+
+// buildLUT precomputes the bits-grid fast path over [minAbs, maxAbs].
+// Both bounds must be positive (guaranteed: zero magnitudes are skipped
+// by the sign-stat scan) and the side non-degenerate (spn > 0).
+func (s *logSide) buildLUT(minAbs, maxAbs float64) {
+	if s.k == 0 || fputil.IsZero(s.spn) {
+		return
+	}
+	s.loBits = math.Float64bits(minAbs)
+	s.hiBits = math.Float64bits(maxAbs)
+	span := s.hiBits - s.loBits
+	s.shift = 0
+	for (span >> s.shift) >= maxLUTCells {
+		s.shift++
+	}
+	cells := int(span>>s.shift) + 1
+	s.lut = make([]int32, cells)
+	for c := 0; c < cells; c++ {
+		start := s.loBits + uint64(c)<<s.shift
+		end := start + 1<<s.shift - 1
+		if end > s.hiBits {
+			end = s.hiBits
+		}
+		first := s.slowIndex(math.Float64frombits(start))
+		last := s.slowIndex(math.Float64frombits(end))
+		if first == last {
+			//lint:ignore bindex bin index < k <= 2^MaxIndexBits, enforced by Options.Validate
+			s.lut[c] = int32(first)
+		} else {
+			s.lut[c] = -1
+		}
+	}
+}
+
 func (s *logSide) lookup(absD float64) int {
 	if s.k == 0 {
 		return -1
@@ -228,14 +291,19 @@ func (s *logSide) lookup(absD float64) int {
 	if fputil.IsZero(s.spn) {
 		return s.base
 	}
-	i := int(float64(s.k) * (math.Log(absD) - s.logLo) / s.spn)
-	if i < 0 {
-		i = 0
+	if s.lut != nil {
+		b := math.Float64bits(absD)
+		if b <= s.loBits {
+			return s.base // slowIndex clamps everything below minAbs to 0
+		}
+		if b >= s.hiBits {
+			return s.base + s.k - 1 // and everything above maxAbs to k-1
+		}
+		if g := s.lut[(b-s.loBits)>>s.shift]; g >= 0 {
+			return s.base + int(g)
+		}
 	}
-	if i >= s.k {
-		i = s.k - 1
-	}
-	return s.base + i
+	return s.base + s.slowIndex(absD)
 }
 
 func (b *logScaleBinner) Representatives() []float64 { return b.reps }
@@ -253,9 +321,32 @@ func (b *logScaleBinner) Lookup(d float64) int {
 	if i >= 0 {
 		return i
 	}
-	// Zero ratio or a sign with no bins (possible only in the
-	// DisableZeroIndex ablation): fall back to the nearest
-	// representative.
+	return b.nearestRep(d)
+}
+
+// LookupSlow is Lookup through the pre-LUT formula path, kept as the
+// oracle for the fast-path property tests: Lookup must agree with it on
+// every input.
+func (b *logScaleBinner) LookupSlow(d float64) int {
+	var i int
+	switch {
+	case d < 0:
+		i = b.neg.lookupSlow(-d)
+	case d > 0:
+		i = b.pos.lookupSlow(d)
+	default:
+		i = -1
+	}
+	if i >= 0 {
+		return i
+	}
+	return b.nearestRep(d)
+}
+
+// nearestRep is the shared fallback for a zero ratio or a sign with no
+// bins (possible only in the DisableZeroIndex ablation): the nearest
+// representative by absolute distance.
+func (b *logScaleBinner) nearestRep(d float64) int {
 	best, bestDist := 0, math.Inf(1)
 	for j, r := range b.reps {
 		if dist := math.Abs(r - d); dist < bestDist {
@@ -267,7 +358,11 @@ func (b *logScaleBinner) Lookup(d float64) int {
 
 // clusterBinner approximates each ratio by its k-means centroid
 // (§II-C3). Centroids are seeded from the equal-width histogram as in
-// the paper (or uniformly, for the seeding ablation).
+// the paper (or uniformly, for the seeding ablation). Lookup runs
+// through the kmeans uniform-grid index over the sorted centroids — the
+// branch-light equivalent of a sorted-centroid midpoint table: each
+// grid cell already knows the 1-3 centroids whose midpoints cross it,
+// and single-candidate cells resolve without any comparison.
 type clusterBinner struct {
 	cents []float64
 	ix    *kmeans.Index
@@ -276,6 +371,17 @@ type clusterBinner struct {
 func fitClustering(data []float64, k int, opt Options) (*clusterBinner, error) {
 	if k > len(data) {
 		k = len(data) // never more clusters than points
+	}
+	if len(data) > 2*sketchBins(k) {
+		// Large input: learn over per-range sketches concurrently and
+		// merge (parfit.go). Lloyd then iterates over at most
+		// sketchBins(k) weighted micro-centroids instead of len(data)
+		// points, which is where the clustering table stage's time goes.
+		b, err := fitClusteringSketch(data, k, opt)
+		if err != nil {
+			return nil, fmt.Errorf("core: clustering strategy: %w", err)
+		}
+		return b, nil
 	}
 	cfg := kmeans.Config{
 		K:       k,

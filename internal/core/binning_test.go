@@ -8,7 +8,7 @@ import (
 
 func TestEqualWidthBinnerCenters(t *testing.T) {
 	data := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
-	b := fitEqualWidth(data, 5)
+	b := fitEqualWidth(data, 5, 1)
 	reps := b.Representatives()
 	if len(reps) != 5 {
 		t.Fatalf("reps = %v", reps)
@@ -36,7 +36,7 @@ func TestEqualWidthBinnerCenters(t *testing.T) {
 }
 
 func TestEqualWidthBinnerConstant(t *testing.T) {
-	b := fitEqualWidth([]float64{2.5, 2.5}, 7)
+	b := fitEqualWidth([]float64{2.5, 2.5}, 7, 1)
 	if len(b.Representatives()) != 1 || b.Representatives()[0] != 2.5 {
 		t.Errorf("constant reps = %v", b.Representatives())
 	}
@@ -148,7 +148,7 @@ func TestClusteringBeatsBinningOnMultiModalData(t *testing.T) {
 
 func TestLogScaleBinnerSignHandling(t *testing.T) {
 	data := []float64{-0.5, -0.01, 0.02, 0.3, 0.004, -0.002}
-	b := fitLogScale(data, 10)
+	b := fitLogScale(data, 10, 1)
 	reps := b.Representatives()
 	if len(reps) == 0 || len(reps) > 10 {
 		t.Fatalf("reps = %v", reps)
@@ -169,14 +169,14 @@ func TestLogScaleBinnerSignHandling(t *testing.T) {
 
 func TestLogScaleBinnerOneSided(t *testing.T) {
 	data := []float64{0.001, 0.01, 0.1, 1}
-	b := fitLogScale(data, 8)
+	b := fitLogScale(data, 8, 1)
 	for _, r := range b.Representatives() {
 		if r <= 0 {
 			t.Errorf("positive-only data produced rep %v", r)
 		}
 	}
 	neg := []float64{-0.001, -0.01}
-	b = fitLogScale(neg, 8)
+	b = fitLogScale(neg, 8, 1)
 	for _, r := range b.Representatives() {
 		if r >= 0 {
 			t.Errorf("negative-only data produced rep %v", r)
@@ -187,7 +187,7 @@ func TestLogScaleBinnerOneSided(t *testing.T) {
 func TestLogScaleBinnerZeroFallback(t *testing.T) {
 	// Zero ratios only appear via the DisableZeroIndex ablation; they
 	// must map to the nearest representative rather than crash.
-	b := fitLogScale([]float64{0.001, 0.5}, 4)
+	b := fitLogScale([]float64{0.001, 0.5}, 4, 1)
 	g := b.Lookup(0)
 	reps := b.Representatives()
 	if g < 0 || g >= len(reps) {
@@ -206,7 +206,7 @@ func TestLogScaleBinnerZeroFallback(t *testing.T) {
 }
 
 func TestLogScaleAllZeros(t *testing.T) {
-	b := fitLogScale([]float64{0, 0}, 4)
+	b := fitLogScale([]float64{0, 0}, 4, 1)
 	if len(b.Representatives()) != 1 || b.Representatives()[0] != 0 {
 		t.Errorf("all-zero reps = %v", b.Representatives())
 	}

@@ -152,18 +152,22 @@ func encodeWith(prev, cur []float64, opt Options, fit func([]float64) (Binner, e
 
 // assignRange runs the per-point bin-assignment stage over points
 // [lo, hi): it writes each point's index value into indices and flags
-// the points the error bound forces to be stored exactly. reps must be
+// the points the error bound forces to be stored exactly. Both output
+// fields are written unconditionally for every point — the slices may
+// be pooled buffers carrying a previous chunk's values. reps must be
 // bins.Representatives() (nil when no large ratios exist anywhere and
 // bins is nil); opt must be validated.
 func assignRange(ratios *Ratios, bins Binner, reps []float64, opt Options, lo, hi int, indices []uint32, incompressible []bool) {
 	for j := lo; j < hi; j++ {
 		if ratios.Kind[j] != RatioOK {
+			indices[j] = 0
 			incompressible[j] = true
 			continue
 		}
 		d := ratios.Delta[j]
 		if !opt.DisableZeroIndex && math.Abs(d) < opt.ErrorBound {
 			indices[j] = 0 // within tolerance of "unchanged"
+			incompressible[j] = false
 			continue
 		}
 		g := bins.Lookup(d)
@@ -172,11 +176,13 @@ func assignRange(ratios *Ratios, bins Binner, reps []float64, opt Options, lo, h
 			// The learned distribution cannot represent this point
 			// within the bound: store it exactly. This is the
 			// mechanism that makes the bound a guarantee (§II-C).
+			indices[j] = 0
 			incompressible[j] = true
 			continue
 		}
 		//lint:ignore bindex g+1 <= NumBins <= 2^MaxIndexBits, enforced by Options.Validate
 		indices[j] = uint32(g + 1)
+		incompressible[j] = false
 	}
 }
 

@@ -43,19 +43,39 @@ type Ratios struct {
 // Eq. 1) using up to `workers` goroutines (<=0 means GOMAXPROCS). Inputs
 // must be finite; zero prev values yield RatioNoBase.
 func ComputeRatios(prev, cur []float64, workers int) (*Ratios, error) {
+	r := &Ratios{}
+	if err := ComputeRatiosInto(prev, cur, workers, r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// ComputeRatiosInto is ComputeRatios writing into r, reusing r's slices
+// when they have capacity. It is the allocation-free steady-state form:
+// the streaming pipeline computes ratios for every chunk, and a pooled
+// Ratios per pipeline slot makes second-and-later chunks allocate
+// nothing here.
+func ComputeRatiosInto(prev, cur []float64, workers int, r *Ratios) error {
 	if len(prev) != len(cur) {
-		return nil, fmt.Errorf("%w: %d vs %d", ErrLength, len(prev), len(cur))
+		return fmt.Errorf("%w: %d vs %d", ErrLength, len(prev), len(cur))
 	}
 	n := len(prev)
-	r := &Ratios{Delta: make([]float64, n), Kind: make([]RatioKind, n)}
+	r.Delta = growFloats(r.Delta, n)
+	r.Kind = growKinds(r.Kind, n)
 	if n == 0 {
-		return r, nil
+		return nil
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > n {
 		workers = n
+	}
+	if workers == 1 {
+		// Serial fast path: no goroutine or error-slab allocation, so a
+		// pooled caller (the streaming pipeline computes one chunk's
+		// ratios per call) stays allocation-free.
+		return ratioRange(prev, cur, 0, n, r)
 	}
 	chunk := (n + workers - 1) / workers
 	errs := make([]error, workers)
@@ -72,32 +92,59 @@ func ComputeRatios(prev, cur []float64, workers int) (*Ratios, error) {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			for j := lo; j < hi; j++ {
-				p, c := prev[j], cur[j]
-				if math.IsNaN(p) || math.IsInf(p, 0) || math.IsNaN(c) || math.IsInf(c, 0) {
-					errs[w] = fmt.Errorf("%w: point %d (prev=%v cur=%v)", ErrNonFinite, j, p, c)
-					return
-				}
-				if fputil.IsZero(p) {
-					r.Kind[j] = RatioNoBase
-					continue
-				}
-				d := (c - p) / p
-				if math.IsInf(d, 0) || math.IsNaN(d) {
-					r.Kind[j] = RatioOverflow
-					continue
-				}
-				r.Delta[j] = d
-			}
+			errs[w] = ratioRange(prev, cur, lo, hi, r)
 		}(w, lo, hi)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return r, nil
+	return nil
+}
+
+// ratioRange computes the ratios of points [lo, hi). Both output fields
+// are written unconditionally: the buffers may be reused across chunks
+// and carry stale values.
+func ratioRange(prev, cur []float64, lo, hi int, r *Ratios) error {
+	for j := lo; j < hi; j++ {
+		p, c := prev[j], cur[j]
+		if math.IsNaN(p) || math.IsInf(p, 0) || math.IsNaN(c) || math.IsInf(c, 0) {
+			return fmt.Errorf("%w: point %d (prev=%v cur=%v)", ErrNonFinite, j, p, c)
+		}
+		if fputil.IsZero(p) {
+			r.Delta[j] = 0
+			r.Kind[j] = RatioNoBase
+			continue
+		}
+		d := (c - p) / p
+		if math.IsInf(d, 0) || math.IsNaN(d) {
+			r.Delta[j] = 0
+			r.Kind[j] = RatioOverflow
+			continue
+		}
+		r.Delta[j] = d
+		r.Kind[j] = RatioOK
+	}
+	return nil
+}
+
+// growFloats returns s resized to length n, reusing its backing array
+// when capacity allows.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
+}
+
+// growKinds is growFloats for RatioKind slices.
+func growKinds(s []RatioKind, n int) []RatioKind {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]RatioKind, n)
 }
 
 // Large returns the ratios with |Δ| >= bound and RatioOK kind — the
@@ -123,6 +170,22 @@ func (r *Ratios) TableInput(opt Options) []float64 {
 		return r.All()
 	}
 	return r.Large(opt.ErrorBound)
+}
+
+// TableInputInto is TableInput appending into buf[:0], reusing buf's
+// backing array when it has capacity — the pooled form the streaming
+// pipeline uses to keep its per-chunk table-input gather allocation
+// free. The selected values are identical to TableInput's.
+func (r *Ratios) TableInputInto(opt Options, buf []float64) []float64 {
+	out := buf[:0]
+	bound := opt.ErrorBound
+	all := opt.DisableZeroIndex
+	for j, d := range r.Delta {
+		if r.Kind[j] == RatioOK && (all || math.Abs(d) >= bound) {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // All returns every finite ratio (RatioOK points), freshly allocated.

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// LoadCodecBench reads a BENCH_codec.json file.
+func LoadCodecBench(path string) (*CodecBenchResult, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r CodecBenchResult
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// pctDelta formats new relative to old as a signed percentage; old <= 0
+// yields "n/a" (a stage absent from the old run has no baseline).
+func pctDelta(old, new int64) string {
+	if old <= 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*float64(new-old)/float64(old))
+}
+
+// diffLine prints one "name: old -> new (delta)" row in milliseconds.
+func diffLine(w io.Writer, indent, name string, old, new int64) error {
+	_, err := fmt.Fprintf(w, "%s%-18s %9.2fms -> %9.2fms  %s\n",
+		indent, name, float64(old)/1e6, float64(new)/1e6, pctDelta(old, new))
+	return err
+}
+
+// DiffCodecBench renders the per-row and per-stage deltas between two
+// codec bench results: headline encode/decode times, decode worker
+// rows, encoded size, and the streaming per-stage breakdowns. Rows are
+// matched by strategy name; strategies present in only one file are
+// reported and skipped. Comparing runs from different datasets or
+// machines is flagged, not refused — the reader decides what a delta
+// across environments means.
+func DiffCodecBench(old, new *CodecBenchResult, w io.Writer) error {
+	if old.Points != new.Points || old.ChunkPoints != new.ChunkPoints {
+		if _, err := fmt.Fprintf(w, "warning: shapes differ (%d points/%d chunk vs %d/%d) — deltas mix workload changes with code changes\n",
+			old.Points, old.ChunkPoints, new.Points, new.ChunkPoints); err != nil {
+			return err
+		}
+	}
+	if old.NumCPU != new.NumCPU || old.GoMaxProcs != new.GoMaxProcs {
+		if _, err := fmt.Fprintf(w, "warning: environments differ (%d CPU/GOMAXPROCS %d vs %d/%d)\n",
+			old.NumCPU, old.GoMaxProcs, new.NumCPU, new.GoMaxProcs); err != nil {
+			return err
+		}
+	}
+	oldRows := map[string]CodecStrategyTiming{}
+	for _, r := range old.Rows {
+		oldRows[r.Strategy] = r
+	}
+	seen := map[string]bool{}
+	for _, nr := range new.Rows {
+		seen[nr.Strategy] = true
+		or, ok := oldRows[nr.Strategy]
+		if !ok {
+			if _, err := fmt.Fprintf(w, "%s: only in new file\n", nr.Strategy); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s:\n", nr.Strategy); err != nil {
+			return err
+		}
+		if err := diffLine(w, "  ", "encode_inmemory", or.EncodeInMemoryNs, nr.EncodeInMemoryNs); err != nil {
+			return err
+		}
+		if err := diffLine(w, "  ", "encode_stream", or.EncodeStreamNs, nr.EncodeStreamNs); err != nil {
+			return err
+		}
+		if err := diffLine(w, "  ", "decode_inmemory", or.DecodeInMemoryNs, nr.DecodeInMemoryNs); err != nil {
+			return err
+		}
+		oldDecode := map[int]CodecDecodeTiming{}
+		for _, d := range or.DecodeChunked {
+			oldDecode[d.Workers] = d
+		}
+		for _, d := range nr.DecodeChunked {
+			od, ok := oldDecode[d.Workers]
+			if !ok {
+				continue
+			}
+			name := fmt.Sprintf("decode v2@%dw", d.Workers)
+			if d.EnvLimited || od.EnvLimited {
+				name += "*"
+			}
+			if err := diffLine(w, "  ", name, od.Ns, d.Ns); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "  %-18s %9d B  -> %9d B   %s\n",
+			"encoded_bytes", or.EncodedBytes, nr.EncodedBytes, pctDelta(int64(or.EncodedBytes), int64(nr.EncodedBytes))); err != nil {
+			return err
+		}
+		if err := diffStages(w, "encode stage", or.EncodeStreamStages, nr.EncodeStreamStages); err != nil {
+			return err
+		}
+		if err := diffStages(w, "decode stage", or.DecodeStreamStages, nr.DecodeStreamStages); err != nil {
+			return err
+		}
+	}
+	for _, r := range old.Rows {
+		if !seen[r.Strategy] {
+			if _, err := fmt.Fprintf(w, "%s: only in old file\n", r.Strategy); err != nil {
+				return err
+			}
+		}
+	}
+	if new.EnvNote != "" {
+		if _, err := fmt.Fprintf(w, "note: %s\n", new.EnvNote); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// diffStages prints the union of both runs' stage totals in a stable
+// order.
+func diffStages(w io.Writer, label string, old, new map[string]int64) error {
+	names := map[string]bool{}
+	for n := range old {
+		names[n] = true
+	}
+	for n := range new {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	for _, n := range sorted {
+		if err := diffLine(w, "    ", label+" "+n, old[n], new[n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDiffCodecBench renders a diff of two synthetic results and checks
+// the deltas, the env-limited star, and the environment warning.
+func TestDiffCodecBench(t *testing.T) {
+	old := &CodecBenchResult{
+		Points: 1000, ChunkPoints: 100, Iters: 1, NumCPU: 1, GoMaxProcs: 1,
+		Rows: []CodecStrategyTiming{{
+			Strategy:         "equal-width",
+			EncodeInMemoryNs: 2_000_000,
+			EncodeStreamNs:   4_000_000,
+			DecodeInMemoryNs: 1_000_000,
+			DecodeChunked: []CodecDecodeTiming{
+				{Workers: 1, Ns: 3_000_000, Speedup: 1},
+				{Workers: 8, Ns: 3_000_000, Speedup: 1, EnvLimited: true},
+			},
+			EncodedBytes:       500,
+			EncodeStreamStages: map[string]int64{"ratio": 1_000_000, "table": 2_000_000},
+		}, {Strategy: "log-scale"}},
+	}
+	new := &CodecBenchResult{
+		Points: 1000, ChunkPoints: 100, Iters: 1, NumCPU: 4, GoMaxProcs: 4,
+		Rows: []CodecStrategyTiming{{
+			Strategy:         "equal-width",
+			EncodeInMemoryNs: 2_000_000,
+			EncodeStreamNs:   2_000_000,
+			DecodeInMemoryNs: 1_000_000,
+			DecodeChunked: []CodecDecodeTiming{
+				{Workers: 1, Ns: 3_000_000, Speedup: 1},
+				{Workers: 8, Ns: 1_000_000, Speedup: 3},
+			},
+			EncodedBytes:       500,
+			EncodeStreamStages: map[string]int64{"ratio": 1_000_000, "table": 500_000},
+		}, {Strategy: "clustering"}},
+	}
+	var buf bytes.Buffer
+	if err := DiffCodecBench(old, new, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"environments differ",
+		"encode_stream",
+		"-50.0%", // stream halved, table stage halved
+		"decode v2@8w*",
+		"log-scale: only in old file",
+		"clustering: only in new file",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestLoadCodecBenchRoundTrip writes a result as JSON and loads it
+// back, covering the path the bench-compare make target uses.
+func TestLoadCodecBenchRoundTrip(t *testing.T) {
+	res := &CodecBenchResult{Points: 10, ChunkPoints: 5, Iters: 1, NumCPU: 1, GoMaxProcs: 1, EnvNote: "n"}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "b.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCodecBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Points != 10 || got.EnvNote != "n" {
+		t.Errorf("round trip lost fields: %+v", got)
+	}
+	if _, err := LoadCodecBench(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("loading a missing file succeeded")
+	}
+}

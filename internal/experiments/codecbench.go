@@ -57,6 +57,10 @@ type CodecDecodeTiming struct {
 	Workers int     `json:"workers"`
 	Ns      int64   `json:"ns_per_op"`
 	Speedup float64 `json:"speedup_vs_1"`
+	// EnvLimited marks a row whose worker count exceeds GOMAXPROCS:
+	// its speedup measures scheduling overhead, not parallelism, and
+	// must not be quoted as a scaling result.
+	EnvLimited bool `json:"env_limited,omitempty"`
 }
 
 // CodecStrategyTiming is the benchmark row of one binning strategy.
@@ -67,8 +71,13 @@ type CodecDecodeTiming struct {
 // the obs stage names (ratio, table, assign, bitpack, crc, read,
 // write, queue-wait, decode) and values are total nanoseconds.
 type CodecStrategyTiming struct {
-	Strategy         string              `json:"strategy"`
-	EncodeInMemoryNs int64               `json:"encode_inmemory_ns"`
+	Strategy string `json:"strategy"`
+	// EncodeInMemoryNs times the in-memory route to the same output
+	// bytes the streaming path produces: core.Encode plus the chunked
+	// v2 serialization. Comparing it against EncodeStreamNs therefore
+	// isolates the streaming pipeline's overhead, not the cost of
+	// serializing at all.
+	EncodeInMemoryNs int64 `json:"encode_inmemory_ns"`
 	EncodeStreamNs   int64               `json:"encode_stream_ns"`
 	DecodeInMemoryNs int64               `json:"decode_inmemory_ns"`
 	DecodeChunked    []CodecDecodeTiming `json:"decode_chunked"`
@@ -105,6 +114,38 @@ type CodecBenchResult struct {
 	NumCPU      int                   `json:"num_cpu"`
 	GoMaxProcs  int                   `json:"gomaxprocs"`
 	Rows        []CodecStrategyTiming `json:"rows"`
+	// EnvNote is set when any decode worker count exceeds GOMAXPROCS,
+	// so a reader of the JSON cannot miss that those rows are
+	// environment-limited.
+	EnvNote string `json:"env_note,omitempty"`
+}
+
+// Validate checks the result's environment honesty invariants: the
+// recorded CPU counts are sane and every decode row whose worker count
+// exceeds GOMAXPROCS is marked env-limited (with the top-level note
+// set). The bench runner refuses to emit results that fail this — a
+// benchmark that misreports its environment is worse than none.
+func (r *CodecBenchResult) Validate() error {
+	if r.NumCPU < 1 {
+		return fmt.Errorf("experiments: benchmark recorded num_cpu=%d", r.NumCPU)
+	}
+	if r.GoMaxProcs < 1 {
+		return fmt.Errorf("experiments: benchmark recorded gomaxprocs=%d", r.GoMaxProcs)
+	}
+	anyLimited := false
+	for _, row := range r.Rows {
+		for _, t := range row.DecodeChunked {
+			limited := t.Workers > r.GoMaxProcs
+			if t.EnvLimited != limited {
+				return fmt.Errorf("experiments: %s decode@%dw env_limited=%v with GOMAXPROCS=%d", row.Strategy, t.Workers, t.EnvLimited, r.GoMaxProcs)
+			}
+			anyLimited = anyLimited || limited
+		}
+	}
+	if anyLimited && r.EnvNote == "" {
+		return fmt.Errorf("experiments: env-limited decode rows present but env_note is empty")
+	}
+	return nil
 }
 
 // codecDataset tiles the synthetic CMIP5 rlus transition to n points.
@@ -164,6 +205,10 @@ func RunCodecBench(cfg CodecBenchConfig) (*CodecBenchResult, error) {
 		var enc *core.Encoded
 		row.EncodeInMemoryNs, err = timeMin(cfg.Iters, func() error {
 			enc, err = core.Encode(prev, cur, opt)
+			if err != nil {
+				return err
+			}
+			_, err = checkpoint.MarshalDeltaV2("bench", 1, enc, cfg.ChunkPoints)
 			return err
 		})
 		if err != nil {
@@ -215,12 +260,15 @@ func RunCodecBench(cfg CodecBenchConfig) (*CodecBenchResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			t := CodecDecodeTiming{Workers: w, Ns: ns}
+			t := CodecDecodeTiming{Workers: w, Ns: ns, EnvLimited: w > res.GoMaxProcs}
 			if baseNs == 0 {
 				baseNs = ns
 			}
 			if ns > 0 {
 				t.Speedup = float64(baseNs) / float64(ns)
+			}
+			if t.EnvLimited && res.EnvNote == "" {
+				res.EnvNote = fmt.Sprintf("decode rows with workers > GOMAXPROCS=%d are env_limited: their speedups measure scheduling overhead on this host, not parallel scaling", res.GoMaxProcs)
 			}
 			row.DecodeChunked = append(row.DecodeChunked, t)
 		}
@@ -232,6 +280,9 @@ func RunCodecBench(cfg CodecBenchConfig) (*CodecBenchResult, error) {
 		}
 		row.DecodeStreamStages = stageTotals(decRec)
 		res.Rows = append(res.Rows, row)
+	}
+	if err := res.Validate(); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -257,11 +308,20 @@ func (r *CodecBenchResult) WriteText(w io.Writer) error {
 			return err
 		}
 		for _, t := range row.DecodeChunked {
-			if _, err := fmt.Fprintf(w, "  v2@%dw %7.2fms (%.2fx)", t.Workers, float64(t.Ns)/1e6, t.Speedup); err != nil {
+			mark := ""
+			if t.EnvLimited {
+				mark = " ENV-LIMITED"
+			}
+			if _, err := fmt.Fprintf(w, "  v2@%dw %7.2fms (%.2fx%s)", t.Workers, float64(t.Ns)/1e6, t.Speedup, mark); err != nil {
 				return err
 			}
 		}
 		if _, err := fmt.Fprintf(w, "  | %d bytes, gamma %.2f%%\n", row.EncodedBytes, row.Gamma*100); err != nil {
+			return err
+		}
+	}
+	if r.EnvNote != "" {
+		if _, err := fmt.Fprintf(w, "  note: %s\n", r.EnvNote); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestCodecBenchEnvHonesty runs a tiny codec bench and checks the
+// environment fields tell the truth: the recorded CPU counts are the
+// host's real ones, and every decode row whose worker count exceeds
+// GOMAXPROCS is loudly marked env-limited in both the JSON fields and
+// the text rendering.
+func TestCodecBenchEnvHonesty(t *testing.T) {
+	res, err := RunCodecBench(CodecBenchConfig{Points: 4000, Iters: 1, DecodeWorkers: []int{1, 64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumCPU != runtime.NumCPU() {
+		t.Errorf("num_cpu = %d, host has %d", res.NumCPU, runtime.NumCPU())
+	}
+	if res.GoMaxProcs != runtime.GOMAXPROCS(0) {
+		t.Errorf("gomaxprocs = %d, runtime reports %d", res.GoMaxProcs, runtime.GOMAXPROCS(0))
+	}
+	if err := res.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	sawLimited := false
+	for _, row := range res.Rows {
+		for _, d := range row.DecodeChunked {
+			want := d.Workers > res.GoMaxProcs
+			if d.EnvLimited != want {
+				t.Errorf("%s decode@%dw: env_limited = %v, want %v (GOMAXPROCS %d)", row.Strategy, d.Workers, d.EnvLimited, want, res.GoMaxProcs)
+			}
+			sawLimited = sawLimited || d.EnvLimited
+		}
+	}
+	// 64 workers exceeds GOMAXPROCS on any plausible CI host; when it
+	// does, the note and the text rendering must both flag it.
+	if sawLimited {
+		if res.EnvNote == "" {
+			t.Error("env-limited rows but no env_note")
+		}
+		var txt bytes.Buffer
+		if err := res.WriteText(&txt); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(txt.String(), "ENV-LIMITED") {
+			t.Error("text rendering does not mark env-limited rows")
+		}
+	}
+
+	// A row claiming full honesty while over-subscribed must be refused.
+	bad := *res
+	bad.Rows = append([]CodecStrategyTiming(nil), res.Rows...)
+	if sawLimited {
+		bad.Rows[0].DecodeChunked = append([]CodecDecodeTiming(nil), res.Rows[0].DecodeChunked...)
+		for i := range bad.Rows[0].DecodeChunked {
+			bad.Rows[0].DecodeChunked[i].EnvLimited = false
+		}
+		if err := bad.Validate(); err == nil {
+			t.Error("Validate accepted an over-subscribed row not marked env_limited")
+		}
+	}
+	bad2 := *res
+	bad2.GoMaxProcs = 0
+	if err := bad2.Validate(); err == nil {
+		t.Error("Validate accepted gomaxprocs=0")
+	}
+}

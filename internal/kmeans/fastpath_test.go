@@ -1,0 +1,70 @@
+package kmeans
+
+// Property tests pinning Index.Nearest (the grid fast path with its
+// single-candidate early exit) to the package-level binary-search
+// Nearest on adversarial centroid sets: duplicates, single entries,
+// near-degenerate spacing, and extreme magnitudes. Probes stay finite —
+// the encode pipeline only looks up finite ratios (RatioOK excludes
+// NaN/±Inf before assignment).
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func adversarialCentroidSets(rng *rand.Rand) [][]float64 {
+	sets := [][]float64{
+		{0},
+		{1, 1, 1, 1},                   // all duplicates
+		{-2, -2, 0, 0, 3},              // duplicate runs
+		{1, 1 + 1e-15, 1 + 2e-15},      // adjacent floats
+		{-1e300, 0, 1e300},             // extreme span
+		{-0.001, 0.001},
+	}
+	for c := 0; c < 6; c++ {
+		n := 1 + rng.Intn(300)
+		cents := make([]float64, n)
+		for i := range cents {
+			cents[i] = rng.NormFloat64() * math.Exp(float64(rng.Intn(8)))
+			if i > 0 && rng.Intn(5) == 0 {
+				cents[i] = cents[i-1]
+			}
+		}
+		sort.Float64s(cents)
+		sets = append(sets, cents)
+	}
+	return sets
+}
+
+func TestIndexNearestMatchesBinarySearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for si, cents := range adversarialCentroidSets(rng) {
+		sort.Float64s(cents)
+		ix := NewIndex(cents)
+		probes := append([]float64{}, cents...)
+		for j := 1; j < len(cents); j++ {
+			mid := cents[j-1] + (cents[j]-cents[j-1])/2
+			probes = append(probes, mid,
+				math.Nextafter(mid, math.Inf(-1)), math.Nextafter(mid, math.Inf(1)))
+		}
+		for i := 0; i < 2000; i++ {
+			probes = append(probes, rng.NormFloat64()*math.Exp(float64(rng.Intn(12)-4)))
+		}
+		probes = append(probes, -1e307, 1e307, 0, 5e-324, -5e-324)
+		for _, p := range probes {
+			fast := ix.Nearest(p)
+			slow := Nearest(cents, p)
+			if fast == slow {
+				continue
+			}
+			// With duplicate centroids several indices are equally
+			// near; accept any index at the same distance.
+			if math.Abs(cents[fast]-p) != math.Abs(cents[slow]-p) {
+				t.Fatalf("set %d: Index.Nearest(%v) = %d (cent %v), Nearest = %d (cent %v)",
+					si, p, fast, cents[fast], slow, cents[slow])
+			}
+		}
+	}
+}

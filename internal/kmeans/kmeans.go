@@ -270,17 +270,25 @@ func NewIndex(cents []float64) *Index {
 func (ix *Index) Nearest(x float64) int {
 	cell := 0
 	if !fputil.IsZero(ix.inv) {
+		// Compare before converting: for far-out-of-range x the scaled
+		// offset can exceed the int range (even overflow to +Inf), where
+		// int(f) is implementation-defined and may come out negative.
 		f := (x - ix.lo) * ix.inv
-		cell = int(f)
-		if f < 0 {
-			cell = 0
-		} else if cell > ix.lastCell {
+		if f >= float64(ix.lastCell) {
 			cell = ix.lastCell
+		} else if f > 0 {
+			cell = int(f)
 		}
 	}
 	best := int(ix.loCand[cell])
+	hiC := int(ix.hiCand[cell])
+	if best == hiC {
+		// Single candidate: most cells of a well-spread table resolve
+		// here, skipping the distance computation entirely.
+		return best
+	}
 	bestDist := math.Abs(ix.cents[best] - x)
-	for c := best + 1; c <= int(ix.hiCand[cell]); c++ {
+	for c := best + 1; c <= hiC; c++ {
 		d := math.Abs(ix.cents[c] - x)
 		if d < bestDist {
 			best, bestDist = c, d
