@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint lint-fix sarif docs test race race-pipeline crash-test fuzz-smoke verify bench bench-smoke bench-compare
+.PHONY: all build vet lint lint-fix sarif docs test race race-pipeline crash-test fuzz-smoke serve-smoke verify bench bench-smoke bench-compare
 
 all: verify
 
@@ -68,7 +68,17 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzRecoverDeltaV2$$ -fuzztime=$(FUZZTIME) ./internal/checkpoint
 	$(GO) test -run=NONE -fuzz=FuzzParseChainIndex$$ -fuzztime=$(FUZZTIME) ./internal/checkpoint
 
-verify: build vet lint docs test race crash-test fuzz-smoke
+# The checkpoint service end-to-end smoke, under the race detector: a
+# 3-delta chain round-trips through the HTTP API byte-identical to the
+# library path, /metrics reconciles bytes_written against the on-disk
+# store, ?recover=1 salvages injected corruption, and over-capacity
+# requests get 429 — plus the daemon's SIGTERM drain leaving a clean
+# store.
+serve-smoke:
+	$(GO) test -race -count=1 -run 'TestServeSmoke|TestServeAdmission|TestServeLocked|TestServeDrain' ./internal/server
+	$(GO) test -race -count=1 -run 'TestDaemonGracefulDrain' ./cmd/numarckd
+
+verify: build vet lint docs test race crash-test fuzz-smoke serve-smoke
 
 # Codec benchmarks: in-memory vs streaming encode/decode per strategy
 # (machine-readable BENCH_codec.json) plus the Go micro-benchmarks of

@@ -12,6 +12,14 @@
 //	numarck restart    -dir store -var dens -iter 12 -out rec.f64 [-recover]
 //	numarck verify     -dir store
 //
+// With -addr, compress, decompress, and verify run as clients of a
+// numarckd daemon instead of touching local files: compress pushes the
+// current values and lets the daemon delta-encode against its chain,
+// decompress fetches a server-side reconstruction, and verify asks for
+// the daemon's lock-free deep chain report. compress -plan prints the
+// resolved pipeline plan (chunk size, workers, peak buffer bytes) for
+// the given -chunk/-workers/-budget without doing any work.
+//
 // -recover turns on degraded-mode decode for chunked (v2) deltas:
 // chunks whose CRC fails are quarantined, every healthy chunk decodes,
 // and the exact lost point ranges (which keep the previous iteration's
@@ -137,6 +145,12 @@ func usage() {
   numarck restart    -dir store -var name -iter n -out rec.f64 [-recover]
   numarck verify     -dir store
 
+daemon client mode (against a running numarckd):
+  numarck compress   -addr http://host:8377 -tenant t -var dens -iter n -cur cur.f64
+  numarck decompress -addr http://host:8377 -tenant t -var dens -iter n -out rec.f64 [-recover]
+  numarck verify     -addr http://host:8377 -tenant t
+  numarck compress   -stream -plan [-chunk points] [-workers n] [-budget bytes]
+
 -recover salvages chunk-local corruption in chunked (v2) deltas:
 healthy chunks decode, lost point ranges keep the previous iteration's
 values and are reported; without it any corruption fails the command.
@@ -163,9 +177,28 @@ func cmdCompress(args []string) error {
 	chunkPoints := fs.Int("chunk", 0, "streaming: points per chunk (0 = default)")
 	budget := fs.Int64("budget", 0, "streaming: memory budget in bytes (0 = no cap)")
 	workers := fs.Int("workers", 0, "streaming: concurrent chunks (0 = GOMAXPROCS)")
+	plan := fs.Bool("plan", false, "print the resolved pipeline plan (chunk, workers, peak bytes) and exit")
+	addr := fs.String("addr", "", "numarckd base URL: commit to a running daemon instead of a local file")
+	tenant := fs.String("tenant", "default", "daemon mode: tenant to commit into")
 	metrics := metricsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *plan {
+		resolved, err := chunk.ResolveConfig(chunk.Config{ChunkPoints: *chunkPoints, Workers: *workers, BudgetBytes: *budget})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("pipeline plan: %d workers x %d-point chunks, peak buffers %d bytes\n",
+			resolved.Config.Workers, resolved.Config.ChunkPoints, resolved.PeakBufferBytes)
+		return nil
+	}
+	if *addr != "" {
+		if *curPath == "" {
+			return fmt.Errorf("compress -addr requires -cur (the daemon reconstructs -prev from its chain)")
+		}
+		q := remoteQuery(*e, *b, *strategyName, *chunkPoints, *workers, *budget)
+		return remoteCompress(*addr, *tenant, *variable, *iter, *curPath, q)
 	}
 	if *outPath == "" {
 		return fmt.Errorf("compress requires -out")
@@ -281,9 +314,19 @@ func cmdDecompress(args []string) error {
 	outPath := fs.String("out", "", "output values (.f64)")
 	workers := fs.Int("workers", 0, "chunked (v2) input: concurrent chunks (0 = GOMAXPROCS)")
 	salvage := fs.Bool("recover", false, "chunked (v2) input: salvage healthy chunks past corruption")
+	addr := fs.String("addr", "", "numarckd base URL: fetch a reconstruction from a running daemon")
+	tenant := fs.String("tenant", "default", "daemon mode: tenant to read from")
+	series := fs.String("var", "", "daemon mode: series to reconstruct")
+	seriesIter := fs.Int("iter", -1, "daemon mode: iteration to reconstruct")
 	metrics := metricsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *addr != "" {
+		if *series == "" || *seriesIter < 0 || *outPath == "" {
+			return fmt.Errorf("decompress -addr requires -var, -iter, and -out")
+		}
+		return remoteDecompress(*addr, *tenant, *series, *seriesIter, *outPath, *salvage)
 	}
 	if *prevPath == "" || *inPath == "" || *outPath == "" {
 		return fmt.Errorf("decompress requires -prev, -in, and -out")
@@ -506,8 +549,13 @@ func cmdRestart(args []string) error {
 func cmdVerify(args []string) (err error) {
 	fs := flag.NewFlagSet("verify", flag.ExitOnError)
 	dir := fs.String("dir", "", "checkpoint store directory")
+	addr := fs.String("addr", "", "numarckd base URL: verify a daemon-held store over HTTP")
+	tenant := fs.String("tenant", "default", "daemon mode: tenant to verify")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *addr != "" {
+		return remoteVerify(*addr, *tenant)
 	}
 	if *dir == "" {
 		return fmt.Errorf("verify requires -dir")

@@ -1,0 +1,123 @@
+package main
+
+// Remote mode: with -addr, the numarck CLI becomes a client of a
+// running numarckd daemon instead of touching files and stores
+// directly. The daemon owns the store; the CLI streams raw float64
+// bodies up and reconstructions down over the service API.
+
+import (
+	"fmt"
+	"net/url"
+	"os"
+	"strconv"
+
+	"numarck/internal/server"
+)
+
+// remoteClient builds the service client for one -addr/-tenant pair.
+func remoteClient(addr, tenant string) *server.Client {
+	return &server.Client{Base: addr, Tenant: tenant}
+}
+
+// remoteCompress pushes the current iteration's values to the daemon,
+// which reconstructs the previous iteration from its chain and encodes
+// the delta server-side (or commits a full when the chain is empty).
+func remoteCompress(addr, tenant, variable string, iter int, curPath string, q url.Values) error {
+	c := remoteClient(addr, tenant)
+	cr, err := c.PushFile(variable, iter, curPath, q)
+	if err != nil {
+		return err
+	}
+	if cr.Kind == "delta" {
+		fmt.Printf("committed %s/%s@%d (delta): %d points in %d chunks of %d (%d workers), %d exact, file %d bytes\n",
+			cr.Tenant, cr.Variable, cr.Iteration, cr.Points, cr.Chunks, cr.ChunkPoints, cr.Workers, cr.ExactValues, cr.FileBytes)
+		return nil
+	}
+	fmt.Printf("committed %s/%s@%d (%s): %d points, file %d bytes\n",
+		cr.Tenant, cr.Variable, cr.Iteration, cr.Kind, cr.Points, cr.FileBytes)
+	return nil
+}
+
+// remoteDecompress fetches one iteration's reconstruction from the
+// daemon into outPath; with salvage the daemon decodes around
+// chunk-local corruption and the lost ranges are reported on stderr.
+func remoteDecompress(addr, tenant, variable string, iter int, outPath string, salvage bool) error {
+	c := remoteClient(addr, tenant)
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	points, partial, err := c.Fetch(variable, iter, f, salvage)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if partial != nil {
+		fmt.Fprintf(os.Stderr, "numarck: %s@%d: %d point(s) lost to corruption, holding previous-iteration values\n",
+			variable, iter, partial.LostPoints)
+		for _, lr := range partial.Lost {
+			fmt.Fprintf(os.Stderr, "numarck:   lost [%d,%d)\n", lr.Lo, lr.Hi)
+		}
+		fmt.Printf("salvaged %s/%s@%d: %d of %d points\n", tenant, variable, iter, points-partial.LostPoints, points)
+		return nil
+	}
+	fmt.Printf("reconstructed %s/%s@%d: %d points\n", tenant, variable, iter, points)
+	return nil
+}
+
+// remoteVerify asks the daemon for a deep chain report across the
+// tenant's series — served from the lock-free read view, so it works
+// while the daemon is writing.
+func remoteVerify(addr, tenant string) error {
+	c := remoteClient(addr, tenant)
+	tc, err := c.TenantChain(true)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("tenant %s: %d series\n", tc.Tenant, len(tc.Variables))
+	fmt.Printf("index: present=%v fresh=%v seq=%d entries=%d\n",
+		tc.Index.Present, tc.Index.Fresh, tc.Index.Seq, tc.Index.Entries)
+	for _, v := range tc.Variables {
+		if latest, ok := tc.Latest[v]; ok {
+			fmt.Printf("%s: restorable through iteration %d\n", v, latest)
+		} else {
+			fmt.Printf("%s: not restorable\n", v)
+		}
+	}
+	for _, is := range tc.Issues {
+		fmt.Printf("issue: %s\n", is)
+	}
+	if len(tc.Issues) > 0 {
+		return fmt.Errorf("store has %d issue(s)", len(tc.Issues))
+	}
+	fmt.Println("store is healthy")
+	return nil
+}
+
+// remoteQuery collects the per-request encode and pipeline overrides
+// the daemon accepts as query parameters. Zero values are omitted so
+// the daemon's own defaults apply.
+func remoteQuery(e float64, b int, strategy string, chunkPoints int, workers int, budget int64) url.Values {
+	q := url.Values{}
+	if e > 0 {
+		q.Set("e", strconv.FormatFloat(e, 'g', -1, 64))
+	}
+	if b > 0 {
+		q.Set("b", strconv.Itoa(b))
+	}
+	if strategy != "" {
+		q.Set("strategy", strategy)
+	}
+	if chunkPoints > 0 {
+		q.Set("chunk", strconv.Itoa(chunkPoints))
+	}
+	if workers > 0 {
+		q.Set("workers", strconv.Itoa(workers))
+	}
+	if budget > 0 {
+		q.Set("budget", strconv.FormatInt(budget, 10))
+	}
+	return q
+}

@@ -6,6 +6,10 @@
 //	storectl stats  -dir store          # per-variable storage breakdown
 //	storectl latest -dir store          # latest restorable iteration per variable
 //	storectl gc     -dir store -keep 40 # drop checkpoints before the full <= 40
+//
+// verify, stats, and latest also take -addr http://host:8377 (with
+// -tenant name) to report on a store held by a running numarckd daemon
+// through its lock-free chain API instead of opening the directory.
 package main
 
 import (
@@ -48,46 +52,56 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  storectl verify -dir store
-  storectl stats  -dir store
-  storectl latest -dir store
+  storectl verify -dir store | -addr url [-tenant t]
+  storectl stats  -dir store | -addr url [-tenant t]
+  storectl latest -dir store | -addr url [-tenant t]
   storectl gc     -dir store -keep N`)
 }
 
-// storeDir parses the common -dir flag.
-func storeDir(fs *flag.FlagSet, args []string) (string, error) {
-	dir := fs.String("dir", "", "checkpoint store directory")
+// target is where a command points: a local store directory, or (with
+// -addr) a tenant inside a running numarckd daemon.
+type target struct {
+	dir    string
+	addr   string
+	tenant string
+}
+
+// targetFlags parses the common -dir and -addr/-tenant flags.
+func targetFlags(fs *flag.FlagSet, args []string) (*target, error) {
+	var tg target
+	fs.StringVar(&tg.dir, "dir", "", "checkpoint store directory")
+	fs.StringVar(&tg.addr, "addr", "", "numarckd base URL: report on a daemon-held store over its lock-free chain API")
+	fs.StringVar(&tg.tenant, "tenant", "default", "daemon mode: tenant to report on")
 	if err := fs.Parse(args); err != nil {
-		return "", err
+		return nil, err
 	}
-	if *dir == "" {
-		return "", fmt.Errorf("%s requires -dir", fs.Name())
+	if tg.dir == "" && tg.addr == "" {
+		return nil, fmt.Errorf("%s requires -dir or -addr", fs.Name())
 	}
-	return *dir, nil
+	return &tg, nil
 }
 
 // openStore opens the store read-write for maintenance commands that
 // mutate it (verify's recovery scan, gc). The caller must Close it.
-func openStore(fs *flag.FlagSet, args []string) (*checkpoint.Store, error) {
-	dir, err := storeDir(fs, args)
-	if err != nil {
-		return nil, err
-	}
-	return checkpoint.Open(dir)
+func openStore(tg *target) (*checkpoint.Store, error) {
+	return checkpoint.Open(tg.dir)
 }
 
 // openView opens the lock-free read view for pure reporting commands,
 // so they work alongside a live writer and on read-only media.
-func openView(fs *flag.FlagSet, args []string) (*checkpoint.ReadView, error) {
-	dir, err := storeDir(fs, args)
-	if err != nil {
-		return nil, err
-	}
-	return checkpoint.OpenReadOnly(dir)
+func openView(tg *target) (*checkpoint.ReadView, error) {
+	return checkpoint.OpenReadOnly(tg.dir)
 }
 
 func cmdVerify(args []string) (err error) {
-	st, err := openStore(flag.NewFlagSet("verify", flag.ExitOnError), args)
+	tg, err := targetFlags(flag.NewFlagSet("verify", flag.ExitOnError), args)
+	if err != nil {
+		return err
+	}
+	if tg.addr != "" {
+		return remoteVerify(tg.addr, tg.tenant)
+	}
+	st, err := openStore(tg)
 	if err != nil {
 		return err
 	}
@@ -112,7 +126,14 @@ func cmdVerify(args []string) (err error) {
 }
 
 func cmdStats(args []string) error {
-	st, err := openView(flag.NewFlagSet("stats", flag.ExitOnError), args)
+	tg, err := targetFlags(flag.NewFlagSet("stats", flag.ExitOnError), args)
+	if err != nil {
+		return err
+	}
+	if tg.addr != "" {
+		return remoteStats(tg.addr, tg.tenant)
+	}
+	st, err := openView(tg)
 	if err != nil {
 		return err
 	}
@@ -134,7 +155,14 @@ func cmdStats(args []string) error {
 }
 
 func cmdLatest(args []string) error {
-	st, err := openView(flag.NewFlagSet("latest", flag.ExitOnError), args)
+	tg, err := targetFlags(flag.NewFlagSet("latest", flag.ExitOnError), args)
+	if err != nil {
+		return err
+	}
+	if tg.addr != "" {
+		return remoteLatest(tg.addr, tg.tenant)
+	}
+	st, err := openView(tg)
 	if err != nil {
 		return err
 	}
@@ -156,7 +184,14 @@ func cmdLatest(args []string) error {
 func cmdGC(args []string) (err error) {
 	fs := flag.NewFlagSet("gc", flag.ExitOnError)
 	keep := fs.Int("keep", -1, "keep restartability from this iteration onward")
-	st, err := openStore(fs, args)
+	tg, err := targetFlags(fs, args)
+	if err != nil {
+		return err
+	}
+	if tg.addr != "" {
+		return fmt.Errorf("gc mutates the store; run it against -dir, not a live daemon")
+	}
+	st, err := openStore(tg)
 	if err != nil {
 		return err
 	}

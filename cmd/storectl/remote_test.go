@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"net/http/httptest"
+	"testing"
+
+	"numarck/internal/core"
+	"numarck/internal/server"
+)
+
+// TestRemoteCommands drives verify, stats, and latest against a
+// daemon-held store through the lock-free chain API.
+func TestRemoteCommands(t *testing.T) {
+	strategy, err := core.ParseStrategy("clustering")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := server.New(server.Config{
+		Root: t.TempDir(),
+		Opt:  core.Options{ErrorBound: 0.001, IndexBits: 8, Strategy: strategy},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	c := &server.Client{Base: ts.URL, Tenant: "sim"}
+	n := 1024
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = math.Sin(float64(i) * 0.05)
+	}
+	body := make([]byte, 8*n)
+	for i, v := range vals {
+		bits := math.Float64bits(v)
+		for b := 0; b < 8; b++ {
+			body[8*i+b] = byte(bits >> (8 * b))
+		}
+	}
+	if _, err := c.Push("dens", 0, bytes.NewReader(body), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := cmdVerify([]string{"-addr", ts.URL, "-tenant", "sim"}); err != nil {
+		t.Fatalf("remote verify: %v", err)
+	}
+	if err := cmdStats([]string{"-addr", ts.URL, "-tenant", "sim"}); err != nil {
+		t.Fatalf("remote stats: %v", err)
+	}
+	if err := cmdLatest([]string{"-addr", ts.URL, "-tenant", "sim"}); err != nil {
+		t.Fatalf("remote latest: %v", err)
+	}
+	if err := cmdGC([]string{"-addr", ts.URL, "-tenant", "sim", "-keep", "0"}); err == nil {
+		t.Fatal("remote gc should be refused")
+	}
+	if err := cmdVerify(nil); err == nil {
+		t.Fatal("verify without -dir or -addr succeeded")
+	}
+}

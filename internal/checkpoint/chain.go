@@ -81,6 +81,36 @@ func chainEntries(chain map[string]journalEntry, variable string) []Entry {
 	return out
 }
 
+// ChainEntry is one committed checkpoint file as the store's chain
+// records it: the parsed identity plus the file name and the journaled
+// byte length and CRC. It is what chain-level tooling (the service
+// daemon's chain endpoint, read-only verification) needs to account
+// for a file without stat'ing or reading it.
+type ChainEntry struct {
+	// Entry is the parsed identity (variable, kind, iteration).
+	Entry
+	// Name is the file's name inside the store directory.
+	Name string
+	// Len is the journaled byte length of the committed file.
+	Len int64
+	// CRC is the journaled CRC-32 (IEEE) of the whole file.
+	CRC uint32
+}
+
+// chainFileEntries returns one variable's chain entries with their
+// journaled lengths and CRCs, sorted by iteration.
+func chainFileEntries(chain map[string]journalEntry, variable string) []ChainEntry {
+	var out []ChainEntry
+	for name, je := range chain {
+		e, ok := parseName(name)
+		if ok && e.Variable == variable {
+			out = append(out, ChainEntry{Entry: e, Name: name, Len: je.Len, CRC: je.CRC})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Iteration < out[b].Iteration })
+	return out
+}
+
 // chainVariables returns the distinct variable names in the chain,
 // sorted.
 func chainVariables(chain map[string]journalEntry) []string {

@@ -64,6 +64,18 @@ type LockHeldError struct {
 	PID int
 	// Nonce is the holder's acquisition nonce.
 	Nonce uint64
+	// Acquired is when the holder claimed the lock, in Unix
+	// nanoseconds as recorded in the lock file (0 when unknown).
+	Acquired int64
+}
+
+// Age reports how long the holder has held the lock as of now, or 0
+// when the lock file did not record an acquisition time.
+func (e *LockHeldError) Age() time.Duration {
+	if e.Acquired <= 0 {
+		return 0
+	}
+	return time.Duration(time.Now().UnixNano() - e.Acquired)
 }
 
 // Error implements error.
@@ -244,7 +256,7 @@ func acquireLock(fsys faultfs.FS, dir string, owner LockOwner, rec *obs.Recorder
 		}
 		li, perr := parseLock(probed)
 		if perr == nil && owner.alive()(li.PID) {
-			return nil, &LockHeldError{Dir: dir, PID: li.PID, Nonce: li.Nonce}
+			return nil, &LockHeldError{Dir: dir, PID: li.PID, Nonce: li.Nonce, Acquired: li.Acquired}
 		}
 		if perr != nil {
 			// Unparsable bytes under a name this layout only publishes

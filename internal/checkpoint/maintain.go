@@ -65,35 +65,14 @@ func (st *Store) Verify() ([]VerifyIssue, error) {
 		if err != nil {
 			return nil, err
 		}
-		lastFull := -1
-		expected := -1
-		for _, e := range entries {
-			switch e.Kind {
-			case "full":
-				if _, err := st.ReadFull(v, e.Iteration); err != nil {
-					issues = append(issues, newIssue(v, e.Kind, e.Iteration, err))
-					continue
-				}
-				lastFull = e.Iteration
-				expected = e.Iteration + 1
-			case "delta":
-				if _, err := st.ReadDelta(v, e.Iteration); err != nil {
-					issues = append(issues, newIssue(v, e.Kind, e.Iteration, err))
-					continue
-				}
-				switch {
-				case lastFull < 0:
-					issues = append(issues, newIssue(v, e.Kind, e.Iteration,
-						fmt.Errorf("%w: no full checkpoint precedes it", ErrChain)))
-				case e.Iteration != expected:
-					issues = append(issues, newIssue(v, e.Kind, e.Iteration,
-						fmt.Errorf("%w: expected iteration %d next", ErrChain, expected)))
-					expected = e.Iteration + 1 // keep scanning from here
-				default:
-					expected = e.Iteration + 1
-				}
+		issues = append(issues, verifyEntries(v, entries, func(e Entry) error {
+			if e.Kind == "full" {
+				_, err := st.ReadFull(v, e.Iteration)
+				return err
 			}
-		}
+			_, err := st.ReadDelta(v, e.Iteration)
+			return err
+		})...)
 	}
 	jissues, err := st.verifyJournal()
 	if err != nil {
@@ -104,6 +83,113 @@ func (st *Store) Verify() ([]VerifyIssue, error) {
 		issues = append(issues, VerifyIssue{Variable: indexName, Kind: "index", Chunk: -1, Err: h.issueErr()})
 	}
 	return issues, nil
+}
+
+// verifyEntries walks one variable's sorted entries, applies check to
+// each, and reports chain-structure issues (a delta with no preceding
+// full checkpoint, iteration gaps). It is the shared body of the
+// writer's Verify and the read view's lock-free Verify, so the two
+// cannot drift on what a healthy chain means.
+func verifyEntries(variable string, entries []Entry, check func(e Entry) error) []VerifyIssue {
+	var issues []VerifyIssue
+	lastFull := -1
+	expected := -1
+	for _, e := range entries {
+		switch e.Kind {
+		case "full":
+			if err := check(e); err != nil {
+				issues = append(issues, newIssue(variable, e.Kind, e.Iteration, err))
+				continue
+			}
+			lastFull = e.Iteration
+			expected = e.Iteration + 1
+		case "delta":
+			if err := check(e); err != nil {
+				issues = append(issues, newIssue(variable, e.Kind, e.Iteration, err))
+				continue
+			}
+			switch {
+			case lastFull < 0:
+				issues = append(issues, newIssue(variable, e.Kind, e.Iteration,
+					fmt.Errorf("%w: no full checkpoint precedes it", ErrChain)))
+			case e.Iteration != expected:
+				issues = append(issues, newIssue(variable, e.Kind, e.Iteration,
+					fmt.Errorf("%w: expected iteration %d next", ErrChain, expected)))
+				expected = e.Iteration + 1 // keep scanning from here
+			default:
+				expected = e.Iteration + 1
+			}
+		}
+	}
+	return issues
+}
+
+// Verify is the read view's lock-free deep check: every chain file in
+// the current snapshot must read back with exactly its journaled
+// length and CRC and parse as the checkpoint it claims to be (v2
+// deltas are parsed chunk by chunk, so chunk-local corruption is
+// localized), and every delta must chain gap-free from a full
+// checkpoint. Unlike (*Store).Verify it takes no writer lock, repairs
+// nothing, and never mutates the store — it can run against a store a
+// live writer holds, and on read-only media. A non-fresh chain index
+// is reported as an issue just as the writer's Verify does.
+func (rv *ReadView) Verify() ([]VerifyIssue, error) {
+	s, err := rv.snapshot()
+	if err != nil {
+		return nil, err
+	}
+	var issues []VerifyIssue
+	for _, v := range chainVariables(s.chain) {
+		ces := chainFileEntries(s.chain, v)
+		entries := make([]Entry, len(ces))
+		byIter := make(map[string]ChainEntry, len(ces))
+		for i, ce := range ces {
+			entries[i] = ce.Entry
+			byIter[ce.Name] = ce
+		}
+		issues = append(issues, verifyEntries(v, entries, func(e Entry) error {
+			ce := byIter[fileName(e.Variable, e.Kind, e.Iteration)]
+			return verifyChainFile(rv.fs, rv.dir, ce)
+		})...)
+	}
+	if h := rv.IndexHealth(); !h.Fresh {
+		issues = append(issues, VerifyIssue{Variable: indexName, Kind: "index", Chunk: -1, Err: h.issueErr()})
+	}
+	return issues, nil
+}
+
+// verifyChainFile deep-checks one committed chain file against its
+// journaled record: byte length, whole-file CRC, a full parse, and the
+// header identity.
+func verifyChainFile(fsys faultfs.FS, dir string, ce ChainEntry) error {
+	path := filepath.Join(dir, ce.Name)
+	raw, err := faultfs.ReadFile(fsys, path)
+	if err != nil {
+		return pathErr("read", path, err)
+	}
+	if int64(len(raw)) != ce.Len {
+		return fmt.Errorf("%w: file is %d bytes, journal recorded %d", ErrTruncated, len(raw), ce.Len)
+	}
+	if crc := crc32.ChecksumIEEE(raw); crc != ce.CRC {
+		return fmt.Errorf("%w: file CRC %08x, journal recorded %08x", ErrCorrupt, crc, ce.CRC)
+	}
+	var v string
+	var it int
+	switch {
+	case ce.Kind == "full":
+		v, it, _, err = UnmarshalFull(raw)
+	case IsDeltaV2(raw):
+		v, it, _, err = UnmarshalDeltaV2(raw)
+	default:
+		v, it, _, err = UnmarshalDelta(raw)
+	}
+	if err != nil {
+		return err
+	}
+	if v != ce.Variable || it != ce.Iteration {
+		return fmt.Errorf("%w: file claims %s@%d, chain records %s@%d", ErrCorrupt, v, it, ce.Variable, ce.Iteration)
+	}
+	return nil
 }
 
 // IndexHealth describes the on-disk CHAININDEX's state relative to the

@@ -174,6 +174,18 @@ func (rv *ReadView) List(variable string) ([]Entry, error) {
 	return chainEntries(s.chain, variable), nil
 }
 
+// Chain returns one variable's committed files with their journaled
+// byte lengths and CRCs, sorted by iteration. It is List with the
+// per-file accounting attached: chain-level tooling can report or
+// cross-check sizes without stat'ing the store directory.
+func (rv *ReadView) Chain(variable string) ([]ChainEntry, error) {
+	s, err := rv.snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return chainFileEntries(s.chain, variable), nil
+}
+
 // Variables returns the distinct variable names present in the store.
 func (rv *ReadView) Variables() ([]string, error) {
 	s, err := rv.snapshot()

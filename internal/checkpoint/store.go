@@ -1,6 +1,7 @@
 package checkpoint
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -389,6 +390,58 @@ func (st *Store) WriteEncodedDelta(variable string, iteration int, enc *core.Enc
 	}
 	if err != nil {
 		return err
+	}
+	return st.commitFile(fileName(variable, "delta", iteration), raw)
+}
+
+// WriteRawFull commits raw — an already-marshalled NMRKF1 full
+// checkpoint file, e.g. one produced by MarshalFull or received over
+// the wire — after validating that it parses and that its header
+// identity matches the given variable and iteration. It is the commit
+// hook the checkpoint service daemon uses: the encode happened
+// elsewhere, but the commit gets the same crash-safe
+// write/journal/index-republish path as WriteFull.
+func (st *Store) WriteRawFull(variable string, iteration int, raw []byte) error {
+	if err := validateIdentity(variable, iteration); err != nil {
+		return err
+	}
+	v, it, _, err := UnmarshalFull(raw)
+	if err != nil {
+		return fmt.Errorf("checkpoint: raw full checkpoint rejected: %w", err)
+	}
+	if v != variable || it != iteration {
+		return fmt.Errorf("%w: raw full checkpoint claims %s@%d, committing as %s@%d", ErrBadVariable, v, it, variable, iteration)
+	}
+	return st.commitFile(fileName(variable, "full", iteration), raw)
+}
+
+// WriteRawDelta commits raw — an already-marshalled NMRKD1 or NMRKD2
+// delta checkpoint file, e.g. the output of a streaming encode —
+// after validating that it parses (v2: header, bin table, and chunk
+// directory; v1: the whole payload including its CRC) and that its
+// header identity matches the given variable and iteration.
+func (st *Store) WriteRawDelta(variable string, iteration int, raw []byte) error {
+	if err := validateIdentity(variable, iteration); err != nil {
+		return err
+	}
+	var v string
+	var it int
+	if IsDeltaV2(raw) {
+		d, err := OpenDeltaV2(bytes.NewReader(raw), int64(len(raw)))
+		if err != nil {
+			return fmt.Errorf("checkpoint: raw v2 delta rejected: %w", err)
+		}
+		meta := d.Meta()
+		v, it = meta.Variable, meta.Iteration
+	} else {
+		var err error
+		v, it, _, err = UnmarshalDelta(raw)
+		if err != nil {
+			return fmt.Errorf("checkpoint: raw delta rejected: %w", err)
+		}
+	}
+	if v != variable || it != iteration {
+		return fmt.Errorf("%w: raw delta claims %s@%d, committing as %s@%d", ErrBadVariable, v, it, variable, iteration)
 	}
 	return st.commitFile(fileName(variable, "delta", iteration), raw)
 }

@@ -166,6 +166,39 @@ func (cfg Config) resolve() (Config, error) {
 	return cfg, nil
 }
 
+// Resolved is the effective pipeline plan for a Config: the
+// configuration after validation, default filling, and budget
+// shrinking — what an encode or decode will actually run with — plus
+// the budget model's buffer footprint. It is computable before any
+// work starts, which is what admission control (the numarckd memory
+// governor) and CLI plan reporting need: the real cost of a request,
+// known up front.
+type Resolved struct {
+	// Config is the resolved configuration: ChunkPoints and Workers
+	// are concrete (never 0), and both have been shrunk to fit
+	// BudgetBytes when one was set.
+	Config Config
+	// PeakBufferBytes is the budget model's buffer footprint for the
+	// resolved shape: Workers*ChunkPoints*BytesPerPoint plus the capped
+	// table reservoir. It is <= Config.BudgetBytes when a budget was
+	// set.
+	PeakBufferBytes int64
+}
+
+// ResolveConfig reports the effective pipeline plan for cfg without
+// running anything: the same validation, default filling, and budget
+// shrinking Encode and Decode perform, exposed so callers can size
+// admission decisions or print the real plan before work starts. The
+// error is ErrBudget (via errors.Is) when the budget cannot hold even
+// one minimal chunk.
+func ResolveConfig(cfg Config) (Resolved, error) {
+	rc, err := cfg.resolve()
+	if err != nil {
+		return Resolved{}, err
+	}
+	return Resolved{Config: rc, PeakBufferBytes: rc.peakBufferBytes()}, nil
+}
+
 // peakBufferBytes is the budget model's buffer footprint for the
 // resolved config: all in-flight chunk buffer sets plus the capped
 // table reservoir. With MaxTableInput == 0 the reservoir is excluded —

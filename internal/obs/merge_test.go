@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMergeSnapshots(t *testing.T) {
+	a := NewRecorder()
+	a.Observe(StageRatio, time.Millisecond)
+	a.Observe(StageRatio, 3*time.Millisecond)
+	a.Add(CounterEncodes, 1)
+	a.Add(CounterBytesWritten, 100)
+	a.SetMax(GaugePeakBufferBytes, 500)
+
+	b := NewRecorder()
+	b.Observe(StageRatio, 7*time.Millisecond)
+	b.Observe(StageWrite, 2*time.Millisecond)
+	b.Add(CounterBytesWritten, 50)
+	b.SetMax(GaugePeakBufferBytes, 200)
+	b.SetMax(GaugeWorkers, 4)
+
+	sa, sb := a.Snapshot(), b.Snapshot()
+	m := MergeSnapshots(sa, sb)
+
+	ratio := m.Stage(StageRatio.String())
+	if ratio.Count != 3 {
+		t.Errorf("ratio count = %d, want 3", ratio.Count)
+	}
+	wantTotal := (1 + 3 + 7) * time.Millisecond.Nanoseconds()
+	if ratio.TotalNs != wantTotal {
+		t.Errorf("ratio total = %d, want %d", ratio.TotalNs, wantTotal)
+	}
+	if ratio.MaxNs != 7*time.Millisecond.Nanoseconds() {
+		t.Errorf("ratio max = %d, want 7ms", ratio.MaxNs)
+	}
+	var bucketSum int64
+	for i, bc := range ratio.Buckets {
+		bucketSum += bc.Count
+		if i > 0 && ratio.Buckets[i-1].LoNs >= bc.LoNs {
+			t.Fatalf("merged buckets out of order: %v", ratio.Buckets)
+		}
+	}
+	if bucketSum != 3 {
+		t.Errorf("merged bucket counts sum to %d, want 3", bucketSum)
+	}
+	if got := m.Stage(StageWrite.String()).Count; got != 1 {
+		t.Errorf("write count = %d, want 1", got)
+	}
+	// Stage order must match the registry: ratio before write.
+	if len(m.Stages) != 2 || m.Stages[0].Name != StageRatio.String() || m.Stages[1].Name != StageWrite.String() {
+		t.Errorf("stage order = %v", m.Stages)
+	}
+
+	if m.Counters[CounterEncodes.String()] != 1 {
+		t.Errorf("encodes = %d, want 1", m.Counters[CounterEncodes.String()])
+	}
+	if m.Counters[CounterBytesWritten.String()] != 150 {
+		t.Errorf("bytes_written = %d, want 150", m.Counters[CounterBytesWritten.String()])
+	}
+	if m.Gauges[GaugePeakBufferBytes.String()] != 500 {
+		t.Errorf("peak_buffer_bytes = %d, want max 500", m.Gauges[GaugePeakBufferBytes.String()])
+	}
+	if m.Gauges[GaugeWorkers.String()] != 4 {
+		t.Errorf("workers = %d, want 4", m.Gauges[GaugeWorkers.String()])
+	}
+	if m.WallNs != max(sa.WallNs, sb.WallNs) {
+		t.Errorf("merged WallNs = %d, want max(%d, %d)", m.WallNs, sa.WallNs, sb.WallNs)
+	}
+
+	// Merging nothing yields an empty, JSON-safe snapshot.
+	empty := MergeSnapshots()
+	if empty.WallNs != 0 || len(empty.Stages) != 0 || len(empty.Counters) != 0 || len(empty.Gauges) != 0 {
+		t.Errorf("empty merge = %+v", empty)
+	}
+}

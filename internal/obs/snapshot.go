@@ -95,6 +95,75 @@ func (r *Recorder) Snapshot() Snapshot {
 	return s
 }
 
+// MergeSnapshots combines per-tenant (or per-pipeline) snapshots into
+// one process-wide view: stage counts, totals, and histogram buckets
+// are summed; stage MaxNs and WallNs take the maximum (the slowest
+// single run, and the longest-lived recorder, stay visible); counters
+// are summed; gauges take the maximum, since peak_buffer_bytes-style
+// gauges describe a per-pipeline footprint where the largest plan is
+// the interesting one. Stages come out in registry order, matching
+// Recorder.Snapshot.
+func MergeSnapshots(snaps ...Snapshot) Snapshot {
+	out := Snapshot{
+		Counters: map[string]int64{},
+		Gauges:   map[string]int64{},
+	}
+	stages := map[string]*StageSnapshot{}
+	for _, s := range snaps {
+		if s.WallNs > out.WallNs {
+			out.WallNs = s.WallNs
+		}
+		for _, st := range s.Stages {
+			m := stages[st.Name]
+			if m == nil {
+				m = &StageSnapshot{Name: st.Name}
+				stages[st.Name] = m
+			}
+			m.Count += st.Count
+			m.TotalNs += st.TotalNs
+			if st.MaxNs > m.MaxNs {
+				m.MaxNs = st.MaxNs
+			}
+			m.Buckets = mergeBuckets(m.Buckets, st.Buckets)
+		}
+		for k, v := range s.Counters {
+			out.Counters[k] += v
+		}
+		for k, v := range s.Gauges {
+			if v > out.Gauges[k] {
+				out.Gauges[k] = v
+			}
+		}
+	}
+	for i := Stage(0); i < numStages; i++ {
+		if m := stages[i.String()]; m != nil {
+			out.Stages = append(out.Stages, *m)
+		}
+	}
+	return out
+}
+
+// mergeBuckets sums two non-empty-bucket lists, keeping the ascending
+// LoNs order both inputs maintain.
+func mergeBuckets(a, b []BucketCount) []BucketCount {
+	if len(b) == 0 {
+		return a
+	}
+	byLo := map[int64]int64{}
+	for _, bc := range a {
+		byLo[bc.LoNs] += bc.Count
+	}
+	for _, bc := range b {
+		byLo[bc.LoNs] += bc.Count
+	}
+	out := make([]BucketCount, 0, len(byLo))
+	for lo, c := range byLo {
+		out = append(out, BucketCount{LoNs: lo, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].LoNs < out[j].LoNs })
+	return out
+}
+
 // Stage returns the snapshot of the named stage, or a zero
 // StageSnapshot when the stage never ran.
 func (s Snapshot) Stage(name string) StageSnapshot {

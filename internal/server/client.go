@@ -1,0 +1,260 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strconv"
+)
+
+// Client talks to a running numarckd from the CLIs: it streams
+// checkpoint bodies up, reconstructions down, and decodes the daemon's
+// structured JSON errors back into *APIError values callers can branch
+// on. The zero HTTP field uses http.DefaultClient.
+type Client struct {
+	// Base is the daemon's base URL, e.g. "http://127.0.0.1:8377".
+	Base string
+	// Tenant is the tenant every call addresses.
+	Tenant string
+	// HTTP overrides the transport; nil uses http.DefaultClient.
+	HTTP *http.Client
+}
+
+// httpClient returns the configured or default transport.
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// url joins the base URL, /v1/{tenant}, the path parts, and the query.
+func (c *Client) url(q url.Values, parts ...string) string {
+	u := c.Base + "/v1/" + url.PathEscape(c.Tenant)
+	for _, p := range parts {
+		u += "/" + url.PathEscape(p)
+	}
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	return u
+}
+
+// do runs a request and either returns the response (status < 300) or
+// decodes the daemon's JSON error body into an *APIError.
+func (c *Client) do(req *http.Request) (*http.Response, error) {
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode < 300 {
+		return resp, nil
+	}
+	defer func() {
+		//lint:ignore errcheck error-path body drain; the error below carries the signal
+		resp.Body.Close()
+	}()
+	var ae APIError
+	if jerr := json.NewDecoder(resp.Body).Decode(&ae); jerr != nil || ae.Status == 0 {
+		return nil, fmt.Errorf("server: %s: unexpected status %s", req.URL.Path, resp.Status)
+	}
+	return nil, &ae
+}
+
+// decodeJSON drains a successful response into v.
+func decodeJSON(resp *http.Response, v any) error {
+	defer func() {
+		//lint:ignore errcheck body fully decoded below; close errors on a read-drained body carry no data
+		resp.Body.Close()
+	}()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		return fmt.Errorf("server: decode response: %w", err)
+	}
+	return nil
+}
+
+// Push streams body (raw little-endian float64 values) as iteration
+// iter of series, with extra query parameters (kind, e, b, strategy,
+// chunk, workers, budget) from q. A nil q commits with the daemon's
+// defaults.
+func (c *Client) Push(series string, iter int, body io.Reader, q url.Values) (*CommitResponse, error) {
+	if q == nil {
+		q = url.Values{}
+	}
+	q.Set("iter", strconv.Itoa(iter))
+	req, err := http.NewRequest(http.MethodPost, c.url(q, series, "checkpoints"), body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	var cr CommitResponse
+	if err := decodeJSON(resp, &cr); err != nil {
+		return nil, err
+	}
+	return &cr, nil
+}
+
+// PushFile streams the raw float64 file at path as iteration iter.
+func (c *Client) PushFile(series string, iter int, path string, q url.Values) (*CommitResponse, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	//lint:ignore errcheck read-only upload source; a close error cannot lose data
+	defer f.Close()
+	return c.Push(series, iter, f, q)
+}
+
+// PushRaw commits an already-encoded NMRKF1/NMRKD1/NMRKD2 file
+// byte-for-byte (?raw=1): the wire carries exactly the file format.
+func (c *Client) PushRaw(series string, iter int, raw []byte) (*CommitResponse, error) {
+	q := url.Values{}
+	q.Set("raw", "1")
+	return c.Push(series, iter, bytes.NewReader(raw), q)
+}
+
+// Fetch streams iteration iter's reconstructed state into w and
+// returns the point count plus, when salvage ran (?recover=1) and
+// found damage, the lost-range report from the X-Numarck-Partial
+// header.
+func (c *Client) Fetch(series string, iter int, w io.Writer, salvage bool) (points int, partial *PartialInfo, err error) {
+	q := url.Values{}
+	if salvage {
+		q.Set("recover", "1")
+	}
+	req, err := http.NewRequest(http.MethodGet, c.url(q, series, "checkpoints", strconv.Itoa(iter)), nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer func() {
+		//lint:ignore errcheck body fully copied below; close errors on a drained body carry no data
+		resp.Body.Close()
+	}()
+	if pj := resp.Header.Get("X-Numarck-Partial"); pj != "" {
+		partial = &PartialInfo{}
+		if err := json.Unmarshal([]byte(pj), partial); err != nil {
+			return 0, nil, fmt.Errorf("server: partial header: %w", err)
+		}
+	}
+	n, err := io.Copy(w, resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	if n%8 != 0 {
+		return 0, nil, fmt.Errorf("server: response body is %d bytes, not a whole float64 array", n)
+	}
+	return int(n / 8), partial, nil
+}
+
+// FetchRaw returns the committed file's exact bytes for one iteration
+// (?raw=1) plus its kind ("full" or "delta").
+func (c *Client) FetchRaw(series string, iter int) (raw []byte, kind string, err error) {
+	q := url.Values{}
+	q.Set("raw", "1")
+	req, err := http.NewRequest(http.MethodGet, c.url(q, series, "checkpoints", strconv.Itoa(iter)), nil)
+	if err != nil {
+		return nil, "", err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, "", err
+	}
+	defer func() {
+		//lint:ignore errcheck body fully read below; close errors on a drained body carry no data
+		resp.Body.Close()
+	}()
+	raw, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, "", err
+	}
+	return raw, resp.Header.Get("X-Numarck-Kind"), nil
+}
+
+// SeriesChain fetches one series' chain report; verify runs the deep
+// lock-free check server-side.
+func (c *Client) SeriesChain(series string, verify bool) (*SeriesChainResponse, error) {
+	q := url.Values{}
+	if verify {
+		q.Set("verify", "1")
+	}
+	req, err := http.NewRequest(http.MethodGet, c.url(q, series, "chain"), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	var sc SeriesChainResponse
+	if err := decodeJSON(resp, &sc); err != nil {
+		return nil, err
+	}
+	return &sc, nil
+}
+
+// TenantChain fetches the whole tenant's chain report.
+func (c *Client) TenantChain(verify bool) (*TenantChainResponse, error) {
+	q := url.Values{}
+	if verify {
+		q.Set("verify", "1")
+	}
+	req, err := http.NewRequest(http.MethodGet, c.url(q, "chain"), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	var tc TenantChainResponse
+	if err := decodeJSON(resp, &tc); err != nil {
+		return nil, err
+	}
+	return &tc, nil
+}
+
+// RestartPoint asks where a restarting application should resume.
+func (c *Client) RestartPoint(series string) (*RestartResponse, error) {
+	req, err := http.NewRequest(http.MethodPost, c.url(nil, series, "restart"), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	var rr RestartResponse
+	if err := decodeJSON(resp, &rr); err != nil {
+		return nil, err
+	}
+	return &rr, nil
+}
+
+// Metrics fetches the daemon's /metrics snapshot.
+func (c *Client) Metrics() (*MetricsResponse, error) {
+	req, err := http.NewRequest(http.MethodGet, c.Base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	var mr MetricsResponse
+	if err := decodeJSON(resp, &mr); err != nil {
+		return nil, err
+	}
+	return &mr, nil
+}

@@ -1,0 +1,115 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"numarck/internal/checkpoint"
+	"numarck/internal/chunk"
+)
+
+// errBadRequest marks malformed request input (unparsable query
+// parameters, a body that is not what the endpoint takes); it maps to
+// 400 alongside the storage layer's ErrBadVariable.
+var errBadRequest = errors.New("server: bad request")
+
+// APIError is the structured error body every non-2xx response
+// carries. Clients branch on Class; Detail is the wrapped Go error
+// chain for humans.
+type APIError struct {
+	// Status is the HTTP status code the error was sent with.
+	Status int `json:"status"`
+	// Class is the stable machine-readable error class (see the
+	// mapping table in classify).
+	Class string `json:"error"`
+	// Detail is the human-readable error chain.
+	Detail string `json:"detail"`
+	// HolderPID and HolderAgeMs describe the current writer-lock
+	// holder on a 423 response: which process holds the store and for
+	// how long, straight from checkpoint.LockHeldError.
+	HolderPID   int   `json:"holder_pid,omitempty"`
+	HolderAgeMs int64 `json:"holder_age_ms,omitempty"`
+	// RetryAfterSec mirrors the Retry-After header on 423/429/503.
+	RetryAfterSec int `json:"retry_after_sec,omitempty"`
+}
+
+// Error renders the API error for client-side error chains.
+func (e *APIError) Error() string {
+	return "server: " + strconv.Itoa(e.Status) + " " + e.Class + ": " + e.Detail
+}
+
+// classify maps a typed error from the storage and pipeline layers to
+// its HTTP rendering. The table:
+//
+//	checkpoint.ErrBadVariable        400 bad_request      caller named an invalid tenant/series/iteration
+//	checkpoint.ErrNotFound           404 not_found        no such store, variable, or iteration
+//	checkpoint.ErrChain              409 chain_conflict   commit would break (or read crosses) a chain gap
+//	chunk.ErrBudget                  413 budget_exceeded  request's pipeline cannot fit its memory budget
+//	ErrTooLarge                      413 too_large        heavier than the governor's total capacity
+//	ErrOverCapacity                  429 over_capacity    governor full; retry after the hint
+//	checkpoint.ErrLocked             423 store_locked     writer lock held outside this daemon (holder PID/age attached)
+//	checkpoint.ErrCorrupt/Truncated  500 corrupt_store    stored bytes failed CRC/parse (fail-closed read)
+//	ErrDraining / checkpoint.ErrClosed 503 draining       daemon is shutting down; retry elsewhere/later
+//	anything else                    500 internal
+//
+// Corrupt-store reads are 500, not 4xx: the client's request was
+// valid, the server's data is damaged — ?recover=1 is the opt-in that
+// turns that into a 200 with a partial-data report.
+func classify(err error) *APIError {
+	var lh *checkpoint.LockHeldError
+	switch {
+	case errors.Is(err, errBadRequest):
+		return &APIError{Status: http.StatusBadRequest, Class: "bad_request", Detail: err.Error()}
+	case errors.Is(err, checkpoint.ErrBadVariable):
+		return &APIError{Status: http.StatusBadRequest, Class: "bad_request", Detail: err.Error()}
+	case errors.Is(err, checkpoint.ErrNotFound):
+		return &APIError{Status: http.StatusNotFound, Class: "not_found", Detail: err.Error()}
+	case errors.Is(err, checkpoint.ErrChain):
+		return &APIError{Status: http.StatusConflict, Class: "chain_conflict", Detail: err.Error()}
+	case errors.Is(err, chunk.ErrBudget):
+		return &APIError{Status: http.StatusRequestEntityTooLarge, Class: "budget_exceeded", Detail: err.Error()}
+	case errors.Is(err, ErrTooLarge):
+		return &APIError{Status: http.StatusRequestEntityTooLarge, Class: "too_large", Detail: err.Error()}
+	case errors.Is(err, ErrOverCapacity):
+		return &APIError{Status: http.StatusTooManyRequests, Class: "over_capacity", Detail: err.Error(), RetryAfterSec: 1}
+	case errors.As(err, &lh):
+		return &APIError{
+			Status: http.StatusLocked, Class: "store_locked", Detail: err.Error(),
+			HolderPID: lh.PID, HolderAgeMs: lh.Age().Milliseconds(), RetryAfterSec: 1,
+		}
+	case errors.Is(err, checkpoint.ErrLocked):
+		return &APIError{Status: http.StatusLocked, Class: "store_locked", Detail: err.Error(), RetryAfterSec: 1}
+	case errors.Is(err, ErrDraining), errors.Is(err, checkpoint.ErrClosed):
+		return &APIError{Status: http.StatusServiceUnavailable, Class: "draining", Detail: err.Error(), RetryAfterSec: 1}
+	case errors.Is(err, checkpoint.ErrCorrupt), errors.Is(err, checkpoint.ErrTruncated):
+		return &APIError{Status: http.StatusInternalServerError, Class: "corrupt_store", Detail: err.Error()}
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The client went away mid-request; 499-style, but stdlib has
+		// no code for it — a 503 tells retrying proxies the truth.
+		return &APIError{Status: http.StatusServiceUnavailable, Class: "canceled", Detail: err.Error()}
+	default:
+		return &APIError{Status: http.StatusInternalServerError, Class: "internal", Detail: err.Error()}
+	}
+}
+
+// writeError renders err as its mapped status plus JSON body, setting
+// Retry-After when the class carries a hint. It must be called before
+// any body bytes have been written.
+func writeError(w http.ResponseWriter, err error) {
+	ae := classify(err)
+	if ae.RetryAfterSec > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(ae.RetryAfterSec))
+	}
+	writeJSON(w, ae.Status, ae)
+}
+
+// writeJSON writes v as a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Response write failures mean the client is gone; nothing to do.
+	_ = json.NewEncoder(w).Encode(v)
+}

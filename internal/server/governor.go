@@ -1,0 +1,155 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrTooLarge reports a request whose admission weight exceeds the
+// governor's total capacity: it can never be admitted, no matter how
+// long it waits, so the daemon rejects it permanently (413) instead of
+// queueing it (429).
+var ErrTooLarge = errors.New("server: request exceeds the memory governor's total capacity")
+
+// ErrOverCapacity reports a request the governor could not admit within
+// the caller's wait budget: capacity exists but is currently in use.
+// The daemon maps it to 429 with a Retry-After hint.
+var ErrOverCapacity = errors.New("server: memory governor over capacity")
+
+// Governor is a weighted FIFO semaphore that admission-controls
+// concurrent pipelines by their resolved memory footprint
+// (chunk.ResolveConfig's PeakBufferBytes plus the request's
+// materialized buffers). Requests that do not fit wait in strict
+// arrival order — the head of the queue blocks the line, so a stream
+// of small requests cannot starve a large one — and a caller whose
+// context expires while queued is removed and told to retry. A nil
+// Governor, or one with capacity 0, admits everything immediately.
+type Governor struct {
+	capacity int64
+
+	mu      sync.Mutex
+	used    int64
+	waiters []*govWaiter
+}
+
+// govWaiter is one queued admission request. ready is closed by the
+// releasing goroutine once the waiter's weight has been charged.
+type govWaiter struct {
+	weight int64
+	ready  chan struct{}
+}
+
+// NewGovernor builds a governor with the given total capacity in
+// bytes. capacity <= 0 means ungoverned: Acquire always admits.
+func NewGovernor(capacity int64) *Governor {
+	return &Governor{capacity: capacity}
+}
+
+// Acquire admits a request of the given weight, blocking in FIFO order
+// until capacity is available or ctx is done. It returns the release
+// function the caller must invoke exactly once when the request's
+// buffers are dead (calling it again is a no-op). Weight is clamped to
+// at least 1 so even a zero-cost request is serialized behind the
+// queue. The error is ErrTooLarge when weight exceeds total capacity
+// and ErrOverCapacity (wrapping the context error) when the wait
+// budget ran out.
+func (g *Governor) Acquire(ctx context.Context, weight int64) (release func(), err error) {
+	if g == nil || g.capacity <= 0 {
+		return func() {}, nil
+	}
+	if weight < 1 {
+		weight = 1
+	}
+	if weight > g.capacity {
+		return nil, fmt.Errorf("%w: request needs %d bytes, capacity is %d", ErrTooLarge, weight, g.capacity)
+	}
+	g.mu.Lock()
+	if len(g.waiters) == 0 && g.used+weight <= g.capacity {
+		g.used += weight
+		g.mu.Unlock()
+		return g.releaseFunc(weight), nil
+	}
+	w := &govWaiter{weight: weight, ready: make(chan struct{})}
+	g.waiters = append(g.waiters, w)
+	g.mu.Unlock()
+	select {
+	case <-w.ready:
+		return g.releaseFunc(weight), nil
+	case <-ctx.Done():
+		g.mu.Lock()
+		select {
+		case <-w.ready:
+			// Granted concurrently with the context expiring: the
+			// weight is already charged, so hand it straight back and
+			// still fail the admission — the caller is gone.
+			g.used -= weight
+			g.grantLocked()
+		default:
+			g.removeLocked(w)
+		}
+		g.mu.Unlock()
+		return nil, fmt.Errorf("%w: waited %d bytes behind %d in use: %w", ErrOverCapacity, weight, g.capacity, ctx.Err())
+	}
+}
+
+// releaseFunc builds the idempotent release closure for an admitted
+// weight.
+func (g *Governor) releaseFunc(weight int64) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			g.mu.Lock()
+			g.used -= weight
+			g.grantLocked()
+			g.mu.Unlock()
+		})
+	}
+}
+
+// grantLocked admits queued waiters from the head while they fit.
+// Strict FIFO: if the head does not fit, nothing behind it is
+// considered. Called with g.mu held.
+func (g *Governor) grantLocked() {
+	for len(g.waiters) > 0 {
+		w := g.waiters[0]
+		if g.used+w.weight > g.capacity {
+			return
+		}
+		g.used += w.weight
+		g.waiters = g.waiters[1:]
+		close(w.ready)
+	}
+}
+
+// removeLocked drops a waiter that gave up. Called with g.mu held.
+func (g *Governor) removeLocked(w *govWaiter) {
+	for i, q := range g.waiters {
+		if q == w {
+			g.waiters = append(g.waiters[:i], g.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// GovernorStats is the governor's point-in-time state, published under
+// /metrics.
+type GovernorStats struct {
+	// CapacityBytes is the total admission capacity (0 = ungoverned).
+	CapacityBytes int64 `json:"capacity_bytes"`
+	// UsedBytes is the weight currently admitted.
+	UsedBytes int64 `json:"used_bytes"`
+	// Waiting is the number of requests queued for admission.
+	Waiting int `json:"waiting"`
+}
+
+// Stats reports the governor's current state. Nil-safe.
+func (g *Governor) Stats() GovernorStats {
+	if g == nil {
+		return GovernorStats{}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return GovernorStats{CapacityBytes: g.capacity, UsedBytes: g.used, Waiting: len(g.waiters)}
+}

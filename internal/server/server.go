@@ -1,0 +1,215 @@
+// Package server is the NUMARCK checkpoint service daemon's core: a
+// stdlib-only multi-tenant HTTP layer over the checkpoint store and
+// the out-of-core codec pipeline. Simulations push raw float64 state
+// over streaming POSTs; the daemon encodes transitions with the
+// chunked v2 pipeline, commits them to per-tenant stores, and serves
+// reconstructions, chain reports, and metrics back out.
+//
+// Three subsystems carry the design:
+//
+//   - The tenant Registry opens each tenant's store lazily under one
+//     root and holds the single-writer lock only while a write is in
+//     flight; reads are served from cached lock-free ReadViews.
+//   - The memory Governor admission-controls concurrent pipelines by
+//     their resolved footprint (chunk.ResolveConfig), queueing FIFO
+//     and answering 429 + Retry-After instead of OOMing.
+//   - Graceful drain: StartDrain flips /readyz and refuses new work
+//     with 503 while in-flight commits finish and release their
+//     locks; the daemon binary pairs it with http.Server.Shutdown on
+//     SIGTERM.
+//
+// Wire format: checkpoint payloads cross the wire exactly as the
+// NMRKF1/NMRKD1/NMRKD2 file formats (?raw=1) or as raw little-endian
+// float64 arrays (the default), with no extra framing; errors are
+// structured JSON mapped from the storage layer's typed errors.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"numarck/internal/chunk"
+	"numarck/internal/core"
+	"numarck/internal/obs"
+)
+
+// ErrDraining reports a request that arrived after drain began; it
+// maps to 503 so load balancers move on.
+var ErrDraining = errors.New("server: draining, not accepting new work")
+
+// spoolDirName is the scratch directory under the registry root where
+// request bodies are spooled. It starts with a dot, which tenant names
+// cannot, so it can never collide with a tenant's store.
+const spoolDirName = ".spool"
+
+// Config configures a Server.
+type Config struct {
+	// Root is the directory holding one store per tenant. Required.
+	Root string
+	// Opt is the default encode options; per-request query parameters
+	// (e, b, strategy) override it.
+	Opt core.Options
+	// Chunk is the default pipeline configuration; per-request query
+	// parameters (chunk, workers, budget) override it. Its BudgetBytes
+	// bounds each single pipeline; CapacityBytes below bounds their
+	// sum.
+	Chunk chunk.Config
+	// CapacityBytes is the memory governor's total admission capacity
+	// across concurrent requests. 0 disables admission control.
+	CapacityBytes int64
+	// AdmitWait is how long a request waits for governor admission
+	// before 429. Default 2s.
+	AdmitWait time.Duration
+}
+
+// Server is the checkpoint service: build one with New, mount
+// Handler() on an http.Server, and call StartDrain on shutdown.
+type Server struct {
+	cfg      Config
+	reg      *Registry
+	gov      *Governor
+	spoolDir string
+	start    time.Time
+	draining atomic.Bool
+}
+
+// New validates cfg and builds the server, creating the root and spool
+// directories.
+func New(cfg Config) (*Server, error) {
+	opt, err := cfg.Opt.Validate()
+	if err != nil {
+		return nil, fmt.Errorf("server: default options: %w", err)
+	}
+	cfg.Opt = opt
+	if _, err := chunk.ResolveConfig(cfg.Chunk); err != nil {
+		return nil, fmt.Errorf("server: default pipeline config: %w", err)
+	}
+	if cfg.AdmitWait <= 0 {
+		cfg.AdmitWait = 2 * time.Second
+	}
+	reg, err := NewRegistry(cfg.Root, cfg.Opt)
+	if err != nil {
+		return nil, err
+	}
+	spool := filepath.Join(cfg.Root, spoolDirName)
+	if err := os.MkdirAll(spool, 0o755); err != nil {
+		return nil, fmt.Errorf("server: create spool dir: %w", err)
+	}
+	return &Server{
+		cfg:      cfg,
+		reg:      reg,
+		gov:      NewGovernor(cfg.CapacityBytes),
+		spoolDir: spool,
+		start:    time.Now(),
+	}, nil
+}
+
+// Registry returns the server's tenant registry (tests and the daemon
+// binary use it for drain accounting).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Governor returns the server's admission controller (tests use it to
+// occupy capacity deterministically).
+func (s *Server) Governor() *Governor { return s.gov }
+
+// StartDrain flips the server into draining mode: /readyz turns 503
+// and new API requests are refused with 503 + Retry-After, while
+// requests already in flight run to completion (the caller pairs this
+// with http.Server.Shutdown, which waits for them). Idempotent.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether drain has started.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Handler builds the daemon's route table.
+//
+//	POST /v1/{tenant}/{series}/checkpoints         commit an iteration (body: raw f64, or ?raw=1 file bytes)
+//	GET  /v1/{tenant}/{series}/checkpoints/{iter}  reconstruct (?recover=1 salvage, ?raw=1 file bytes)
+//	GET  /v1/{tenant}/{series}/chain               one series' chain entries + stats (?verify=1 deep check)
+//	GET  /v1/{tenant}/chain                        whole tenant: variables, stats, health
+//	POST /v1/{tenant}/{series}/restart             where to resume: latest restorable iteration
+//	GET  /healthz                                  process liveness (always 200)
+//	GET  /readyz                                   503 once draining
+//	GET  /metrics                                  per-tenant + merged obs snapshots, governor state
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.draining.Load() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/{tenant}/{series}/checkpoints", s.gated(s.handlePostCheckpoint))
+	mux.HandleFunc("GET /v1/{tenant}/{series}/checkpoints/{iter}", s.gated(s.handleGetCheckpoint))
+	mux.HandleFunc("GET /v1/{tenant}/{series}/chain", s.gated(s.handleSeriesChain))
+	mux.HandleFunc("GET /v1/{tenant}/chain", s.gated(s.handleTenantChain))
+	mux.HandleFunc("POST /v1/{tenant}/{series}/restart", s.gated(s.handleRestart))
+	return mux
+}
+
+// gated wraps an API handler with the drain gate: once StartDrain has
+// run, new requests get 503 before touching any store.
+func (s *Server) gated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			writeError(w, ErrDraining)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// handleMetrics publishes the daemon's observability state: one obs
+// snapshot per tenant, their merge as the process-wide view, governor
+// admission state, and uptime.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	tenants := s.reg.Tenants()
+	byName := make(map[string]obs.Snapshot, len(tenants))
+	snaps := make([]obs.Snapshot, 0, len(tenants))
+	for _, t := range tenants {
+		snap := t.Recorder().Snapshot()
+		byName[t.Name()] = snap
+		snaps = append(snaps, snap)
+	}
+	writeJSON(w, http.StatusOK, MetricsResponse{
+		UptimeNs: time.Since(s.start).Nanoseconds(),
+		Draining: s.draining.Load(),
+		Governor: s.gov.Stats(),
+		Tenants:  byName,
+		Process:  obs.MergeSnapshots(snaps...),
+	})
+}
+
+// spool copies an incoming request body to a scratch file under
+// root/.spool and returns its path and size. Bodies are spooled, not
+// buffered, because the encode pipeline must read its source twice;
+// the caller removes the file. Spool files live outside every store
+// directory so a crashed daemon's leftovers are inert scratch, not
+// store-recovery work.
+func (s *Server) spool(body io.Reader) (path string, size int64, err error) {
+	f, err := os.CreateTemp(s.spoolDir, "body-*")
+	if err != nil {
+		return "", 0, fmt.Errorf("server: spool: %w", err)
+	}
+	size, err = io.Copy(f, body)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		// Best-effort cleanup of a scratch file that failed to fill.
+		_ = os.Remove(f.Name())
+		return "", 0, fmt.Errorf("server: spool: %w", err)
+	}
+	return f.Name(), size, nil
+}
