@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint lint-fix sarif docs test race race-pipeline crash-test fuzz-smoke serve-smoke verify bench bench-smoke bench-compare
+.PHONY: all build vet lint lint-fix sarif docs test race race-pipeline crash-test fuzz-smoke serve-smoke chaos-smoke verify bench bench-smoke bench-compare
 
 all: verify
 
@@ -78,7 +78,18 @@ serve-smoke:
 	$(GO) test -race -count=1 -run 'TestServeSmoke|TestServeAdmission|TestServeLocked|TestServeDrain' ./internal/server
 	$(GO) test -race -count=1 -run 'TestDaemonGracefulDrain' ./cmd/numarckd
 
-verify: build vet lint docs test race crash-test fuzz-smoke serve-smoke
+# The chaos matrix under the race detector: a fault-free baseline
+# exchange (commits, a resumable upload, restart, reconstruction)
+# fixes the store's canonical bytes, then every request index x every
+# fault mode (refused, bare 503, cut mid-request, cut mid-response)
+# reruns the exchange through the retrying client on a fresh server —
+# and the store must end byte-identical, with one journal add per file
+# and nothing left for the janitor. Seeded and sleep-free: the whole
+# matrix stays inside a few seconds.
+chaos-smoke:
+	$(GO) test -race -count=1 -run 'TestChaos' ./internal/server
+
+verify: build vet lint docs test race crash-test fuzz-smoke serve-smoke chaos-smoke
 
 # Codec benchmarks: in-memory vs streaming encode/decode per strategy
 # (machine-readable BENCH_codec.json) plus the Go micro-benchmarks of

@@ -52,6 +52,7 @@ import (
 	"numarck/internal/ncdf"
 	"numarck/internal/obs"
 	"numarck/internal/rawio"
+	"numarck/internal/server"
 )
 
 // metricsFlags registers the shared -metrics/-metrics-json flags on fs
@@ -131,7 +132,7 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "numarck: %v\n", err)
+		fmt.Fprintf(os.Stderr, "numarck: %s\n", server.OperatorMessage(err))
 		os.Exit(1)
 	}
 }

@@ -8,6 +8,7 @@
 //	         [-budget bytes] [-chunk points] [-workers n]
 //	         [-e 0.001] [-b 8] [-strategy clustering]
 //	         [-admit-wait 2s] [-drain-timeout 30s]
+//	         [-janitor-interval 1m] [-spool-ttl 1h] [-session-ttl 24h]
 //
 // Each tenant's store lives at root/<tenant>; stores are created
 // lazily on a tenant's first commit with the daemon's default encode
@@ -18,6 +19,11 @@
 // requests — when it is exhausted, requests queue up to -admit-wait
 // and are then refused with 429 + Retry-After rather than OOMing the
 // daemon.
+//
+// A self-healing janitor sweeps every -janitor-interval: spool scratch
+// files and resumable upload sessions idle past their TTLs are reaped,
+// and stale writer locks left by crashed processes are recovered, with
+// the tallies published under /metrics as janitor counters.
 //
 // On SIGTERM or SIGINT the daemon drains: /readyz flips to 503, new
 // API requests get 503, and in-flight commits run to completion —
@@ -70,6 +76,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 	strategyName := fs.String("strategy", "clustering", "default strategy: equal-width | log-scale | clustering")
 	admitWait := fs.Duration("admit-wait", 2*time.Second, "how long a request may wait for governor admission before 429")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long drain waits for in-flight requests")
+	janitorInterval := fs.Duration("janitor-interval", time.Minute, "how often the self-healing janitor sweeps (0 disables it)")
+	spoolTTL := fs.Duration("spool-ttl", time.Hour, "janitor: reap spool scratch files idle longer than this")
+	sessionTTL := fs.Duration("session-ttl", 24*time.Hour, "janitor: reap upload sessions idle longer than this")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -107,6 +116,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 		resolved.Config.Workers, resolved.Config.ChunkPoints, resolved.PeakBufferBytes, *capacity)
 	if ready != nil {
 		ready <- ln.Addr().String()
+	}
+
+	if *janitorInterval > 0 {
+		go srv.RunJanitor(ctx, server.JanitorConfig{
+			Interval: *janitorInterval, SpoolTTL: *spoolTTL, SessionTTL: *sessionTTL,
+		})
 	}
 
 	serveErr := make(chan error, 1)

@@ -19,6 +19,7 @@ import (
 	"text/tabwriter"
 
 	"numarck/internal/checkpoint"
+	"numarck/internal/server"
 )
 
 func main() {
@@ -45,7 +46,7 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "storectl: %v\n", err)
+		fmt.Fprintf(os.Stderr, "storectl: %s\n", server.OperatorMessage(err))
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,150 @@
+package checkpoint
+
+import (
+	"hash/crc32"
+	"testing"
+
+	"numarck/internal/core"
+	"numarck/internal/faultfs"
+)
+
+// idemOptions is the encode config the idempotency tests share.
+func idemOptions() core.Options {
+	return core.Options{ErrorBound: 0.001, IndexBits: 8, Strategy: core.EqualWidth}
+}
+
+// TestPayloadCRCSurvivesReopen commits with an explicit payload CRC
+// and checks Committed reports it — through the in-memory chain, and
+// again after a close/reopen cycle that rebuilds the chain from the
+// MANIFEST journal.
+func TestPayloadCRCSurvivesReopen(t *testing.T) {
+	dir := t.TempDir() + "/store"
+	st, err := Create(dir, idemOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []float64{1, 2, 3, 4}
+	raw, err := MarshalFull("v", 0, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const payloadCRC = uint32(0xDEADBEEF)
+	if err := st.WriteRawFullPayload("v", 0, raw, payloadCRC); err != nil {
+		t.Fatal(err)
+	}
+	check := func(stage string, st *Store) {
+		t.Helper()
+		ce, ok := st.Committed("v", 0)
+		if !ok {
+			t.Fatalf("%s: Committed(v,0) not found", stage)
+		}
+		if ce.PayloadCRC != payloadCRC {
+			t.Fatalf("%s: PayloadCRC = %08x, want %08x", stage, ce.PayloadCRC, payloadCRC)
+		}
+		if ce.Kind != "full" || ce.Len != int64(len(raw)) || ce.CRC != crc32.ChecksumIEEE(raw) {
+			t.Fatalf("%s: entry = %+v", stage, ce)
+		}
+		if _, ok := st.Committed("v", 1); ok {
+			t.Fatalf("%s: phantom commit at iteration 1", stage)
+		}
+	}
+	check("fresh", st)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		// Read-only assertions follow; a close error cannot lose data.
+		_ = st2.Close()
+	}()
+	check("reopened", st2)
+}
+
+// TestPayloadCRCDefaultsToFileCRC checks that plain WriteRawFull and
+// WriteRawDelta journal the file's own CRC as the payload CRC — a raw
+// commit's payload is the file itself.
+func TestPayloadCRCDefaultsToFileCRC(t *testing.T) {
+	dir := t.TempDir() + "/store"
+	st, err := Create(dir, idemOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		// Assertions are in-memory only; a close error cannot lose data.
+		_ = st.Close()
+	}()
+	raw, err := MarshalFull("v", 0, []float64{5, 6, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteRawFull("v", 0, raw); err != nil {
+		t.Fatal(err)
+	}
+	ce, ok := st.Committed("v", 0)
+	if !ok {
+		t.Fatal("Committed(v,0) not found")
+	}
+	if ce.PayloadCRC != ce.CRC || ce.PayloadCRC != crc32.ChecksumIEEE(raw) {
+		t.Fatalf("PayloadCRC = %08x, CRC = %08x, want both = file CRC", ce.PayloadCRC, ce.CRC)
+	}
+}
+
+// TestInspectLock walks the lock-status matrix: no lock, a lock held
+// by a live owner, and a stale lock from a provably dead owner.
+func TestInspectLock(t *testing.T) {
+	dir := t.TempDir() + "/store"
+
+	ls, err := InspectLock(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.Held || ls.Stale() {
+		t.Fatalf("missing store: status %+v, want unheld", ls)
+	}
+
+	st, err := Create(dir, idemOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err = InspectLock(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ls.Held || !ls.Parsed || !ls.Alive || ls.Stale() {
+		t.Fatalf("held by this process: status %+v", ls)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ls, err = InspectLock(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.Held {
+		t.Fatalf("after close: status %+v, want released", ls)
+	}
+
+	// A lock whose recorded owner cannot exist (beyond the kernel's pid
+	// space) probes dead: stale, recoverable.
+	const deadPID = 1999999999
+	st2, err := CreateFSOwner(dir+"2", idemOptions(), faultfs.OS(), LockOwner{PID: deadPID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Abandon st2 without Close: the LOCK survives, like a crashed
+	// writer's would.
+	_ = st2
+	ls, err = InspectLock(dir + "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ls.Held || !ls.Parsed || ls.Alive || !ls.Stale() {
+		t.Fatalf("dead owner: status %+v, want stale", ls)
+	}
+	if ls.PID != deadPID {
+		t.Fatalf("PID = %d, want %d", ls.PID, deadPID)
+	}
+}

@@ -33,12 +33,20 @@ type journalRecord struct {
 	// CRC is the CRC-32 (IEEE) of the committed file's bytes (add
 	// records).
 	CRC uint32 `json:"crc,omitempty"`
+	// PayloadCRC is the CRC-32 (IEEE) of the payload the commit was
+	// requested with — for the daemon's value commits, the raw float64
+	// body before encoding; zero when unknown (library writes, adopted
+	// files, records from before the field existed). It is the durable
+	// anchor of commit idempotency: a retried commit with a matching
+	// payload CRC replays as success instead of double-applying.
+	PayloadCRC uint32 `json:"pcrc,omitempty"`
 }
 
 // journalEntry is the live state of one journaled file after replay.
 type journalEntry struct {
-	Len int64
-	CRC uint32
+	Len        int64
+	CRC        uint32
+	PayloadCRC uint32
 }
 
 // appendJournal durably appends one record: open in append mode, write
@@ -102,7 +110,7 @@ func rewriteJournal(fsys faultfs.FS, dir string, entries map[string]journalEntry
 	var buf bytes.Buffer
 	for _, name := range names {
 		je := entries[name]
-		line, err := json.Marshal(journalRecord{Op: "add", Name: name, Len: je.Len, CRC: je.CRC})
+		line, err := json.Marshal(journalRecord{Op: "add", Name: name, Len: je.Len, CRC: je.CRC, PayloadCRC: je.PayloadCRC})
 		if err != nil {
 			return fmt.Errorf("checkpoint: marshal journal record: %w", err)
 		}
@@ -147,7 +155,7 @@ func replayJournal(fsys faultfs.FS, dir string) (entries map[string]journalEntry
 		}
 		switch rec.Op {
 		case "add":
-			entries[rec.Name] = journalEntry{Len: rec.Len, CRC: rec.CRC}
+			entries[rec.Name] = journalEntry{Len: rec.Len, CRC: rec.CRC, PayloadCRC: rec.PayloadCRC}
 		case "drop":
 			delete(entries, rec.Name)
 		}

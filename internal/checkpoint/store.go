@@ -319,7 +319,11 @@ func fileName(variable, kind string, iteration int) string {
 // matches; readers detect that and fall back to the journal. The chain
 // invariant (complete new checkpoint or clean pre-write state) holds at
 // every crash point.
-func (st *Store) commitFile(name string, raw []byte) error {
+//
+// payloadCRC is the caller-declared CRC of the pre-encode payload,
+// journaled alongside the file CRC so retried commits can be detected
+// as idempotent replays (0 = unknown).
+func (st *Store) commitFile(name string, raw []byte, payloadCRC uint32) error {
 	if st.closed {
 		return ErrClosed
 	}
@@ -327,17 +331,46 @@ func (st *Store) commitFile(name string, raw []byte) error {
 	if err := faultfs.WriteFileAtomic(st.fs, st.dir, path, raw); err != nil {
 		return pathErr("commit", path, err)
 	}
-	je := journalEntry{Len: int64(len(raw)), CRC: crc32.ChecksumIEEE(raw)}
+	je := journalEntry{Len: int64(len(raw)), CRC: crc32.ChecksumIEEE(raw), PayloadCRC: payloadCRC}
 	if err := appendJournal(st.fs, st.dir, journalRecord{
-		Op:   "add",
-		Name: name,
-		Len:  je.Len,
-		CRC:  je.CRC,
+		Op:         "add",
+		Name:       name,
+		Len:        je.Len,
+		CRC:        je.CRC,
+		PayloadCRC: je.PayloadCRC,
 	}); err != nil {
 		return err
 	}
 	st.chain[name] = je
 	return st.republishIndex()
+}
+
+// CommittedEntry describes one journaled commit, looked up by Committed
+// for idempotency decisions: a retried commit whose declared payload
+// CRC matches PayloadCRC (or, for commits whose payload is the file
+// itself, CRC) is a replay, not a new write.
+type CommittedEntry struct {
+	// Name is the committed file's name; Kind is "full" or "delta".
+	Name string
+	Kind string
+	// Len and CRC are the journaled file length and checksum.
+	Len int64
+	CRC uint32
+	// PayloadCRC is the journaled pre-encode payload checksum (0 =
+	// unknown: library writes, adopted files, pre-upgrade records).
+	PayloadCRC uint32
+}
+
+// Committed returns the journaled commit for variable at iteration, if
+// any. It is a pure in-memory chain lookup.
+func (st *Store) Committed(variable string, iteration int) (CommittedEntry, bool) {
+	for _, kind := range []string{"full", "delta"} {
+		name := fileName(variable, kind, iteration)
+		if je, ok := st.chain[name]; ok {
+			return CommittedEntry{Name: name, Kind: kind, Len: je.Len, CRC: je.CRC, PayloadCRC: je.PayloadCRC}, true
+		}
+	}
+	return CommittedEntry{}, false
 }
 
 // republishIndex publishes the next chain-index image from the
@@ -356,7 +389,7 @@ func (st *Store) WriteFull(variable string, iteration int, data []float64) error
 	if err != nil {
 		return err
 	}
-	return st.commitFile(fileName(variable, "full", iteration), raw)
+	return st.commitFile(fileName(variable, "full", iteration), raw, 0)
 }
 
 // WriteDelta encodes the transition prev → cur with the store's options
@@ -391,7 +424,7 @@ func (st *Store) WriteEncodedDelta(variable string, iteration int, enc *core.Enc
 	if err != nil {
 		return err
 	}
-	return st.commitFile(fileName(variable, "delta", iteration), raw)
+	return st.commitFile(fileName(variable, "delta", iteration), raw, 0)
 }
 
 // WriteRawFull commits raw — an already-marshalled NMRKF1 full
@@ -400,8 +433,19 @@ func (st *Store) WriteEncodedDelta(variable string, iteration int, enc *core.Enc
 // identity matches the given variable and iteration. It is the commit
 // hook the checkpoint service daemon uses: the encode happened
 // elsewhere, but the commit gets the same crash-safe
-// write/journal/index-republish path as WriteFull.
+// write/journal/index-republish path as WriteFull. The journaled
+// payload CRC is the file's own CRC: a raw commit's payload is the
+// file itself.
 func (st *Store) WriteRawFull(variable string, iteration int, raw []byte) error {
+	return st.WriteRawFullPayload(variable, iteration, raw, crc32.ChecksumIEEE(raw))
+}
+
+// WriteRawFullPayload is WriteRawFull with an explicit payload CRC —
+// the checksum of whatever the caller's client originally sent (for
+// the daemon's value commits, the raw float64 body, not the encoded
+// file). It is journaled with the commit so a retried request can be
+// recognized as an idempotent replay. 0 means unknown.
+func (st *Store) WriteRawFullPayload(variable string, iteration int, raw []byte, payloadCRC uint32) error {
 	if err := validateIdentity(variable, iteration); err != nil {
 		return err
 	}
@@ -412,15 +456,24 @@ func (st *Store) WriteRawFull(variable string, iteration int, raw []byte) error 
 	if v != variable || it != iteration {
 		return fmt.Errorf("%w: raw full checkpoint claims %s@%d, committing as %s@%d", ErrBadVariable, v, it, variable, iteration)
 	}
-	return st.commitFile(fileName(variable, "full", iteration), raw)
+	return st.commitFile(fileName(variable, "full", iteration), raw, payloadCRC)
 }
 
 // WriteRawDelta commits raw — an already-marshalled NMRKD1 or NMRKD2
 // delta checkpoint file, e.g. the output of a streaming encode —
 // after validating that it parses (v2: header, bin table, and chunk
 // directory; v1: the whole payload including its CRC) and that its
-// header identity matches the given variable and iteration.
+// header identity matches the given variable and iteration. The
+// journaled payload CRC is the file's own CRC: a raw commit's payload
+// is the file itself.
 func (st *Store) WriteRawDelta(variable string, iteration int, raw []byte) error {
+	return st.WriteRawDeltaPayload(variable, iteration, raw, crc32.ChecksumIEEE(raw))
+}
+
+// WriteRawDeltaPayload is WriteRawDelta with an explicit payload CRC
+// (the checksum of the client's pre-encode payload, journaled for
+// idempotent-replay detection; 0 = unknown).
+func (st *Store) WriteRawDeltaPayload(variable string, iteration int, raw []byte, payloadCRC uint32) error {
 	if err := validateIdentity(variable, iteration); err != nil {
 		return err
 	}
@@ -443,7 +496,7 @@ func (st *Store) WriteRawDelta(variable string, iteration int, raw []byte) error
 	if v != variable || it != iteration {
 		return fmt.Errorf("%w: raw delta claims %s@%d, committing as %s@%d", ErrBadVariable, v, it, variable, iteration)
 	}
-	return st.commitFile(fileName(variable, "delta", iteration), raw)
+	return st.commitFile(fileName(variable, "delta", iteration), raw, payloadCRC)
 }
 
 // Entry describes one stored checkpoint file.

@@ -1,0 +1,150 @@
+package netfault
+
+import (
+	"net"
+	"sync"
+)
+
+// This file is the TCP half of the injector: where Transport fakes a
+// severed connection from inside the client process, WrapListener cuts
+// the real socket server-side — the bytes genuinely stop mid-stream,
+// exercising the client's torn-response handling against an actual
+// half-written wire, not a simulated one.
+
+// ConnFault severs one accepted connection after a byte budget.
+type ConnFault struct {
+	// Nth is the accepted connection (1-based) the fault applies to.
+	Nth int
+	// ReadAfter severs after this many bytes read from the client
+	// (client→server). Negative means never.
+	ReadAfter int64
+	// WriteAfter severs after this many bytes written to the client
+	// (server→client). Negative means never.
+	WriteAfter int64
+}
+
+// faultListener applies ConnFaults to accepted connections.
+type faultListener struct {
+	net.Listener
+
+	mu     sync.Mutex
+	n      int
+	faults []ConnFault
+}
+
+// WrapListener wraps ln so scheduled connections are severed at their
+// byte budgets. Connections with no scheduled fault pass through
+// untouched.
+func WrapListener(ln net.Listener, faults ...ConnFault) net.Listener {
+	return &faultListener{Listener: ln, faults: faults}
+}
+
+// Accept implements net.Listener, attaching the scheduled fault to the
+// matching accepted connection.
+func (l *faultListener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.n++
+	n := l.n
+	l.mu.Unlock()
+	for _, f := range l.faults {
+		if f.Nth == n {
+			return &cutConn{Conn: conn, readLeft: budget(f.ReadAfter), writeLeft: budget(f.WriteAfter)}, nil
+		}
+	}
+	return conn, nil
+}
+
+// budget normalizes a fault byte budget: negative means unlimited.
+func budget(v int64) int64 {
+	if v < 0 {
+		return int64(1) << 62
+	}
+	return v
+}
+
+// cutConn is a net.Conn that force-closes itself once either byte
+// budget is spent, leaving the peer with a mid-stream connection reset
+// — the honest signature of a failed machine, not a graceful EOF.
+type cutConn struct {
+	net.Conn
+
+	mu        sync.Mutex
+	readLeft  int64
+	writeLeft int64
+	cut       bool
+}
+
+// Read implements net.Conn, counting client→server bytes against the
+// read budget.
+func (c *cutConn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.cut || c.readLeft <= 0 {
+		c.sever()
+		c.mu.Unlock()
+		return 0, ErrInjected
+	}
+	if int64(len(p)) > c.readLeft {
+		p = p[:c.readLeft]
+	}
+	c.mu.Unlock()
+	n, err := c.Conn.Read(p)
+	c.mu.Lock()
+	c.readLeft -= int64(n)
+	spent := c.readLeft <= 0
+	c.mu.Unlock()
+	if spent {
+		c.mu.Lock()
+		c.sever()
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrInjected
+		}
+	}
+	return n, err
+}
+
+// Write implements net.Conn, counting server→client bytes against the
+// write budget; the budgeted prefix reaches the wire before the cut.
+func (c *cutConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.cut || c.writeLeft <= 0 {
+		c.sever()
+		c.mu.Unlock()
+		return 0, ErrInjected
+	}
+	limit := int64(len(p))
+	torn := false
+	if limit > c.writeLeft {
+		limit = c.writeLeft
+		torn = true
+	}
+	c.mu.Unlock()
+	n, err := c.Conn.Write(p[:limit])
+	c.mu.Lock()
+	c.writeLeft -= int64(n)
+	c.mu.Unlock()
+	if torn {
+		c.mu.Lock()
+		c.sever()
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrInjected
+		}
+	}
+	return n, err
+}
+
+// sever force-closes the underlying connection once. Callers hold mu.
+func (c *cutConn) sever() {
+	if c.cut {
+		return
+	}
+	c.cut = true
+	// The cut is the point; a close error on a doomed socket adds
+	// nothing.
+	_ = c.Conn.Close()
+}

@@ -126,6 +126,22 @@ const (
 	// CounterLockTakeovers counts stale writer locks broken by a new
 	// writer (crashed owner detected at lock acquisition).
 	CounterLockTakeovers
+	// CounterCommitReplays counts idempotent commit replays: a retried
+	// commit whose iteration was already journaled with the same
+	// payload CRC, answered as a cheap success instead of re-applied.
+	CounterCommitReplays
+	// CounterRetries counts client-side retry attempts (every attempt
+	// after the first, whatever its outcome).
+	CounterRetries
+	// CounterSpoolsReaped counts orphaned request-spool files removed
+	// by the janitor.
+	CounterSpoolsReaped
+	// CounterSessionsReaped counts expired upload sessions removed by
+	// the janitor.
+	CounterSessionsReaped
+	// CounterLocksRecovered counts stale writer locks (dead holder)
+	// the janitor detected and recovered.
+	CounterLocksRecovered
 
 	numCounters
 )
@@ -139,6 +155,8 @@ var counterNames = [numCounters]string{
 	"bytes_read", "bytes_written", "section_bytes",
 	"recovery_scans", "torn_files_detected", "chunks_quarantined",
 	"index_rebuilds", "index_rereads", "lock_takeovers",
+	"commit_replays", "retries",
+	"spools_reaped", "sessions_reaped", "locks_recovered",
 }
 
 // String returns the counter's snapshot name.

@@ -1,0 +1,289 @@
+package server
+
+// The chaos matrix: the PR's end-to-end failure-survival proof. One
+// fault-free exchange (two value commits, one resumable upload, a
+// restart query, a reconstruction) establishes how many requests the
+// protocol takes and what the store's bytes must look like. Then, for
+// every request index and every fault mode, a fresh server runs the
+// same exchange through a retrying client with exactly that request
+// sabotaged — refused, answered 503, cut mid-request, or cut
+// mid-response — and the store must end byte-identical to the
+// fault-free run: never torn, never double-applied, with exactly one
+// journal "add" per committed file and zero leaked spools or sessions
+// once the janitor sweeps.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"numarck/internal/netfault"
+)
+
+// chaosN keeps the exchange small enough that the full matrix stays
+// inside the smoke budget.
+const chaosN = 512
+
+// chaosClient builds a retrying client over a fault-injecting
+// transport. Sleeps are recorded, not slept: backoff math still runs
+// (including Retry-After floors), the matrix just does not wait it
+// out.
+func chaosClient(base string, nt *netfault.Transport) *Client {
+	return &Client{
+		Base: base, Tenant: "sim0",
+		HTTP: &http.Client{Transport: nt},
+		Retry: RetryPolicy{
+			MaxAttempts: 6,
+			BaseDelay:   time.Millisecond,
+			MaxDelay:    4 * time.Millisecond,
+			Sleep:       func(time.Duration) {},
+		},
+	}
+}
+
+// chaosExchange is the canonical protocol run: full commit, delta
+// commit, resumable upload of iteration 2 in 1 KiB ranges, restart
+// query, and a reconstruction of the final state. It returns the
+// reconstructed bytes: the codec is lossy, so convergence means every
+// scenario reconstructs the identical bytes the fault-free run did,
+// not the raw input.
+func chaosExchange(c *Client) ([]byte, error) {
+	const series = "dens"
+	for iter := 0; iter <= 1; iter++ {
+		if _, err := c.Push(series, iter, bytes.NewReader(floatBytes(seriesValues(iter, chaosN))), nil); err != nil {
+			return nil, fmt.Errorf("push iter %d: %w", iter, err)
+		}
+	}
+	payload := floatBytes(seriesValues(2, chaosN))
+	if _, err := c.PushResumable(series, 2, bytes.NewReader(payload), int64(len(payload)), 1024, nil); err != nil {
+		return nil, fmt.Errorf("resumable push iter 2: %w", err)
+	}
+	rp, err := c.RestartPoint(series)
+	if err != nil {
+		return nil, fmt.Errorf("restart point: %w", err)
+	}
+	if rp.Iteration != 2 {
+		return nil, fmt.Errorf("restart point %d, want 2", rp.Iteration)
+	}
+	var buf bytes.Buffer
+	points, _, err := c.Fetch(series, 2, &buf, false)
+	if err != nil {
+		return nil, fmt.Errorf("fetch iter 2: %w", err)
+	}
+	if points != chaosN {
+		return nil, fmt.Errorf("fetched %d points, want %d", points, chaosN)
+	}
+	return buf.Bytes(), nil
+}
+
+// snapshotDir maps every file under dir to its bytes (paths relative
+// to dir). The store's bytes are deterministic for a given commit
+// sequence, so two runs that truly applied the same commits compare
+// equal file for file.
+func snapshotDir(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	snap := map[string][]byte{}
+	err := filepath.Walk(dir, func(path string, fi os.FileInfo, err error) error {
+		if err != nil || fi.IsDir() {
+			return err
+		}
+		raw, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return rerr
+		}
+		rel, rerr := filepath.Rel(dir, path)
+		if rerr != nil {
+			return rerr
+		}
+		snap[rel] = raw
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("snapshot %s: %v", dir, err)
+	}
+	return snap
+}
+
+// diffSnapshots renders the first difference between two store
+// snapshots, or "" when identical.
+func diffSnapshots(want, got map[string][]byte) string {
+	for name, wb := range want {
+		gb, ok := got[name]
+		if !ok {
+			return fmt.Sprintf("missing file %s", name)
+		}
+		if !bytes.Equal(wb, gb) {
+			return fmt.Sprintf("file %s differs: %d vs %d bytes", name, len(wb), len(gb))
+		}
+	}
+	for name := range got {
+		if _, ok := want[name]; !ok {
+			return fmt.Sprintf("extra file %s", name)
+		}
+	}
+	return ""
+}
+
+// journalAdds counts "add" records per file name in a store's
+// MANIFEST journal — the double-apply detector: a replayed retry must
+// not append a second record for the same file.
+func journalAdds(t *testing.T, storeDir string) map[string]int {
+	t.Helper()
+	f, err := os.Open(filepath.Join(storeDir, "MANIFEST"))
+	if err != nil {
+		t.Fatalf("open journal: %v", err)
+	}
+	defer f.Close()
+	adds := map[string]int{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var rec struct {
+			Op   string `json:"op"`
+			Name string `json:"name"`
+		}
+		if json.Unmarshal(sc.Bytes(), &rec) == nil && rec.Op == "add" {
+			adds[rec.Name]++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scan journal: %v", err)
+	}
+	return adds
+}
+
+// sweepAndCheckClean runs a reap-everything janitor pass and asserts
+// no spool files or upload sessions survive it.
+func sweepAndCheckClean(t *testing.T, s *Server, label string) {
+	t.Helper()
+	if _, err := s.Sweep(JanitorConfig{}); err != nil {
+		t.Fatalf("%s: sweep: %v", label, err)
+	}
+	des, err := os.ReadDir(s.spoolDir)
+	if err != nil {
+		t.Fatalf("%s: scan spool: %v", label, err)
+	}
+	for _, de := range des {
+		if de.Name() != uploadDirName {
+			t.Errorf("%s: leaked spool file %s", label, de.Name())
+		}
+	}
+	sess, err := os.ReadDir(s.uploads.dir)
+	if err != nil {
+		t.Fatalf("%s: scan sessions: %v", label, err)
+	}
+	for _, de := range sess {
+		t.Errorf("%s: leaked upload session %s", label, de.Name())
+	}
+}
+
+// checkStoreConverged asserts one chaos scenario's end state: store
+// bytes identical to the fault-free baseline, exactly one journal add
+// per committed file, and nothing left for the janitor.
+func checkStoreConverged(t *testing.T, s *Server, base map[string]int, baseSnap map[string][]byte, label string) {
+	t.Helper()
+	storeDir := filepath.Join(s.reg.Root(), "sim0")
+	if d := diffSnapshots(baseSnap, snapshotDir(t, storeDir)); d != "" {
+		t.Errorf("%s: store diverged from fault-free run: %s", label, d)
+	}
+	adds := journalAdds(t, storeDir)
+	for name, n := range adds {
+		if n != 1 {
+			t.Errorf("%s: journal has %d adds for %s, want 1 (double-applied commit)", label, n, name)
+		}
+	}
+	for name := range base {
+		if adds[name] == 0 {
+			t.Errorf("%s: journal missing add for %s", label, name)
+		}
+	}
+	sweepAndCheckClean(t, s, label)
+}
+
+// TestChaosMatrix is the headline proof. It runs the baseline exchange
+// once to learn the request count R and the store's canonical bytes,
+// then runs R x 4 scenarios: for every request index, a fresh server
+// and a retrying client with that request refused, answered a bare
+// 503 + Retry-After, cut mid-request body, or cut mid-response body.
+// Every scenario must converge to the byte-identical store.
+func TestChaosMatrix(t *testing.T) {
+	s0, ts0 := newTestServer(t, 0, 0)
+	nt0 := netfault.NewTransport(nil, 1)
+	baseFetch, err := chaosExchange(chaosClient(ts0.URL, nt0))
+	if err != nil {
+		t.Fatalf("fault-free baseline: %v", err)
+	}
+	storeDir := filepath.Join(s0.reg.Root(), "sim0")
+	baseSnap := snapshotDir(t, storeDir)
+	baseAdds := journalAdds(t, storeDir)
+	reqs := nt0.Requests()
+	if reqs < 8 {
+		t.Fatalf("baseline took %d requests, expected the full protocol (>= 8)", reqs)
+	}
+	sweepAndCheckClean(t, s0, "baseline")
+
+	modes := []netfault.Mode{netfault.ModeRefuse, netfault.ModeStatus, netfault.ModeCutRequest, netfault.ModeCutResponse}
+	for i := 1; i <= reqs; i++ {
+		for _, mode := range modes {
+			name := fmt.Sprintf("req%02d-%s", i, mode)
+			t.Run(name, func(t *testing.T) {
+				f := netfault.Fault{Nth: i, Mode: mode}
+				switch mode {
+				case netfault.ModeStatus:
+					f.Status = http.StatusServiceUnavailable
+					f.RetryAfterSec = 1
+				case netfault.ModeCutRequest, netfault.ModeCutResponse:
+					f.AfterBytes = 20
+				}
+				s, ts := newTestServer(t, 0, 0)
+				nt := netfault.NewTransport(nil, int64(i))
+				nt.AddFault(f)
+				fetched, err := chaosExchange(chaosClient(ts.URL, nt))
+				if err != nil {
+					t.Fatalf("exchange: %v\ntrace: %v", err, nt.Trace())
+				}
+				if !bytes.Equal(fetched, baseFetch) {
+					t.Errorf("reconstruction differs from fault-free run")
+				}
+				checkStoreConverged(t, s, baseAdds, baseSnap, name)
+			})
+		}
+	}
+}
+
+// TestChaosGiveUp proves the bounded-budget side: against a network
+// that refuses every connection, the client gives up with the typed
+// RetryExhaustedError after exactly its attempt budget, and the server
+// side is untouched — a clean pre-commit state, not a torn one.
+func TestChaosGiveUp(t *testing.T) {
+	s, ts := newTestServer(t, 0, 0)
+	nt := netfault.NewTransport(nil, 7)
+	nt.AddFault(netfault.Fault{Mode: netfault.ModeRefuse, Nth: 1, Count: -1})
+	c := chaosClient(ts.URL, nt)
+	c.Retry.MaxAttempts = 3
+
+	_, err := c.Push("dens", 0, bytes.NewReader(floatBytes(seriesValues(0, 64))), nil)
+	var re *RetryExhaustedError
+	if !errors.As(err, &re) {
+		t.Fatalf("error = %v, want *RetryExhaustedError", err)
+	}
+	if re.Attempts != 3 {
+		t.Fatalf("gave up after %d attempts, want 3", re.Attempts)
+	}
+	if !errors.Is(err, netfault.ErrInjected) {
+		t.Fatalf("give-up cause %v does not unwrap to the injected fault", err)
+	}
+	if nt.Requests() != 3 {
+		t.Fatalf("transport saw %d requests, want 3", nt.Requests())
+	}
+	if _, serr := os.Stat(filepath.Join(s.reg.Root(), "sim0")); !os.IsNotExist(serr) {
+		t.Fatalf("tenant store exists after refused commits: %v", serr)
+	}
+	sweepAndCheckClean(t, s, "give-up")
+}

@@ -4,8 +4,10 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"numarck/internal/checkpoint"
 	"numarck/internal/chunk"
@@ -15,6 +17,19 @@ import (
 // parameters, a body that is not what the endpoint takes); it maps to
 // 400 alongside the storage layer's ErrBadVariable.
 var errBadRequest = errors.New("server: bad request")
+
+// ErrCommitConflict reports a commit for an iteration that is already
+// journaled with a different payload: not a retry of the same request
+// but two distinct states contending for one chain slot. It maps to
+// 409 and is never retryable — retrying would re-send the same losing
+// payload.
+var ErrCommitConflict = errors.New("server: iteration already committed with a different payload")
+
+// ErrUploadGap reports an upload range whose offset is beyond the
+// session's contiguous received prefix: a range went missing, so the
+// session cannot accept this one. It maps to 409; the client re-reads
+// the session status and resumes from Received.
+var ErrUploadGap = errors.New("server: upload range beyond received prefix")
 
 // APIError is the structured error body every non-2xx response
 // carries. Clients branch on Class; Detail is the wrapped Go error
@@ -41,12 +56,46 @@ func (e *APIError) Error() string {
 	return "server: " + strconv.Itoa(e.Status) + " " + e.Class + ": " + e.Detail
 }
 
+// OperatorMessage renders err the way a CLI should show it to a human
+// operator: a decoded API error surfaces its status, class, and detail
+// plus an actionable hint — the writer-lock holder's PID and age on
+// 423, or the server's Retry-After on 429/503 — and a retry give-up
+// surfaces the attempt count with its final cause. Local (non-HTTP)
+// lock contention gets the same holder hint; every other error renders
+// as its plain Error string.
+func OperatorMessage(err error) string {
+	var re *RetryExhaustedError
+	if errors.As(err, &re) {
+		return fmt.Sprintf("gave up after %d attempts; last error: %s", re.Attempts, OperatorMessage(re.Last))
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		msg := fmt.Sprintf("server rejected the request: %d %s: %s", ae.Status, ae.Class, ae.Detail)
+		switch {
+		case ae.HolderPID > 0:
+			age := time.Duration(ae.HolderAgeMs) * time.Millisecond
+			msg += fmt.Sprintf(" (writer lock held by pid %d for %s; retry shortly or check that process)", ae.HolderPID, age)
+		case ae.RetryAfterSec > 0:
+			msg += fmt.Sprintf(" (retry after %ds)", ae.RetryAfterSec)
+		}
+		return msg
+	}
+	var lh *checkpoint.LockHeldError
+	if errors.As(err, &lh) {
+		return fmt.Sprintf("%s (holder pid %d, held for %s; retry shortly or check that process)",
+			err, lh.PID, lh.Age().Round(time.Millisecond))
+	}
+	return err.Error()
+}
+
 // classify maps a typed error from the storage and pipeline layers to
 // its HTTP rendering. The table:
 //
 //	checkpoint.ErrBadVariable        400 bad_request      caller named an invalid tenant/series/iteration
 //	checkpoint.ErrNotFound           404 not_found        no such store, variable, or iteration
 //	checkpoint.ErrChain              409 chain_conflict   commit would break (or read crosses) a chain gap
+//	ErrCommitConflict                409 commit_conflict  iteration already committed with a different payload
+//	ErrUploadGap                     409 upload_gap       upload range starts beyond the received prefix
 //	chunk.ErrBudget                  413 budget_exceeded  request's pipeline cannot fit its memory budget
 //	ErrTooLarge                      413 too_large        heavier than the governor's total capacity
 //	ErrOverCapacity                  429 over_capacity    governor full; retry after the hint
@@ -69,6 +118,10 @@ func classify(err error) *APIError {
 		return &APIError{Status: http.StatusNotFound, Class: "not_found", Detail: err.Error()}
 	case errors.Is(err, checkpoint.ErrChain):
 		return &APIError{Status: http.StatusConflict, Class: "chain_conflict", Detail: err.Error()}
+	case errors.Is(err, ErrCommitConflict):
+		return &APIError{Status: http.StatusConflict, Class: "commit_conflict", Detail: err.Error()}
+	case errors.Is(err, ErrUploadGap):
+		return &APIError{Status: http.StatusConflict, Class: "upload_gap", Detail: err.Error()}
 	case errors.Is(err, chunk.ErrBudget):
 		return &APIError{Status: http.StatusRequestEntityTooLarge, Class: "budget_exceeded", Detail: err.Error()}
 	case errors.Is(err, ErrTooLarge):

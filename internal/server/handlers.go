@@ -90,6 +90,99 @@ func (s *Server) admit(r *http.Request, weight int64) (func(), error) {
 	return s.gov.Acquire(ctx, weight)
 }
 
+// PayloadCRCHeader is the request header carrying the CRC-32 (IEEE)
+// of the commit payload as the client sent it. The daemon verifies it
+// against the bytes that actually arrived (rejecting transit
+// corruption) and journals it with the commit, so a retried request
+// with the same payload is recognized and replayed instead of
+// double-applied.
+const PayloadCRCHeader = "X-Numarck-Payload-CRC32"
+
+// declaredCRC parses the PayloadCRCHeader and cross-checks it against
+// the spooled body's actual CRC.
+func declaredCRC(r *http.Request, got uint32) error {
+	v := r.Header.Get(PayloadCRCHeader)
+	if v == "" {
+		return nil
+	}
+	want, err := strconv.ParseUint(v, 10, 32)
+	if err != nil {
+		return fmt.Errorf("%w: %s=%q", errBadRequest, PayloadCRCHeader, v)
+	}
+	//lint:ignore bindex ParseUint's bitSize 32 already bounds want
+	if uint32(want) != got {
+		return fmt.Errorf("%w: payload CRC %08x does not match received bytes (%08x)", errBadRequest, want, got)
+	}
+	return nil
+}
+
+// replayMatch reports whether a journaled commit is the same payload a
+// retried request carries: the declared payload CRC matches the
+// journaled one, or — for entries journaled before payload CRCs
+// existed (adopted files) — the payload is byte-identical to the
+// committed file itself.
+func replayMatch(ce checkpoint.CommittedEntry, payloadCRC uint32) bool {
+	return payloadCRC == ce.PayloadCRC || (ce.PayloadCRC == 0 && payloadCRC == ce.CRC)
+}
+
+// conflictErr renders the losing side of an idempotency check.
+func conflictErr(series string, iter int, ce checkpoint.CommittedEntry, payloadCRC uint32) error {
+	return fmt.Errorf("%w: %s@%d holds %s (payload crc %08x, request %08x)",
+		ErrCommitConflict, series, iter, ce.Name, ce.PayloadCRC, payloadCRC)
+}
+
+// resolveReplay decides a commit for an iteration the chain may
+// already hold, under the writer lock so concurrent retries
+// serialize: resolved true means the journaled entry matches the
+// payload (a replay), an ErrCommitConflict means it does not, and
+// resolved false with nil error means the entry vanished (fall
+// through to a normal commit).
+func (s *Server) resolveReplay(t *Tenant, series string, iter int, payloadCRC uint32) (resolved bool, ce checkpoint.CommittedEntry, err error) {
+	err = t.WithStore(func(st *checkpoint.Store) error {
+		e, ok := st.Committed(series, iter)
+		if !ok {
+			return nil
+		}
+		if !replayMatch(e, payloadCRC) {
+			return conflictErr(series, iter, e, payloadCRC)
+		}
+		resolved, ce = true, e
+		return nil
+	})
+	return resolved, ce, err
+}
+
+// chainHasIter reports, through the lock-free read view, whether the
+// series' chain already holds an entry for iter. Advisory only: the
+// view can lag the writer, so commit paths re-check under the lock.
+func chainHasIter(t *Tenant, series string, iter int) bool {
+	view, err := t.View()
+	if err != nil {
+		return false
+	}
+	entries, err := view.Chain(series)
+	if err != nil {
+		return false
+	}
+	for _, ce := range entries {
+		if ce.Iteration == iter {
+			return true
+		}
+	}
+	return false
+}
+
+// writeReplay answers a retried commit whose payload is already
+// journaled: 200 (not 201 — nothing was created) with the committed
+// entry's identity and Replayed set.
+func (s *Server) writeReplay(w http.ResponseWriter, t *Tenant, series string, iter int, ce checkpoint.CommittedEntry) {
+	t.rec.Add(obs.CounterCommitReplays, 1)
+	writeJSON(w, http.StatusOK, CommitResponse{
+		Tenant: t.Name(), Variable: series, Iteration: iter,
+		Kind: ce.Kind, FileBytes: ce.Len, Replayed: true,
+	})
+}
+
 // handlePostCheckpoint commits one iteration. The default body is the
 // iteration's raw little-endian float64 state: the daemon spools it
 // (the pipeline reads its source twice), reconstructs the previous
@@ -122,25 +215,32 @@ func (s *Server) handlePostCheckpoint(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	spoolPath, size, err := s.spool(r.Body)
+	spoolPath, size, payloadCRC, err := s.spool(r.Body)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
 	// A leftover spool file is inert scratch; cleanup is best-effort.
 	defer os.Remove(spoolPath)
-
-	if q.Get("raw") == "1" {
-		s.commitRaw(w, r, t, series, iter, spoolPath, size)
+	if err := declaredCRC(r, payloadCRC); err != nil {
+		writeError(w, err)
 		return
 	}
-	s.commitValues(w, r, t, series, iter, q.Get("kind"), opt, cfg, spoolPath, size)
+
+	if q.Get("raw") == "1" {
+		s.commitRaw(w, r, t, series, iter, spoolPath, size, payloadCRC)
+		return
+	}
+	s.commitValues(w, r, t, series, iter, q.Get("kind"), opt, cfg, spoolPath, size, payloadCRC)
 }
 
 // commitRaw commits an already-encoded checkpoint file byte-for-byte.
 // The admission weight is the file size: the bytes are held once for
-// validation and commit.
-func (s *Server) commitRaw(w http.ResponseWriter, r *http.Request, t *Tenant, series string, iter int, spoolPath string, size int64) {
+// validation and commit. The idempotency check runs inside the writer
+// critical section, so two racing retries of the same request
+// serialize — one commits, the other replays, the journal gains
+// exactly one "add".
+func (s *Server) commitRaw(w http.ResponseWriter, r *http.Request, t *Tenant, series string, iter int, spoolPath string, size int64, payloadCRC uint32) {
 	release, err := s.admit(r, size)
 	if err != nil {
 		writeError(w, err)
@@ -156,16 +256,33 @@ func (s *Server) commitRaw(w http.ResponseWriter, r *http.Request, t *Tenant, se
 	switch {
 	case bytes.HasPrefix(raw, []byte("NMRKD2")), bytes.HasPrefix(raw, []byte("NMRKD1")):
 		kind = "delta"
-		err = t.WithStore(func(st *checkpoint.Store) error { return st.WriteRawDelta(series, iter, raw) })
 	case bytes.HasPrefix(raw, []byte("NMRKF1")):
 		kind = "full"
-		err = t.WithStore(func(st *checkpoint.Store) error { return st.WriteRawFull(series, iter, raw) })
 	default:
 		writeError(w, fmt.Errorf("%w: body is not an NMRKF1/NMRKD1/NMRKD2 checkpoint file", errBadRequest))
 		return
 	}
+	var replay checkpoint.CommittedEntry
+	replayed := false
+	err = t.WithStore(func(st *checkpoint.Store) error {
+		if ce, ok := st.Committed(series, iter); ok {
+			if !replayMatch(ce, payloadCRC) {
+				return conflictErr(series, iter, ce, payloadCRC)
+			}
+			replayed, replay = true, ce
+			return nil
+		}
+		if kind == "delta" {
+			return st.WriteRawDeltaPayload(series, iter, raw, payloadCRC)
+		}
+		return st.WriteRawFullPayload(series, iter, raw, payloadCRC)
+	})
 	if err != nil {
 		writeError(w, err)
+		return
+	}
+	if replayed {
+		s.writeReplay(w, t, series, iter, replay)
 		return
 	}
 	t.rec.Add(obs.CounterBytesWritten, int64(len(raw)))
@@ -179,7 +296,12 @@ func (s *Server) commitRaw(w http.ResponseWriter, r *http.Request, t *Tenant, se
 // materializes the values plus the marshalled file (~2x body); a delta
 // adds the resolved pipeline footprint (chunk.ResolveConfig) on top of
 // the reconstructed previous iteration and the encoded output.
-func (s *Server) commitValues(w http.ResponseWriter, r *http.Request, t *Tenant, series string, iter int, kind string, opt core.Options, cfg chunk.Config, spoolPath string, size int64) {
+//
+// Replay detection runs twice: a cheap pre-encode probe through the
+// read view (so a retried delta commit skips the whole pipeline), and
+// again inside the writer critical section as the race backstop — two
+// concurrent retries serialize there, and exactly one journals.
+func (s *Server) commitValues(w http.ResponseWriter, r *http.Request, t *Tenant, series string, iter int, kind string, opt core.Options, cfg chunk.Config, spoolPath string, size int64, payloadCRC uint32) {
 	if size%8 != 0 {
 		writeError(w, fmt.Errorf("%w: body is %d bytes, not a whole float64 array", errBadRequest, size))
 		return
@@ -201,6 +323,22 @@ func (s *Server) commitValues(w http.ResponseWriter, r *http.Request, t *Tenant,
 		return
 	}
 
+	// Pre-encode replay probe: if the chain already holds this
+	// iteration, resolve it under the lock before paying for admission
+	// and encode. A miss here (entry appears between probe and commit)
+	// is caught by the in-lock backstop below.
+	if chainHasIter(t, series, iter) {
+		resolved, ce, err := s.resolveReplay(t, series, iter, payloadCRC)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		if resolved {
+			s.writeReplay(w, t, series, iter, ce)
+			return
+		}
+	}
+
 	if kind == "full" {
 		release, err := s.admit(r, 2*size+64)
 		if err != nil {
@@ -218,8 +356,24 @@ func (s *Server) commitValues(w http.ResponseWriter, r *http.Request, t *Tenant,
 			writeError(w, err)
 			return
 		}
-		if err := t.WithStore(func(st *checkpoint.Store) error { return st.WriteRawFull(series, iter, raw) }); err != nil {
+		var replay checkpoint.CommittedEntry
+		replayed := false
+		err = t.WithStore(func(st *checkpoint.Store) error {
+			if ce, ok := st.Committed(series, iter); ok {
+				if !replayMatch(ce, payloadCRC) {
+					return conflictErr(series, iter, ce, payloadCRC)
+				}
+				replayed, replay = true, ce
+				return nil
+			}
+			return st.WriteRawFullPayload(series, iter, raw, payloadCRC)
+		})
+		if err != nil {
 			writeError(w, err)
+			return
+		}
+		if replayed {
+			s.writeReplay(w, t, series, iter, replay)
 			return
 		}
 		t.rec.Add(obs.CounterBytesWritten, int64(len(raw)))
@@ -270,8 +424,24 @@ func (s *Server) commitValues(w http.ResponseWriter, r *http.Request, t *Tenant,
 		writeError(w, err)
 		return
 	}
-	if err := t.WithStore(func(st *checkpoint.Store) error { return st.WriteRawDelta(series, iter, buf.Bytes()) }); err != nil {
+	var replay checkpoint.CommittedEntry
+	replayed := false
+	err = t.WithStore(func(st *checkpoint.Store) error {
+		if ce, ok := st.Committed(series, iter); ok {
+			if !replayMatch(ce, payloadCRC) {
+				return conflictErr(series, iter, ce, payloadCRC)
+			}
+			replayed, replay = true, ce
+			return nil
+		}
+		return st.WriteRawDeltaPayload(series, iter, buf.Bytes(), payloadCRC)
+	})
+	if err != nil {
 		writeError(w, err)
+		return
+	}
+	if replayed {
+		s.writeReplay(w, t, series, iter, replay)
 		return
 	}
 	writeJSON(w, http.StatusCreated, CommitResponse{

@@ -1,0 +1,203 @@
+package server
+
+// The self-healing janitor: a periodic sweep that undoes what crashes
+// leave behind. A daemon killed mid-request strands three kinds of
+// state — spool scratch files, resumable upload sessions, and (when a
+// whole process died holding a store) stale writer locks. None of them
+// block correctness on their own, but they accumulate: spools eat
+// disk, expired sessions eat disk and table entries, and a stale LOCK
+// makes every write to that tenant fail 423 until someone recovers it.
+// The janitor reaps all three on a clock and publishes what it did as
+// counters (spools_reaped, sessions_reaped, locks_recovered) under
+// /metrics, so "the daemon healed itself" is observable, not folklore.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"numarck/internal/checkpoint"
+	"numarck/internal/faultfs"
+	"numarck/internal/obs"
+)
+
+// JanitorConfig tunes the self-healing sweep.
+type JanitorConfig struct {
+	// Interval is RunJanitor's sweep period (default 1m).
+	Interval time.Duration
+	// SpoolTTL is how old (by mtime) a spool scratch file must be
+	// before it is considered orphaned. RunJanitor defaults it to 1h;
+	// Sweep treats zero as "reap everything", which tests use.
+	SpoolTTL time.Duration
+	// SessionTTL is how long an upload session may sit idle (by its
+	// meta.json mtime) before it is reaped, finalized or not.
+	// RunJanitor defaults it to 24h; zero in Sweep reaps everything.
+	SessionTTL time.Duration
+	// Now overrides the clock (tests); nil uses time.Now.
+	Now func() time.Time
+	// Alive overrides the lock-owner liveness probe (tests); nil uses
+	// the real signal-0 check.
+	Alive func(pid int) bool
+}
+
+// JanitorReport is one sweep's tally.
+type JanitorReport struct {
+	// SpoolsReaped counts orphaned spool scratch files removed.
+	SpoolsReaped int
+	// SessionsReaped counts upload sessions removed.
+	SessionsReaped int
+	// LocksRecovered counts stale writer locks broken and their stores
+	// recovered.
+	LocksRecovered int
+}
+
+// Sweep runs one janitor pass: reap orphaned spool files older than
+// SpoolTTL, upload sessions idle longer than SessionTTL, and stale
+// writer locks whose recorded owner is provably dead. Items it cannot
+// judge (unreadable, actively locked by a live process) are left
+// alone; per-item failures are collected, not fatal, so one bad entry
+// never shields the rest from cleaning.
+func (s *Server) Sweep(cfg JanitorConfig) (JanitorReport, error) {
+	now := time.Now
+	if cfg.Now != nil {
+		now = cfg.Now
+	}
+	var rep JanitorReport
+	var errs []error
+
+	rep.SpoolsReaped, errs = s.sweepSpools(now(), cfg.SpoolTTL, errs)
+	rep.SessionsReaped, errs = s.sweepSessions(now(), cfg.SessionTTL, errs)
+	rep.LocksRecovered, errs = s.sweepLocks(cfg.Alive, errs)
+
+	s.jrec.Add(obs.CounterSpoolsReaped, int64(rep.SpoolsReaped))
+	s.jrec.Add(obs.CounterSessionsReaped, int64(rep.SessionsReaped))
+	s.jrec.Add(obs.CounterLocksRecovered, int64(rep.LocksRecovered))
+	return rep, errors.Join(errs...)
+}
+
+// sweepSpools removes spool scratch files whose mtime is older than
+// ttl. The uploads directory under the spool root is session state,
+// not scratch — sweepSessions owns it.
+func (s *Server) sweepSpools(now time.Time, ttl time.Duration, errs []error) (int, []error) {
+	des, err := os.ReadDir(s.spoolDir)
+	if err != nil {
+		return 0, append(errs, fmt.Errorf("janitor: scan spool: %w", err))
+	}
+	reaped := 0
+	for _, de := range des {
+		if de.Name() == uploadDirName {
+			continue
+		}
+		path := filepath.Join(s.spoolDir, de.Name())
+		fi, err := de.Info()
+		if err != nil {
+			// Raced with the request that owns it; it is gone either way.
+			continue
+		}
+		if now.Sub(fi.ModTime()) < ttl {
+			continue
+		}
+		if err := os.RemoveAll(path); err != nil {
+			errs = append(errs, fmt.Errorf("janitor: reap spool %s: %w", de.Name(), err))
+			continue
+		}
+		reaped++
+	}
+	return reaped, errs
+}
+
+// sweepSessions removes upload sessions whose meta.json has not been
+// touched within ttl — meta is rewritten on every accepted range, so
+// its mtime is the session's last sign of life. A live session's mutex
+// is held across removal so a racing range PUT serializes against the
+// reap instead of appending into a deleted directory.
+func (s *Server) sweepSessions(now time.Time, ttl time.Duration, errs []error) (int, []error) {
+	dir := s.uploads.dir
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, append(errs, fmt.Errorf("janitor: scan sessions: %w", err))
+	}
+	reaped := 0
+	for _, de := range des {
+		id := de.Name()
+		path := filepath.Join(dir, id)
+		fi, err := os.Stat(filepath.Join(path, "meta.json"))
+		expired := err != nil || now.Sub(fi.ModTime()) >= ttl
+		if !expired {
+			continue
+		}
+		if u, gerr := s.uploads.get(id); gerr == nil {
+			u.mu.Lock()
+			err = os.RemoveAll(path)
+			u.mu.Unlock()
+		} else {
+			// Not a loadable session (malformed ID, corrupt meta):
+			// still disk to reclaim.
+			err = os.RemoveAll(path)
+		}
+		if err != nil {
+			errs = append(errs, fmt.Errorf("janitor: reap session %s: %w", id, err))
+			continue
+		}
+		s.uploads.remove(id)
+		reaped++
+	}
+	return reaped, errs
+}
+
+// sweepLocks finds tenant stores whose writer LOCK names a provably
+// dead owner and recovers them by running an empty write through the
+// normal path: Open performs the verified stale-lock takeover and the
+// recovery scan, Close releases the fresh lock. Locks held by live
+// processes — including this one's in-flight writes — are not stale
+// and are left alone.
+func (s *Server) sweepLocks(alive func(pid int) bool, errs []error) (int, []error) {
+	recovered := 0
+	for _, t := range s.reg.Tenants() {
+		ls, err := checkpoint.InspectLockFS(faultfs.OS(), t.Dir(), alive)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("janitor: inspect lock %s: %w", t.Name(), err))
+			continue
+		}
+		if !ls.Stale() {
+			continue
+		}
+		if err := t.WithStore(func(*checkpoint.Store) error { return nil }); err != nil {
+			errs = append(errs, fmt.Errorf("janitor: recover %s: %w", t.Name(), err))
+			continue
+		}
+		recovered++
+	}
+	return recovered, errs
+}
+
+// RunJanitor sweeps immediately and then every cfg.Interval until ctx
+// is done, with production defaults applied to zero fields (1m
+// interval, 1h spool TTL, 24h session TTL). The daemon binary runs it
+// as a background goroutine; sweep failures are reported through the
+// janitor counters staying flat, never by killing the loop.
+func (s *Server) RunJanitor(ctx context.Context, cfg JanitorConfig) {
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Minute
+	}
+	if cfg.SpoolTTL <= 0 {
+		cfg.SpoolTTL = time.Hour
+	}
+	if cfg.SessionTTL <= 0 {
+		cfg.SessionTTL = 24 * time.Hour
+	}
+	tick := time.NewTicker(cfg.Interval)
+	defer tick.Stop()
+	for {
+		// Per-item sweep errors are advisory; the loop must outlive them.
+		_, _ = s.Sweep(cfg)
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package server
+
+// Commit idempotency end-to-end: retried commits of the same payload
+// replay instead of double-applying (for value, raw, and delta
+// commits), a different payload for a taken iteration is a 409
+// conflict, and the operator-facing error rendering carries actionable
+// hints.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"numarck/internal/obs"
+)
+
+// TestCommitReplay pushes identical payloads twice per iteration and
+// asserts the second answer is a replay: same commit facts, Replayed
+// set, exactly one journal add per file, and the replay counter bumped.
+func TestCommitReplay(t *testing.T) {
+	s, ts := newTestServer(t, 0, 0)
+	c := &Client{Base: ts.URL, Tenant: "t0"}
+
+	// Iteration 0 lands as a full, iteration 1 as a delta; both replay.
+	for iter := 0; iter <= 1; iter++ {
+		body := floatBytes(seriesValues(iter, 256))
+		first, err := c.Push("v", iter, bytes.NewReader(body), nil)
+		if err != nil {
+			t.Fatalf("iter %d first push: %v", iter, err)
+		}
+		if first.Replayed {
+			t.Fatalf("iter %d first push claims replay", iter)
+		}
+		second, err := c.Push("v", iter, bytes.NewReader(body), nil)
+		if err != nil {
+			t.Fatalf("iter %d second push: %v", iter, err)
+		}
+		if !second.Replayed {
+			t.Fatalf("iter %d second push not replayed: %+v", iter, second)
+		}
+		if second.Kind != first.Kind || second.FileBytes != first.FileBytes {
+			t.Fatalf("iter %d replay facts %+v differ from commit %+v", iter, second, first)
+		}
+	}
+	// One journal add per committed file — the double-apply check.
+	for name, n := range journalAdds(t, filepath.Join(s.Registry().Root(), "t0")) {
+		if n != 1 {
+			t.Errorf("journal has %d adds for %s, want 1", n, name)
+		}
+	}
+
+	// The tenant's metrics show two replays.
+	mr, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	replays := mr.Tenants["t0"].Counters[obs.CounterCommitReplays.String()]
+	if replays != 2 {
+		t.Errorf("commit_replays counter = %d, want 2", replays)
+	}
+
+	// A different payload for a committed iteration is a conflict, not
+	// a silent overwrite and not a replay.
+	_, err = c.Push("v", 0, bytes.NewReader(floatBytes(seriesValues(7, 256))), nil)
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusConflict || ae.Class != "commit_conflict" {
+		t.Fatalf("conflicting push error = %v, want 409 commit_conflict", err)
+	}
+}
+
+// TestRawCommitReplay checks the passthrough (raw) commit path has the
+// same idempotency: the encoded file from one tenant re-sent twice to
+// another replays on the second send.
+func TestRawCommitReplay(t *testing.T) {
+	_, ts := newTestServer(t, 0, 0)
+	src := &Client{Base: ts.URL, Tenant: "src"}
+	if _, err := src.Push("v", 0, bytes.NewReader(floatBytes(seriesValues(0, 256))), nil); err != nil {
+		t.Fatal(err)
+	}
+	raw, kind, err := src.FetchRaw("v", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != "full" {
+		t.Fatalf("kind %q, want full", kind)
+	}
+
+	dst := &Client{Base: ts.URL, Tenant: "dst"}
+	first, err := dst.PushRaw("v", 0, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := dst.PushRaw("v", 0, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Replayed || second.FileBytes != first.FileBytes {
+		t.Fatalf("raw replay = %+v, want replay of %+v", second, first)
+	}
+}
+
+// TestOperatorMessage pins the CLI rendering satellite: 423s name the
+// lock holder, Retry-After surfaces as a hint, and retry give-ups
+// report the attempt budget with the final cause.
+func TestOperatorMessage(t *testing.T) {
+	locked := &APIError{
+		Status: http.StatusLocked, Class: "store_locked", Detail: "store is locked",
+		HolderPID: 4242, HolderAgeMs: 1500, RetryAfterSec: 1,
+	}
+	msg := OperatorMessage(locked)
+	for _, want := range []string{"423", "store_locked", "pid 4242", "1.5s"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("423 message %q missing %q", msg, want)
+		}
+	}
+
+	busy := &APIError{Status: 429, Class: "over_capacity", Detail: "governor full", RetryAfterSec: 3}
+	if msg := OperatorMessage(busy); !strings.Contains(msg, "retry after 3s") {
+		t.Errorf("429 message %q missing retry hint", msg)
+	}
+
+	gaveUp := &RetryExhaustedError{Attempts: 5, Last: busy}
+	msg = OperatorMessage(gaveUp)
+	if !strings.Contains(msg, "gave up after 5 attempts") || !strings.Contains(msg, "over_capacity") {
+		t.Errorf("give-up message %q missing attempts or cause", msg)
+	}
+
+	plain := fmt.Errorf("disk full")
+	if msg := OperatorMessage(plain); msg != "disk full" {
+		t.Errorf("plain error rendered as %q", msg)
+	}
+}

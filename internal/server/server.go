@@ -27,6 +27,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net/http"
 	"os"
@@ -77,6 +78,14 @@ type Server struct {
 	spoolDir string
 	start    time.Time
 	draining atomic.Bool
+
+	// uploads serializes and caches resumable upload sessions; their
+	// state lives under spoolDir/uploads.
+	uploads *uploadTable
+	// jrec collects the self-healing janitor's counters
+	// (spools_reaped, sessions_reaped, locks_recovered), published in
+	// /metrics separately from tenant pipelines.
+	jrec *obs.Recorder
 }
 
 // New validates cfg and builds the server, creating the root and spool
@@ -101,12 +110,18 @@ func New(cfg Config) (*Server, error) {
 	if err := os.MkdirAll(spool, 0o755); err != nil {
 		return nil, fmt.Errorf("server: create spool dir: %w", err)
 	}
+	uploadDir := filepath.Join(spool, uploadDirName)
+	if err := os.MkdirAll(uploadDir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: create upload dir: %w", err)
+	}
 	return &Server{
 		cfg:      cfg,
 		reg:      reg,
 		gov:      NewGovernor(cfg.CapacityBytes),
 		spoolDir: spool,
 		start:    time.Now(),
+		uploads:  newUploadTable(uploadDir),
+		jrec:     obs.NewRecorder(),
 	}, nil
 }
 
@@ -134,6 +149,10 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 //	GET  /v1/{tenant}/{series}/chain               one series' chain entries + stats (?verify=1 deep check)
 //	GET  /v1/{tenant}/chain                        whole tenant: variables, stats, health
 //	POST /v1/{tenant}/{series}/restart             where to resume: latest restorable iteration
+//	POST /v1/{tenant}/{series}/uploads             start a resumable upload session (?iter, ?size, plus commit params)
+//	PUT  /v1/uploads/{id}                          append one range (X-Numarck-Upload-Offset, optional range CRC)
+//	GET  /v1/uploads/{id}/status                   session progress: the client's resume point
+//	POST /v1/uploads/{id}/finalize                 commit the completed session through the normal pipeline
 //	GET  /healthz                                  process liveness (always 200)
 //	GET  /readyz                                   503 once draining
 //	GET  /metrics                                  per-tenant + merged obs snapshots, governor state
@@ -155,6 +174,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/{tenant}/{series}/chain", s.gated(s.handleSeriesChain))
 	mux.HandleFunc("GET /v1/{tenant}/chain", s.gated(s.handleTenantChain))
 	mux.HandleFunc("POST /v1/{tenant}/{series}/restart", s.gated(s.handleRestart))
+	// Resumable uploads: tenant-scoped creation, then session-scoped
+	// ranges/status/finalize. The status route carries a literal tail
+	// ("status") so it cannot overlap GET /v1/{tenant}/chain — ServeMux
+	// rejects ambiguous wildcard patterns at registration.
+	mux.HandleFunc("POST /v1/{tenant}/{series}/uploads", s.gated(s.handleCreateUpload))
+	mux.HandleFunc("PUT /v1/uploads/{id}", s.gated(s.handlePutUploadRange))
+	mux.HandleFunc("GET /v1/uploads/{id}/status", s.gated(s.handleUploadStatus))
+	mux.HandleFunc("POST /v1/uploads/{id}/finalize", s.gated(s.handleFinalizeUpload))
 	return mux
 }
 
@@ -188,28 +215,32 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		Governor: s.gov.Stats(),
 		Tenants:  byName,
 		Process:  obs.MergeSnapshots(snaps...),
+		Janitor:  s.jrec.Snapshot(),
 	})
 }
 
 // spool copies an incoming request body to a scratch file under
-// root/.spool and returns its path and size. Bodies are spooled, not
-// buffered, because the encode pipeline must read its source twice;
-// the caller removes the file. Spool files live outside every store
-// directory so a crashed daemon's leftovers are inert scratch, not
+// root/.spool and returns its path, size, and the CRC-32 (IEEE) of
+// the bytes as they arrived — the payload checksum the idempotent
+// commit path journals. Bodies are spooled, not buffered, because the
+// encode pipeline must read its source twice; the caller removes the
+// file. Spool files live outside every store directory so a crashed
+// daemon's leftovers are inert scratch the janitor reaps, not
 // store-recovery work.
-func (s *Server) spool(body io.Reader) (path string, size int64, err error) {
+func (s *Server) spool(body io.Reader) (path string, size int64, crc uint32, err error) {
 	f, err := os.CreateTemp(s.spoolDir, "body-*")
 	if err != nil {
-		return "", 0, fmt.Errorf("server: spool: %w", err)
+		return "", 0, 0, fmt.Errorf("server: spool: %w", err)
 	}
-	size, err = io.Copy(f, body)
+	h := crc32.NewIEEE()
+	size, err = io.Copy(io.MultiWriter(f, h), body)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
 	if err != nil {
 		// Best-effort cleanup of a scratch file that failed to fill.
 		_ = os.Remove(f.Name())
-		return "", 0, fmt.Errorf("server: spool: %w", err)
+		return "", 0, 0, fmt.Errorf("server: spool: %w", err)
 	}
-	return f.Name(), size, nil
+	return f.Name(), size, h.Sum32(), nil
 }

@@ -27,6 +27,11 @@ type CommitResponse struct {
 	ChunkPoints int `json:"chunk_points,omitempty"`
 	Workers     int `json:"workers,omitempty"`
 	ExactValues int `json:"exact_values,omitempty"`
+	// Replayed reports that this commit was already journaled with the
+	// same payload CRC and nothing new was written — the response of a
+	// retried request whose first attempt actually landed (200, not
+	// 201). Points and pipeline fields are zero on a replay.
+	Replayed bool `json:"replayed,omitempty"`
 }
 
 // ChainEntryJSON is one committed chain file in a chain report.
@@ -134,4 +139,30 @@ type MetricsResponse struct {
 	Tenants map[string]obs.Snapshot `json:"tenants"`
 	// Process merges every tenant snapshot into the process-wide view.
 	Process obs.Snapshot `json:"process"`
+	// Janitor is the self-healing sweeper's counters (spools_reaped,
+	// sessions_reaped, locks_recovered), kept apart from the tenant
+	// pipelines they clean up after.
+	Janitor obs.Snapshot `json:"janitor"`
+}
+
+// UploadResponse describes one resumable upload session: returned by
+// session creation, every accepted range, status reads, and (with
+// Commit set) finalize.
+type UploadResponse struct {
+	// ID names the session in /v1/uploads/{id} URLs.
+	ID string `json:"id"`
+	// Tenant, Variable, Iteration identify the commit the session will
+	// finalize into.
+	Tenant    string `json:"tenant"`
+	Variable  string `json:"variable"`
+	Iteration int    `json:"iteration"`
+	// Size is the declared total payload size; Received is the
+	// contiguous prefix stored so far. The client resumes a broken
+	// upload by re-reading Received and sending from there.
+	Size     int64 `json:"size"`
+	Received int64 `json:"received"`
+	// State is "open" while ranges are accepted, "done" once finalized.
+	State string `json:"state"`
+	// Commit is the finalize result (present only once State is done).
+	Commit *CommitResponse `json:"commit,omitempty"`
 }
