@@ -14,6 +14,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"numarck/internal/obs"
@@ -38,7 +39,11 @@ type RetryPolicy struct {
 	// overall call can still span MaxAttempts of them plus backoff.
 	PerAttemptTimeout time.Duration
 	// Jitter randomizes each delay into [d/2, d] to spread retry
-	// stampedes. Nil keeps delays deterministic.
+	// stampedes. Nil keeps delays deterministic. The Client guards this
+	// source internally (rand.Rand is not goroutine-safe), so one
+	// Client may retry from many goroutines; sharing the same *rand.Rand
+	// across multiple Clients is still a race and is the caller's to
+	// avoid.
 	Jitter *rand.Rand
 	// Sleep replaces time.Sleep between attempts (tests inject a
 	// recorder; nil sleeps for real).
@@ -95,7 +100,9 @@ func retryable(err error) bool {
 // checkpoint bodies up, reconstructions down, and decodes the daemon's
 // structured JSON errors back into *APIError values callers can branch
 // on. The zero HTTP field uses http.DefaultClient; the zero Retry
-// policy makes every call a single attempt.
+// policy makes every call a single attempt. A Client is safe for
+// concurrent use by multiple goroutines, like the http.Client it wraps
+// (configure its fields before the first call, not during).
 type Client struct {
 	// Base is the daemon's base URL, e.g. "http://127.0.0.1:8377".
 	Base string
@@ -108,6 +115,10 @@ type Client struct {
 	// Obs, when set, counts retries (obs.CounterRetries) so callers can
 	// see how rough the network was.
 	Obs *obs.Recorder
+
+	// jitterMu serializes draws from Retry.Jitter across concurrent
+	// calls on this Client.
+	jitterMu sync.Mutex
 }
 
 // httpClient returns the configured or default transport.
@@ -212,7 +223,10 @@ func (c *Client) backoff(attempt int, last error) time.Duration {
 		}
 	}
 	if c.Retry.Jitter != nil && d > 1 {
-		d = d/2 + time.Duration(c.Retry.Jitter.Int63n(int64(d/2)+1))
+		c.jitterMu.Lock()
+		n := c.Retry.Jitter.Int63n(int64(d/2) + 1)
+		c.jitterMu.Unlock()
+		d = d/2 + time.Duration(n)
 	}
 	return d
 }
@@ -344,25 +358,44 @@ func decodeJSON(resp *http.Response, v any) error {
 
 // payloadBody makes body replayable and computes its CRC-32 (IEEE),
 // the checksum Push sends in PayloadCRCHeader so the daemon can reject
-// transit corruption and recognize retried commits.
-func payloadBody(body io.Reader) (io.Reader, uint32, error) {
-	rewind, err := prepareBody(body, true)
-	if err != nil {
-		return nil, 0, err
-	}
-	r, err := rewind()
-	if err != nil {
-		return nil, 0, err
-	}
+// transit corruption and recognize retried commits. Seekable bodies
+// (files, byte readers) rewind in place; anything else is spooled to a
+// temp file rather than read into memory, so a multi-GB stream costs
+// disk, not client RAM. cleanup releases the spool (a no-op for
+// seekable bodies) and must run only after the request is done with
+// the returned reader.
+func payloadBody(body io.Reader) (r io.Reader, crc uint32, cleanup func(), err error) {
+	cleanup = func() {}
 	h := crc32.NewIEEE()
-	if _, err := io.Copy(h, r); err != nil {
-		return nil, 0, fmt.Errorf("server: checksum request body: %w", err)
+	if rs, ok := body.(io.ReadSeeker); ok {
+		if start, serr := rs.Seek(0, io.SeekCurrent); serr == nil {
+			if _, err := io.Copy(h, rs); err != nil {
+				return nil, 0, cleanup, fmt.Errorf("server: checksum request body: %w", err)
+			}
+			if _, err := rs.Seek(start, io.SeekStart); err != nil {
+				return nil, 0, cleanup, fmt.Errorf("server: rewind request body: %w", err)
+			}
+			return rs, h.Sum32(), cleanup, nil
+		}
+		// A ReadSeeker that cannot report its position (an exotic pipe
+		// wrapper) is spooled like any plain stream.
 	}
-	r, err = rewind()
+	f, err := os.CreateTemp("", "numarck-push-*")
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, cleanup, fmt.Errorf("server: spool request body: %w", err)
 	}
-	return r, h.Sum32(), nil
+	cleanup = func() {
+		// The spool is scratch; close/remove errors cannot lose data.
+		_ = f.Close()
+		_ = os.Remove(f.Name())
+	}
+	if _, err := io.Copy(io.MultiWriter(f, h), body); err != nil {
+		return nil, 0, cleanup, fmt.Errorf("server: spool request body: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, cleanup, fmt.Errorf("server: rewind request body: %w", err)
+	}
+	return f, h.Sum32(), cleanup, nil
 }
 
 // Push streams body (raw little-endian float64 values) as iteration
@@ -370,16 +403,21 @@ func payloadBody(body io.Reader) (io.Reader, uint32, error) {
 // chunk, workers, budget) from q. A nil q commits with the daemon's
 // defaults. The payload CRC rides in PayloadCRCHeader, so a retried
 // Push whose first attempt actually landed comes back Replayed instead
-// of double-applied.
+// of double-applied. Computing that CRC needs the whole body up front:
+// seekable bodies are read twice in place; a non-seekable stream is
+// spooled to a temp file for the call's duration, never buffered in
+// memory.
 func (c *Client) Push(series string, iter int, body io.Reader, q url.Values) (*CommitResponse, error) {
 	if q == nil {
 		q = url.Values{}
 	}
 	q.Set("iter", strconv.Itoa(iter))
-	body, crc, err := payloadBody(body)
+	body, crc, cleanup, err := payloadBody(body)
 	if err != nil {
+		cleanup()
 		return nil, err
 	}
+	defer cleanup()
 	hdr := http.Header{}
 	hdr.Set("Content-Type", "application/octet-stream")
 	hdr.Set(PayloadCRCHeader, strconv.FormatUint(uint64(crc), 10))

@@ -11,12 +11,15 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"hash/crc32"
+	"io"
 	"math/rand"
 	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -262,4 +265,92 @@ func TestLockedStoreEndToEnd(t *testing.T) {
 	if n := atomic.LoadInt32(&sleeps); n < 2 {
 		t.Fatalf("client slept %d times, want at least 2 (never backed off)", n)
 	}
+}
+
+// nonSeeker hides a reader's Seek method, modeling a genuine stream (a
+// pipe, a generator) that can only be read forward once.
+type nonSeeker struct{ r io.Reader }
+
+func (n nonSeeker) Read(p []byte) (int, error) { return n.r.Read(p) }
+
+// TestPayloadBodySpoolsNonSeekable pins Push's memory contract: a
+// non-seekable body is spooled to a temp file — never materialized in
+// client RAM — while still yielding the right CRC and the full
+// payload, and cleanup removes the spool afterwards.
+func TestPayloadBodySpoolsNonSeekable(t *testing.T) {
+	data := floatBytes(seriesValues(0, 64))
+	r, crc, cleanup, err := payloadBody(nonSeeker{bytes.NewReader(data)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := crc32.ChecksumIEEE(data); crc != want {
+		t.Fatalf("crc = %08x, want %08x", crc, want)
+	}
+	f, ok := r.(*os.File)
+	if !ok {
+		t.Fatalf("non-seekable body became %T, want a temp-file spool", r)
+	}
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("spooled body does not match the source stream")
+	}
+	cleanup()
+	if _, err := os.Stat(f.Name()); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("cleanup left the spool behind: %v", err)
+	}
+
+	// A seekable body must pass through untouched — no spool, no copy.
+	br := bytes.NewReader(data)
+	r, _, cleanup, err = payloadBody(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	if r != io.Reader(br) {
+		t.Fatalf("seekable body became %T, want the reader itself", r)
+	}
+}
+
+// TestPushNonSeekableBody commits through Push with a stream-only body
+// (retries enabled), proving the spool replays correctly end to end.
+func TestPushNonSeekableBody(t *testing.T) {
+	_, ts := newTestServer(t, 0, 0)
+	c := &Client{Base: ts.URL, Tenant: "t0", Retry: RetryPolicy{MaxAttempts: 3, Sleep: func(time.Duration) {}}}
+	body := floatBytes(seriesValues(0, 128))
+	cr, err := c.Push("v", 0, nonSeeker{bytes.NewReader(body)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Replayed {
+		t.Fatalf("fresh push replayed: %+v", cr)
+	}
+}
+
+// TestBackoffJitterConcurrent hammers one Client's jittered backoff
+// from many goroutines. Under -race this pins that draws from the
+// shared jitter source are synchronized; the bounds check keeps the
+// [d/2, d] contract honest while it runs.
+func TestBackoffJitterConcurrent(t *testing.T) {
+	c := &Client{Retry: RetryPolicy{
+		BaseDelay: time.Millisecond, MaxDelay: time.Second,
+		Jitter: rand.New(rand.NewSource(1)),
+	}}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				// attempt 3: d = 4ms, jittered into [2ms, 4ms].
+				if d := c.backoff(3, errors.New("x")); d < 2*time.Millisecond || d > 4*time.Millisecond {
+					t.Errorf("jittered backoff %v outside [d/2, d]", d)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

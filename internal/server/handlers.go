@@ -220,6 +220,7 @@ func (s *Server) handlePostCheckpoint(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	defer s.releaseSpool(spoolPath)
 	// A leftover spool file is inert scratch; cleanup is best-effort.
 	defer os.Remove(spoolPath)
 	if err := declaredCRC(r, payloadCRC); err != nil {

@@ -92,6 +92,12 @@ func (s *Server) sweepSpools(now time.Time, ttl time.Duration, errs []error) (in
 			continue
 		}
 		path := filepath.Join(s.spoolDir, de.Name())
+		if s.spoolInUse(path) {
+			// A live request still needs these bytes — a slow upload or a
+			// long governor wait can hold a spool past any TTL. Age means
+			// nothing against ownership.
+			continue
+		}
 		fi, err := de.Info()
 		if err != nil {
 			// Raced with the request that owns it; it is gone either way.
@@ -125,8 +131,19 @@ func (s *Server) sweepSessions(now time.Time, ttl time.Duration, errs []error) (
 		id := de.Name()
 		path := filepath.Join(dir, id)
 		fi, err := os.Stat(filepath.Join(path, "meta.json"))
-		expired := err != nil || now.Sub(fi.ModTime()) >= ttl
-		if !expired {
+		if err != nil {
+			// No meta.json: either a session mid-creation (between
+			// handleCreateUpload's MkdirAll and the first meta rename) or
+			// debris from a crashed create. Judge it by the directory's
+			// own mtime so an in-flight create is never reaped out from
+			// under its handler; real debris ages past the TTL like any
+			// other orphan.
+			if fi, err = os.Stat(path); err != nil {
+				// Vanished between ReadDir and Stat.
+				continue
+			}
+		}
+		if now.Sub(fi.ModTime()) < ttl {
 			continue
 		}
 		if u, gerr := s.uploads.get(id); gerr == nil {

@@ -130,3 +130,79 @@ func TestJanitorRespectsTTLs(t *testing.T) {
 		t.Fatalf("live session received = %d, want 0 (and alive)", got)
 	}
 }
+
+// TestJanitorSparesMidCreateSession pins the create/sweep race: a
+// session directory that exists without meta.json is the window inside
+// handleCreateUpload between MkdirAll and the first meta rename, not
+// automatically debris. The sweep must judge it by the directory's own
+// mtime against the TTL — sparing an in-flight create, still reaping a
+// crashed create once it ages out.
+func TestJanitorSparesMidCreateSession(t *testing.T) {
+	s, _ := newTestServer(t, 0, 0)
+	dir := filepath.Join(s.uploads.dir, "0123456789abcdef0123456789abcdef")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := s.Sweep(JanitorConfig{SpoolTTL: time.Hour, SessionTTL: time.Hour})
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if rep.SessionsReaped != 0 {
+		t.Fatalf("reaped %d sessions, want the mid-create dir spared", rep.SessionsReaped)
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("mid-create session dir reaped: %v", err)
+	}
+
+	// Aged past the TTL it is debris from a crashed create: reaped.
+	old := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(dir, old, old); err != nil {
+		t.Fatal(err)
+	}
+	if rep, err = s.Sweep(JanitorConfig{SpoolTTL: time.Hour, SessionTTL: time.Hour}); err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if rep.SessionsReaped != 1 {
+		t.Fatalf("reaped %d sessions, want the aged debris gone", rep.SessionsReaped)
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Fatalf("aged debris dir survived the sweep: %v", err)
+	}
+}
+
+// TestJanitorSparesInFlightSpool pins the spool ownership rule: a
+// spool file older than any TTL but still owned by a live request (a
+// slow upload, a long governor wait) survives the sweep, and is reaped
+// only once its request releases it.
+func TestJanitorSparesInFlightSpool(t *testing.T) {
+	s, _ := newTestServer(t, 0, 0)
+	path := filepath.Join(s.spoolDir, "body-busy")
+	if err := os.WriteFile(path, []byte("still streaming"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-24 * time.Hour)
+	if err := os.Chtimes(path, old, old); err != nil {
+		t.Fatal(err)
+	}
+	s.markSpool(path)
+
+	rep, err := s.Sweep(JanitorConfig{})
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if rep.SpoolsReaped != 0 {
+		t.Fatalf("reaped %d spools, want the in-flight one spared", rep.SpoolsReaped)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("in-flight spool reaped: %v", err)
+	}
+
+	s.releaseSpool(path)
+	if rep, err = s.Sweep(JanitorConfig{}); err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if rep.SpoolsReaped != 1 {
+		t.Fatalf("reaped %d spools after release, want 1", rep.SpoolsReaped)
+	}
+}

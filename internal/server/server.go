@@ -32,6 +32,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -86,6 +87,13 @@ type Server struct {
 	// (spools_reaped, sessions_reaped, locks_recovered), published in
 	// /metrics separately from tenant pipelines.
 	jrec *obs.Recorder
+
+	// spoolBusy marks spool scratch files owned by in-flight requests,
+	// guarded by spoolMu. The janitor judges orphaned spools by age, but
+	// a slow upload or a long governor wait can hold a spool past any
+	// TTL — ownership, not mtime, is what keeps those alive.
+	spoolMu   sync.Mutex
+	spoolBusy map[string]struct{}
 }
 
 // New validates cfg and builds the server, creating the root and spool
@@ -122,7 +130,33 @@ func New(cfg Config) (*Server, error) {
 		start:    time.Now(),
 		uploads:  newUploadTable(uploadDir),
 		jrec:     obs.NewRecorder(),
+
+		spoolBusy: make(map[string]struct{}),
 	}, nil
+}
+
+// markSpool flags a spool scratch file as owned by an in-flight
+// request; sweepSpools skips flagged files regardless of their age.
+func (s *Server) markSpool(path string) {
+	s.spoolMu.Lock()
+	s.spoolBusy[path] = struct{}{}
+	s.spoolMu.Unlock()
+}
+
+// releaseSpool drops a spool file's in-flight flag once its request no
+// longer needs the bytes.
+func (s *Server) releaseSpool(path string) {
+	s.spoolMu.Lock()
+	delete(s.spoolBusy, path)
+	s.spoolMu.Unlock()
+}
+
+// spoolInUse reports whether a spool file is owned by a live request.
+func (s *Server) spoolInUse(path string) bool {
+	s.spoolMu.Lock()
+	_, ok := s.spoolBusy[path]
+	s.spoolMu.Unlock()
+	return ok
 }
 
 // Registry returns the server's tenant registry (tests and the daemon
@@ -224,14 +258,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 // the bytes as they arrived — the payload checksum the idempotent
 // commit path journals. Bodies are spooled, not buffered, because the
 // encode pipeline must read its source twice; the caller removes the
-// file. Spool files live outside every store directory so a crashed
-// daemon's leftovers are inert scratch the janitor reaps, not
-// store-recovery work.
+// file and releases its in-flight mark (releaseSpool). Spool files
+// live outside every store directory so a crashed daemon's leftovers
+// are inert scratch the janitor reaps, not store-recovery work; the
+// file is marked in-flight from creation so the janitor never reaps a
+// body a live request is still filling or committing.
 func (s *Server) spool(body io.Reader) (path string, size int64, crc uint32, err error) {
 	f, err := os.CreateTemp(s.spoolDir, "body-*")
 	if err != nil {
 		return "", 0, 0, fmt.Errorf("server: spool: %w", err)
 	}
+	s.markSpool(f.Name())
 	h := crc32.NewIEEE()
 	size, err = io.Copy(io.MultiWriter(f, h), body)
 	if cerr := f.Close(); err == nil {
@@ -240,6 +277,7 @@ func (s *Server) spool(body io.Reader) (path string, size int64, crc uint32, err
 	if err != nil {
 		// Best-effort cleanup of a scratch file that failed to fill.
 		_ = os.Remove(f.Name())
+		s.releaseSpool(f.Name())
 		return "", 0, 0, fmt.Errorf("server: spool: %w", err)
 	}
 	return f.Name(), size, h.Sum32(), nil

@@ -111,6 +111,31 @@ func (u *uploadSession) saveLocked() error {
 	return nil
 }
 
+// reconcile aligns a disk-loaded open session's data file with its
+// durable meta. A daemon that died between a range's data write and
+// the meta.json rename leaves the file longer than meta.Received, and
+// resuming against the file's length instead of the recorded prefix
+// would mis-place the next range. The meta prefix is the truth — it is
+// what the running CRC covers — so excess bytes are truncated away; a
+// file shorter than the recorded prefix has lost acknowledged bytes,
+// which fails the session rather than committing a hole.
+func (u *uploadSession) reconcile() error {
+	fi, err := os.Stat(u.dataPath())
+	if err != nil {
+		return fmt.Errorf("%w: upload session %s data: %v", checkpoint.ErrCorrupt, u.id, err)
+	}
+	if fi.Size() < u.meta.Received {
+		return fmt.Errorf("%w: upload session %s: data file has %d bytes, meta recorded %d received",
+			checkpoint.ErrCorrupt, u.id, fi.Size(), u.meta.Received)
+	}
+	if fi.Size() > u.meta.Received {
+		if err := os.Truncate(u.dataPath(), u.meta.Received); err != nil {
+			return fmt.Errorf("server: reconcile upload session %s: %w", u.id, err)
+		}
+	}
+	return nil
+}
+
 // responseLocked renders the session for the wire; u.mu must be held.
 func (u *uploadSession) responseLocked() UploadResponse {
 	return UploadResponse{
@@ -194,6 +219,14 @@ func (ut *uploadTable) get(id string) (*uploadSession, error) {
 		return nil, fmt.Errorf("%w: upload session %s meta: %v", checkpoint.ErrCorrupt, id, err)
 	}
 	u := &uploadSession{id: id, dir: dir, meta: meta}
+	if meta.State == uploadStateOpen {
+		// Sessions inherited from a crashed daemon may have a data file
+		// that ran ahead of the durable meta; align them before any
+		// range resumes against the wrong offset.
+		if err := u.reconcile(); err != nil {
+			return nil, err
+		}
+	}
 	ut.sessions[id] = u
 	return u, nil
 }
@@ -329,20 +362,25 @@ func (s *Server) handlePutUploadRange(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	df, err := os.OpenFile(u.dataPath(), os.O_WRONLY|os.O_APPEND, 0o644)
+	df, err := os.OpenFile(u.dataPath(), os.O_WRONLY, 0o644)
 	if err != nil {
 		writeError(w, fmt.Errorf("server: upload range: %w", err))
 		return
 	}
+	// Write at the durable prefix's end, never at the file's end: the
+	// position comes from meta.Received, so stale bytes a crash or a
+	// failed write left beyond the prefix are overwritten in place by
+	// the retry instead of the payload landing after them.
 	crc := u.meta.CRC
-	written, err := io.Copy(io.MultiWriter(df, crcUpdater{&crc}), rf)
+	written, err := io.Copy(io.MultiWriter(io.NewOffsetWriter(df, u.meta.Received), crcUpdater{&crc}), rf)
 	if cerr := df.Close(); err == nil {
 		err = cerr
 	}
 	if err != nil {
-		// Roll the data file back to the durable prefix so meta and
-		// data never disagree; the client re-sends the range.
-		_ = os.Truncate(u.dataPath(), u.meta.Received)
+		// No rollback needed: meta.Received is unchanged, and the next
+		// attempt's offset writer overwrites whatever this one left
+		// beyond the prefix. Ranges never write past Size, so leftovers
+		// can never outlive the finished payload either.
 		writeError(w, fmt.Errorf("server: upload range: %w", err))
 		return
 	}

@@ -11,6 +11,8 @@ import (
 	"hash/crc32"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strconv"
 	"testing"
 )
@@ -228,4 +230,66 @@ func TestUploadSessionHygiene(t *testing.T) {
 		http.StatusBadRequest, "bad_request")
 	h.decodeErr(h.do("POST", h.base+"/v1/t0/v/uploads?iter=nope&size=8", nil, nil),
 		http.StatusBadRequest, "bad_request")
+}
+
+// TestUploadResumeAfterDirtyCrash replays the worst crash window the
+// resume protocol has: a daemon writes a range's bytes into the data
+// file but dies before the meta.json rename, so the file on disk runs
+// ahead of the durable Received — and the running CRC covers only the
+// durable prefix. The reloaded session must place the re-sent range at
+// Received, not at the file's end, and the finalized iteration must be
+// byte-identical to a fault-free commit of the same payload.
+func TestUploadResumeAfterDirtyCrash(t *testing.T) {
+	s, ts := newTestServer(t, 0, 0)
+	payload := floatBytes(seriesValues(0, 256))
+	h := &uploadHarness{t: t, base: ts.URL, http: ts.Client(), payload: payload}
+	ur := h.decode(h.do("POST", ts.URL+"/v1/t0/v/uploads?iter=0&size="+strconv.Itoa(len(payload)), nil, nil), http.StatusCreated)
+	h.id = ur.ID
+	h.decode(h.putRange(0, 1024), http.StatusOK)
+
+	// Crash: 512 bytes of the next range reached the data file, but the
+	// daemon died before meta.json recorded them.
+	dataPath := filepath.Join(s.uploads.dir, h.id, "data")
+	f, err := os.OpenFile(dataPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(payload[1024:1536]); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Restart: the in-memory session is gone; the next touch reloads
+	// (and reconciles) the session from disk.
+	s.uploads.remove(h.id)
+
+	// The client resumes from the durable Received and re-sends the
+	// unacknowledged range in full.
+	if got := h.received(); got != 1024 {
+		t.Fatalf("received after crash = %d, want the durable 1024", got)
+	}
+	h.decode(h.putRange(1024, len(payload)-1024), http.StatusOK)
+	fin := h.do("POST", ts.URL+"/v1/uploads/"+h.id+"/finalize", nil, map[string]string{
+		PayloadCRCHeader: crcHeader(payload),
+	})
+	if ur = h.decode(fin, http.StatusCreated); ur.Commit == nil {
+		t.Fatalf("finalize = %+v, want a commit", ur)
+	}
+
+	// Byte-identical to a fault-free commit of the same payload.
+	c := &Client{Base: ts.URL, Tenant: "t0"}
+	if _, err := c.Push("w", 0, bytes.NewReader(payload), nil); err != nil {
+		t.Fatal(err)
+	}
+	var crashed, clean bytes.Buffer
+	if _, _, err := c.Fetch("v", 0, &crashed, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Fetch("w", 0, &clean, false); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(crashed.Bytes(), clean.Bytes()) {
+		t.Fatal("crash-resumed upload reconstructs differently from a fault-free commit")
+	}
 }
